@@ -1,0 +1,202 @@
+//! A small fixed-capacity bit set used by the dataflow analyses.
+
+/// A fixed-capacity set of small integers backed by `u64` words.
+///
+/// ```
+/// use ms_analysis::BitSet;
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(64);
+/// assert!(s.contains(3) && s.contains(64) && !s.contains(4));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// The capacity the set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `v`, returning whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= capacity`.
+    pub fn insert(&mut self, v: usize) -> bool {
+        assert!(v < self.capacity, "bitset value out of range");
+        let (w, b) = (v / 64, v % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Removes `v`, returning whether it was present.
+    pub fn remove(&mut self, v: usize) -> bool {
+        if v >= self.capacity {
+            return false;
+        }
+        let (w, b) = (v / 64, v % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Whether `v` is in the set.
+    pub fn contains(&self, v: usize) -> bool {
+        v < self.capacity && self.words[v / 64] & (1 << (v % 64)) != 0
+    }
+
+    /// Unions `other` into `self`, returning whether `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Intersects `self` with `other` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Removes all elements of `other` from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn subtract(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects values into a set sized to the largest value.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let vals: Vec<usize> = iter.into_iter().collect();
+        let cap = vals.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for v in vals {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut s = BitSet::new(10);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        b.insert(69);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert!(a.contains(69));
+    }
+
+    #[test]
+    fn intersect_and_subtract() {
+        let mut a: BitSet = [1usize, 2, 3].into_iter().collect();
+        let b: BitSet = [2usize, 3].into_iter().collect();
+        let mut a2 = a.clone();
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 3]);
+        a2.subtract(&b);
+        assert_eq!(a2.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut s = BitSet::new(10);
+        s.insert(4);
+        assert!(s.remove(4));
+        assert!(!s.remove(4));
+        s.insert(1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let mut s = BitSet::new(200);
+        for v in [0, 63, 64, 127, 128, 199] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_is_bounds_checked() {
+        BitSet::new(4).insert(4);
+    }
+}

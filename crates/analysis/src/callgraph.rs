@@ -1,0 +1,187 @@
+//! The static call graph, with strongly-connected-component detection.
+//!
+//! The task-size heuristic includes calls to dynamically small functions
+//! inside the calling task; a callee on a call-graph cycle (direct *or*
+//! mutual recursion) must never be included, or the "task" could grow
+//! without bound. [`CallGraph::is_recursive`] answers that safely.
+
+use ms_ir::{FuncId, Program, Terminator};
+
+/// The program's call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[f]`: deduplicated direct callees of `f`.
+    callees: Vec<Vec<FuncId>>,
+    /// `scc[f]`: the id of the strongly connected component of `f`.
+    scc: Vec<usize>,
+    /// `scc_size[c]`: number of functions in component `c`.
+    scc_size: Vec<usize>,
+    /// `self_loop[f]`: whether `f` calls itself directly.
+    self_loop: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program` and runs Tarjan's SCC
+    /// algorithm (iterative).
+    pub fn compute(program: &Program) -> Self {
+        let n = program.num_functions();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut self_loop = vec![false; n];
+        for f in program.func_ids() {
+            let func = program.function(f);
+            for b in func.block_ids() {
+                if let Terminator::Call { callee, .. } = func.block(b).terminator() {
+                    if *callee == f {
+                        self_loop[f.index()] = true;
+                    }
+                    if !callees[f.index()].contains(callee) {
+                        callees[f.index()].push(*callee);
+                    }
+                }
+            }
+        }
+        // Iterative Tarjan.
+        const UNSET: usize = usize::MAX;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut scc = vec![UNSET; n];
+        let mut scc_size: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        for start in 0..n {
+            if index[start] != UNSET {
+                continue;
+            }
+            // (node, next child position)
+            let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+            while let Some(&mut (v, ref mut ci)) = call_stack.last_mut() {
+                if *ci < callees[v].len() {
+                    let w = callees[v][*ci].index();
+                    *ci += 1;
+                    if index[w] == UNSET {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call_stack.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let cid = scc_size.len();
+                        let mut size = 0;
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            scc[w] = cid;
+                            size += 1;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc_size.push(size);
+                    }
+                }
+            }
+        }
+        CallGraph { callees, scc, scc_size, self_loop }
+    }
+
+    /// Direct callees of `f` (deduplicated).
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+
+    /// Whether `f` can reach itself through calls — a direct self call
+    /// or membership in a multi-function cycle.
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        self.self_loop[f.index()] || self.scc_size[self.scc[f.index()]] > 1
+    }
+
+    /// Whether `a` and `b` are mutually recursive (same non-trivial
+    /// component).
+    pub fn in_same_cycle(&self, a: FuncId, b: FuncId) -> bool {
+        self.scc[a.index()] == self.scc[b.index()]
+            && (a != b || self.is_recursive(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_ir::{FunctionBuilder, ProgramBuilder};
+
+    /// Builds a program from an adjacency list of calls.
+    fn program_from_calls(n: usize, calls: &[(usize, usize)]) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let fids: Vec<FuncId> = (0..n).map(|i| pb.declare_function(format!("f{i}"))).collect();
+        for i in 0..n {
+            let mut fb = FunctionBuilder::new(format!("f{i}"));
+            let mut cur = fb.add_block();
+            let entry = cur;
+            for &(from, to) in calls {
+                if from == i {
+                    let ret = fb.add_block();
+                    fb.set_terminator(cur, Terminator::Call { callee: fids[to], ret_to: ret });
+                    cur = ret;
+                }
+            }
+            fb.set_terminator(cur, if i == 0 { Terminator::Halt } else { Terminator::Return });
+            pb.define_function(fids[i], fb.finish(entry).unwrap());
+        }
+        pb.finish(fids[0]).unwrap()
+    }
+
+    #[test]
+    fn acyclic_graphs_have_no_recursion() {
+        // 0 → 1 → 2, 0 → 2.
+        let p = program_from_calls(3, &[(0, 1), (1, 2), (0, 2)]);
+        let cg = CallGraph::compute(&p);
+        for f in p.func_ids() {
+            assert!(!cg.is_recursive(f), "{f} wrongly recursive");
+        }
+        assert_eq!(cg.callees(FuncId::new(0)).len(), 2);
+    }
+
+    #[test]
+    fn direct_recursion_is_detected() {
+        let p = program_from_calls(2, &[(0, 1), (1, 1)]);
+        let cg = CallGraph::compute(&p);
+        assert!(!cg.is_recursive(FuncId::new(0)));
+        assert!(cg.is_recursive(FuncId::new(1)));
+    }
+
+    #[test]
+    fn mutual_recursion_is_detected() {
+        // 0 → 1 → 2 → 1 (1 and 2 form a cycle).
+        let p = program_from_calls(3, &[(0, 1), (1, 2), (2, 1)]);
+        let cg = CallGraph::compute(&p);
+        assert!(!cg.is_recursive(FuncId::new(0)));
+        assert!(cg.is_recursive(FuncId::new(1)));
+        assert!(cg.is_recursive(FuncId::new(2)));
+        assert!(cg.in_same_cycle(FuncId::new(1), FuncId::new(2)));
+        assert!(!cg.in_same_cycle(FuncId::new(0), FuncId::new(1)));
+    }
+
+    #[test]
+    fn three_cycle_through_distinct_functions() {
+        let p = program_from_calls(4, &[(0, 1), (1, 2), (2, 3), (3, 1)]);
+        let cg = CallGraph::compute(&p);
+        for i in 1..4 {
+            assert!(cg.is_recursive(FuncId::new(i)), "f{i} is on the cycle");
+        }
+        assert!(!cg.is_recursive(FuncId::new(0)));
+    }
+}

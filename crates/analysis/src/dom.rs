@@ -1,0 +1,186 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy).
+
+use ms_ir::{BlockId, Function};
+
+use crate::order::DfsOrder;
+
+/// The dominator tree of the blocks reachable from a function's entry.
+///
+/// Computed with the Cooper–Harvey–Kennedy iterative algorithm over
+/// reverse postorder, which is simple and fast for CFGs of this size.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]`: immediate dominator of `b` (entry maps to itself);
+    /// `usize::MAX` for unreachable blocks.
+    idom: Vec<usize>,
+    order: DfsOrder,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for `func`.
+    pub fn compute(func: &Function) -> Self {
+        let order = DfsOrder::compute(func);
+        let n = func.num_blocks();
+        let entry = func.entry();
+        let mut idom = vec![usize::MAX; n];
+        idom[entry.index()] = entry.index();
+        let rpo: Vec<BlockId> = order.rpo().to_vec();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in func.predecessors(b) {
+                    if idom[p.index()] == usize::MAX {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p.index(),
+                        Some(cur) => Self::intersect(&idom, &order, cur, p.index()),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != ni {
+                        idom[b.index()] = ni;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, order, entry }
+    }
+
+    fn intersect(idom: &[usize], order: &DfsOrder, mut a: usize, mut b: usize) -> usize {
+        let pos = |x: usize| order.rpo_pos(BlockId::new(x as u32)).expect("reachable");
+        while a != b {
+            while pos(a) > pos(b) {
+                a = idom[a];
+            }
+            while pos(b) > pos(a) {
+                b = idom[b];
+            }
+        }
+        a
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry block or
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        let v = self.idom[b.index()];
+        if v == usize::MAX || b == self.entry {
+            None
+        } else {
+            Some(BlockId::new(v as u32))
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive: every block dominates
+    /// itself). Unreachable blocks dominate nothing and are dominated by
+    /// nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()] == usize::MAX || self.idom[a.index()] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = BlockId::new(self.idom[cur.index()] as u32);
+        }
+    }
+
+    /// The DFS ordering computed alongside the tree.
+    pub fn order(&self) -> &DfsOrder {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_ir::{BranchBehavior, FunctionBuilder, Terminator};
+
+    fn branch(taken: BlockId, fall: BlockId) -> Terminator {
+        Terminator::Branch { taken, fall, cond: vec![], behavior: BranchBehavior::Taken(0.5) }
+    }
+
+    /// The classic diamond: 0 → {1, 2} → 3.
+    #[test]
+    fn diamond_join_is_dominated_by_fork_only() {
+        let mut fb = FunctionBuilder::new("d");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        fb.set_terminator(b0, branch(b1, b2));
+        fb.set_terminator(b1, Terminator::Jump { target: b3 });
+        fb.set_terminator(b2, Terminator::Jump { target: b3 });
+        fb.set_terminator(b3, Terminator::Return);
+        let f = fb.finish(b0).unwrap();
+        let dom = Dominators::compute(&f);
+        assert_eq!(dom.idom(b3), Some(b0));
+        assert_eq!(dom.idom(b1), Some(b0));
+        assert_eq!(dom.idom(b0), None);
+        assert!(dom.dominates(b0, b3));
+        assert!(!dom.dominates(b1, b3));
+        assert!(dom.dominates(b3, b3));
+    }
+
+    /// Loop: 0 → 1(head) → 2(body) → 1, 2 → 3(exit).
+    #[test]
+    fn loop_header_dominates_body_and_exit() {
+        let mut fb = FunctionBuilder::new("l");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        fb.set_terminator(b0, Terminator::Jump { target: b1 });
+        fb.set_terminator(b1, Terminator::Jump { target: b2 });
+        fb.set_terminator(b2, branch(b1, b3));
+        fb.set_terminator(b3, Terminator::Return);
+        let f = fb.finish(b0).unwrap();
+        let dom = Dominators::compute(&f);
+        assert!(dom.dominates(b1, b2));
+        assert!(dom.dominates(b1, b3));
+        assert_eq!(dom.idom(b2), Some(b1));
+        assert_eq!(dom.idom(b3), Some(b2));
+    }
+
+    /// A second entry-side path must pull the idom up to the entry.
+    #[test]
+    fn multiple_paths_intersect_at_entry() {
+        // 0 → 1 → 3, 0 → 2 → 3, 2 → 1 (so 1 has preds 0 and 2).
+        let mut fb = FunctionBuilder::new("m");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        fb.set_terminator(b0, branch(b1, b2));
+        fb.set_terminator(b1, Terminator::Jump { target: b3 });
+        fb.set_terminator(b2, branch(b1, b3));
+        fb.set_terminator(b3, Terminator::Return);
+        let f = fb.finish(b0).unwrap();
+        let dom = Dominators::compute(&f);
+        assert_eq!(dom.idom(b1), Some(b0));
+        assert_eq!(dom.idom(b3), Some(b0));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_outside_the_tree() {
+        let mut fb = FunctionBuilder::new("u");
+        let a = fb.add_block();
+        let orphan = fb.add_block();
+        fb.set_terminator(a, Terminator::Return);
+        fb.set_terminator(orphan, Terminator::Return);
+        let f = fb.finish(a).unwrap();
+        let dom = Dominators::compute(&f);
+        assert_eq!(dom.idom(orphan), None);
+        assert!(!dom.dominates(a, orphan));
+        assert!(!dom.dominates(orphan, a));
+    }
+}

@@ -1,0 +1,71 @@
+//! Control flow graph analyses for Multiscalar task selection.
+//!
+//! Everything the task-selection heuristics of *Task Selection for a
+//! Multiscalar Processor* (MICRO-31, 1998) consume:
+//!
+//! * [`DfsOrder`] — DFS numbering; the paper's terminal-edge test
+//!   (`dfs_num(child) <= dfs_num(block)` marks loop back edges),
+//! * [`Dominators`] — dominator tree (Cooper–Harvey–Kennedy),
+//! * [`LoopForest`] — natural loops, for the task-size heuristic's loop
+//!   unrolling and the control-flow heuristic's loop boundaries,
+//! * [`DefUseChains`] — cross-block register def-use dependences via
+//!   reaching definitions (the data dependence heuristic's input),
+//! * [`Reachability`] — codependent sets (all blocks on producer→consumer
+//!   paths),
+//! * [`Profile`] — execution frequencies, estimated from branch behaviour
+//!   models or measured from a trace.
+//!
+//! # Example
+//!
+//! ```
+//! use ms_analysis::{DefUseChains, Dominators, LoopForest, Profile};
+//! use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
+//!
+//! let mut fb = FunctionBuilder::new("main");
+//! let entry = fb.add_block();
+//! let body = fb.add_block();
+//! let exit = fb.add_block();
+//! fb.push_inst(body, Opcode::IAdd.inst().dst(Reg::int(1)).src(Reg::int(1)));
+//! fb.set_terminator(entry, Terminator::Jump { target: body });
+//! fb.set_terminator(body, Terminator::Branch {
+//!     taken: body, fall: exit, cond: vec![Reg::int(1)],
+//!     behavior: BranchBehavior::exact_loop(16),
+//! });
+//! fb.set_terminator(exit, Terminator::Halt);
+//! let func = fb.finish(entry)?;
+//!
+//! let dom = Dominators::compute(&func);
+//! let loops = LoopForest::compute(&func, &dom);
+//! assert_eq!(loops.loops().len(), 1);
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let main = pb.declare_function("main");
+//! pb.define_function(main, func);
+//! let program = pb.finish(main)?;
+//! let profile = Profile::estimate(&program);
+//! assert!(profile.func_dynamic_size(main) > 16.0);
+//! # Ok::<(), ms_ir::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod callgraph;
+mod defuse;
+mod dom;
+mod liveness;
+mod loops;
+mod order;
+mod profile;
+mod reach;
+
+pub use bitset::BitSet;
+pub use callgraph::CallGraph;
+pub use defuse::{DefSite, DefUseChains, DepEdge, UsePos, UseSite};
+pub use dom::Dominators;
+pub use liveness::Liveness;
+pub use loops::{Loop, LoopForest};
+pub use order::DfsOrder;
+pub use profile::{edge_probs, Profile};
+pub use reach::Reachability;

@@ -1,0 +1,206 @@
+//! Register liveness (backward dataflow).
+//!
+//! The Multiscalar compiler's *dead register analysis* (Breach et al.,
+//! cited as \[3\], and the companion thesis \[18\]) decides which registers a
+//! task must forward on the communication ring: only registers **live
+//! out** of the task need to travel. This module computes classic
+//! per-block liveness; the simulator uses the exit block's live-out set
+//! to filter forwards.
+
+use ms_ir::{BlockId, Function, NUM_REGS};
+
+use crate::bitset::BitSet;
+use crate::order::DfsOrder;
+
+/// Per-block register liveness for one function.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<BitSet>,
+    live_out: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Computes liveness for `func`.
+    ///
+    /// Registers used by a block before any local definition are live
+    /// in; a block's live-out is the union of its successors' live-ins.
+    /// Calls and returns are treated as reading nothing and writing
+    /// nothing (inter-procedural effects flow through the trace, not the
+    /// static analysis); terminator condition registers are uses.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.num_blocks();
+        // Per-block USE (upward exposed) and DEF sets.
+        let mut use_set = vec![BitSet::new(NUM_REGS); n];
+        let mut def_set = vec![BitSet::new(NUM_REGS); n];
+        for b in func.block_ids() {
+            let blk = func.block(b);
+            let (u, d) = (&mut use_set[b.index()], &mut def_set[b.index()]);
+            for inst in blk.insts() {
+                for s in inst.srcs() {
+                    if !d.contains(s.dense()) {
+                        u.insert(s.dense());
+                    }
+                }
+                if let Some(dst) = inst.dst_reg() {
+                    d.insert(dst.dense());
+                }
+            }
+            for s in blk.terminator().cond_regs() {
+                if !d.contains(s.dense()) {
+                    u.insert(s.dense());
+                }
+            }
+        }
+        // Backward iteration (postorder = reverse of RPO is ideal).
+        let order = DfsOrder::compute(func);
+        let mut live_in = vec![BitSet::new(NUM_REGS); n];
+        let mut live_out = vec![BitSet::new(NUM_REGS); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.rpo().iter().rev() {
+                let mut out = BitSet::new(NUM_REGS);
+                for s in func.successors(b) {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let mut inp = out.clone();
+                inp.subtract(&def_set[b.index()]);
+                inp.union_with(&use_set[b.index()]);
+                if out != live_out[b.index()] || inp != live_in[b.index()] {
+                    live_out[b.index()] = out;
+                    live_in[b.index()] = inp;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Whether `reg` (dense index) is live into `b`.
+    pub fn is_live_in(&self, b: BlockId, dense_reg: usize) -> bool {
+        self.live_in[b.index()].contains(dense_reg)
+    }
+
+    /// Whether `reg` (dense index) is live out of `b`.
+    pub fn is_live_out(&self, b: BlockId, dense_reg: usize) -> bool {
+        self.live_out[b.index()].contains(dense_reg)
+    }
+
+    /// The live-out set of `b`.
+    pub fn live_out(&self, b: BlockId) -> &BitSet {
+        &self.live_out[b.index()]
+    }
+
+    /// The live-in set of `b`.
+    pub fn live_in(&self, b: BlockId) -> &BitSet {
+        &self.live_in[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, Reg, Terminator};
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    /// b0: r1 = …; b1: use r1, def r2; b2: use r2.
+    #[test]
+    fn straight_line_liveness_chains() {
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        fb.push_inst(b0, Opcode::IMov.inst().dst(r(1)));
+        fb.push_inst(b1, Opcode::IAdd.inst().dst(r(2)).src(r(1)));
+        fb.push_inst(b2, Opcode::IMul.inst().dst(r(3)).src(r(2)));
+        fb.set_terminator(b0, Terminator::Jump { target: b1 });
+        fb.set_terminator(b1, Terminator::Jump { target: b2 });
+        fb.set_terminator(b2, Terminator::Return);
+        let f = fb.finish(b0).unwrap();
+        let l = Liveness::compute(&f);
+        assert!(l.is_live_out(b0, r(1).dense()));
+        assert!(!l.is_live_out(b1, r(1).dense()), "r1 is dead after its last use");
+        assert!(l.is_live_out(b1, r(2).dense()));
+        assert!(!l.is_live_out(b2, r(2).dense()));
+        assert!(l.is_live_in(b1, r(1).dense()));
+        assert!(!l.is_live_in(b0, r(1).dense()), "r1 defined before use in b0");
+    }
+
+    /// A loop keeps its carried register live around the back edge.
+    #[test]
+    fn loop_carried_registers_stay_live() {
+        let mut fb = FunctionBuilder::new("l");
+        let entry = fb.add_block();
+        let body = fb.add_block();
+        let exit = fb.add_block();
+        fb.push_inst(entry, Opcode::IMov.inst().dst(r(1)));
+        fb.push_inst(body, Opcode::IAdd.inst().dst(r(1)).src(r(1)));
+        fb.set_terminator(entry, Terminator::Jump { target: body });
+        fb.set_terminator(
+            body,
+            Terminator::Branch {
+                taken: body,
+                fall: exit,
+                cond: vec![r(1)],
+                behavior: BranchBehavior::exact_loop(4),
+            },
+        );
+        fb.set_terminator(exit, Terminator::Return);
+        let f = fb.finish(entry).unwrap();
+        let l = Liveness::compute(&f);
+        assert!(l.is_live_out(body, r(1).dense()), "carried around the back edge");
+        assert!(l.is_live_in(body, r(1).dense()));
+        assert!(!l.is_live_in(exit, r(1).dense()));
+    }
+
+    /// Branch condition registers are uses.
+    #[test]
+    fn terminator_conditions_are_uses() {
+        let mut fb = FunctionBuilder::new("c");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        fb.push_inst(b0, Opcode::IMov.inst().dst(r(5)));
+        fb.set_terminator(b0, Terminator::Jump { target: b1 });
+        fb.set_terminator(
+            b1,
+            Terminator::Branch {
+                taken: b1,
+                fall: b1,
+                cond: vec![r(5)],
+                behavior: BranchBehavior::Taken(0.5),
+            },
+        );
+        let f = fb.finish(b0).unwrap();
+        let l = Liveness::compute(&f);
+        assert!(l.is_live_out(b0, r(5).dense()));
+        assert!(l.is_live_in(b1, r(5).dense()));
+    }
+
+    /// A register overwritten on every path dies at the join.
+    #[test]
+    fn redefinition_on_all_paths_kills() {
+        let mut fb = FunctionBuilder::new("k");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        fb.push_inst(b0, Opcode::IMov.inst().dst(r(7)));
+        fb.push_inst(b1, Opcode::IMov.inst().dst(r(7)));
+        fb.push_inst(b2, Opcode::IMov.inst().dst(r(7)));
+        fb.push_inst(b3, Opcode::IAdd.inst().dst(r(8)).src(r(7)));
+        fb.set_terminator(
+            b0,
+            Terminator::Branch { taken: b1, fall: b2, cond: vec![], behavior: BranchBehavior::Taken(0.5) },
+        );
+        fb.set_terminator(b1, Terminator::Jump { target: b3 });
+        fb.set_terminator(b2, Terminator::Jump { target: b3 });
+        fb.set_terminator(b3, Terminator::Return);
+        let f = fb.finish(b0).unwrap();
+        let l = Liveness::compute(&f);
+        assert!(!l.is_live_out(b0, r(7).dense()), "r7 redefined on both arms");
+        assert!(l.is_live_out(b1, r(7).dense()));
+    }
+}

@@ -1,0 +1,284 @@
+//! Natural loop detection.
+//!
+//! The task-size and control-flow heuristics treat loop entries and exits
+//! as task boundaries, and the task-size heuristic unrolls loops whose
+//! static body is smaller than `LOOP_THRESH` — both need the loop
+//! structure computed here.
+
+use ms_ir::{BlockId, Function};
+
+use crate::dom::Dominators;
+
+/// A natural loop: the blocks of all back edges sharing a header.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edges; dominates the body).
+    pub header: BlockId,
+    /// All blocks in the loop, header included, in ascending id order.
+    pub body: Vec<BlockId>,
+    /// The source blocks of the loop's back edges (`latch → header`).
+    pub latches: Vec<BlockId>,
+    /// Static instruction count of the body (terminators included).
+    pub static_size: usize,
+}
+
+impl Loop {
+    /// Whether `b` is inside the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+
+    /// Blocks outside the loop targeted by edges from inside (loop exits).
+    pub fn exit_targets(&self, func: &Function) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for &b in &self.body {
+            for s in func.successors(b) {
+                if !self.contains(s) && !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// All natural loops of a function, with nesting information.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    /// `depth[b]`: number of loops containing block `b`.
+    depth: Vec<usize>,
+    /// `header_of[b]`: index into `loops` of the innermost loop containing
+    /// `b`, or `usize::MAX`.
+    innermost: Vec<usize>,
+}
+
+impl LoopForest {
+    /// Detects the natural loops of `func` using its dominator tree.
+    ///
+    /// Back edges `u → h` (with `h` dominating `u`) sharing a header are
+    /// merged into one loop, per the classic definition. Irreducible
+    /// retreating edges (target does not dominate source) are ignored —
+    /// the DFS-based terminal-edge test still stops task growth on them.
+    pub fn compute(func: &Function, dom: &Dominators) -> Self {
+        let n = func.num_blocks();
+        // Gather back edges grouped by header.
+        let mut latches_of: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            for s in func.successors(b) {
+                if dom.dominates(s, b) {
+                    latches_of[s.index()].push(b);
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for h in func.block_ids() {
+            let latches = std::mem::take(&mut latches_of[h.index()]);
+            if latches.is_empty() {
+                continue;
+            }
+            // Natural loop body: h plus all blocks reaching a latch
+            // without passing through h (backward walk from latches).
+            let mut in_body = vec![false; n];
+            in_body[h.index()] = true;
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if !in_body[l.index()] {
+                    in_body[l.index()] = true;
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in func.predecessors(b) {
+                    if !in_body[p.index()] {
+                        in_body[p.index()] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            let body: Vec<BlockId> =
+                func.block_ids().filter(|b| in_body[b.index()]).collect();
+            let static_size = body.iter().map(|&b| func.block(b).len_with_ct()).sum();
+            loops.push(Loop { header: h, body, latches, static_size });
+        }
+        // Nesting: depth[b] = number of loops containing b; innermost =
+        // smallest containing loop (ties broken by size).
+        let mut depth = vec![0usize; n];
+        let mut innermost = vec![usize::MAX; n];
+        let mut inner_size = vec![usize::MAX; n];
+        for (li, l) in loops.iter().enumerate() {
+            for &b in &l.body {
+                depth[b.index()] += 1;
+                if l.body.len() < inner_size[b.index()] {
+                    inner_size[b.index()] = l.body.len();
+                    innermost[b.index()] = li;
+                }
+            }
+        }
+        LoopForest { loops, depth, innermost }
+    }
+
+    /// All detected loops.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The loop nesting depth of `b` (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> usize {
+        self.depth[b.index()]
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost(&self, b: BlockId) -> Option<&Loop> {
+        let i = self.innermost[b.index()];
+        (i != usize::MAX).then(|| &self.loops[i])
+    }
+
+    /// Whether `b` is a loop header.
+    pub fn is_header(&self, b: BlockId) -> bool {
+        self.loops.iter().any(|l| l.header == b)
+    }
+
+    /// Whether `b` is the source of some loop back edge.
+    pub fn is_latch(&self, b: BlockId) -> bool {
+        self.loops.iter().any(|l| l.latches.contains(&b))
+    }
+
+    /// The loop headed by `b`, if any.
+    pub fn loop_of_header(&self, b: BlockId) -> Option<&Loop> {
+        self.loops.iter().find(|l| l.header == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, Reg, Terminator};
+
+    fn loop_branch(head: BlockId, exit: BlockId) -> Terminator {
+        Terminator::Branch {
+            taken: head,
+            fall: exit,
+            cond: vec![Reg::int(1)],
+            behavior: BranchBehavior::exact_loop(8),
+        }
+    }
+
+    /// 0 → 1(head) → 2(body, latch) → {1, 3}.
+    fn simple_loop() -> (Function, BlockId, BlockId, BlockId, BlockId) {
+        let mut fb = FunctionBuilder::new("l");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        fb.push_inst(b1, Opcode::IAdd.inst().dst(Reg::int(1)).src(Reg::int(1)));
+        fb.push_inst(b2, Opcode::IMul.inst().dst(Reg::int(2)).src(Reg::int(1)));
+        fb.set_terminator(b0, Terminator::Jump { target: b1 });
+        fb.set_terminator(b1, Terminator::Jump { target: b2 });
+        fb.set_terminator(b2, loop_branch(b1, b3));
+        fb.set_terminator(b3, Terminator::Return);
+        (fb.finish(b0).unwrap(), b0, b1, b2, b3)
+    }
+
+    #[test]
+    fn detects_simple_loop_body_and_latch() {
+        let (f, b0, b1, b2, b3) = simple_loop();
+        let dom = Dominators::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        assert_eq!(lf.loops().len(), 1);
+        let l = &lf.loops()[0];
+        assert_eq!(l.header, b1);
+        assert_eq!(l.body, vec![b1, b2]);
+        assert_eq!(l.latches, vec![b2]);
+        assert_eq!(l.exit_targets(&f), vec![b3]);
+        assert!(lf.is_header(b1));
+        assert!(lf.is_latch(b2));
+        assert_eq!(lf.depth(b0), 0);
+        assert_eq!(lf.depth(b2), 1);
+        // Each block contributes its instruction + control transfer.
+        assert_eq!(l.static_size, 2 + 2);
+    }
+
+    /// Nested loops: outer header 1, inner header 2.
+    #[test]
+    fn nesting_depth_reflects_containment() {
+        let mut fb = FunctionBuilder::new("n");
+        let b0 = fb.add_block();
+        let outer = fb.add_block();
+        let inner = fb.add_block();
+        let inner_latch = fb.add_block();
+        let outer_latch = fb.add_block();
+        let exit = fb.add_block();
+        fb.set_terminator(b0, Terminator::Jump { target: outer });
+        fb.set_terminator(outer, Terminator::Jump { target: inner });
+        fb.set_terminator(inner, Terminator::Jump { target: inner_latch });
+        fb.set_terminator(inner_latch, loop_branch(inner, outer_latch));
+        fb.set_terminator(outer_latch, loop_branch(outer, exit));
+        fb.set_terminator(exit, Terminator::Return);
+        let f = fb.finish(b0).unwrap();
+        let dom = Dominators::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        assert_eq!(lf.loops().len(), 2);
+        assert_eq!(lf.depth(inner), 2);
+        assert_eq!(lf.depth(outer), 1);
+        assert_eq!(lf.depth(exit), 0);
+        let inn = lf.innermost(inner_latch).unwrap();
+        assert_eq!(inn.header, inner);
+    }
+
+    /// Two latches to one header form a single loop.
+    #[test]
+    fn shared_header_merges_back_edges() {
+        let mut fb = FunctionBuilder::new("m");
+        let b0 = fb.add_block();
+        let head = fb.add_block();
+        let a = fb.add_block();
+        let b = fb.add_block();
+        let exit = fb.add_block();
+        fb.set_terminator(b0, Terminator::Jump { target: head });
+        fb.set_terminator(
+            head,
+            Terminator::Branch { taken: a, fall: b, cond: vec![], behavior: BranchBehavior::Taken(0.5) },
+        );
+        fb.set_terminator(a, loop_branch(head, exit));
+        fb.set_terminator(b, loop_branch(head, exit));
+        fb.set_terminator(exit, Terminator::Return);
+        let f = fb.finish(b0).unwrap();
+        let dom = Dominators::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        assert_eq!(lf.loops().len(), 1);
+        let l = &lf.loops()[0];
+        assert_eq!(l.latches.len(), 2);
+        assert_eq!(l.body.len(), 3);
+    }
+
+    #[test]
+    fn self_loop_is_detected() {
+        let mut fb = FunctionBuilder::new("s");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        fb.set_terminator(b0, Terminator::Jump { target: b1 });
+        fb.set_terminator(b1, loop_branch(b1, b2));
+        fb.set_terminator(b2, Terminator::Return);
+        let f = fb.finish(b0).unwrap();
+        let dom = Dominators::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        assert_eq!(lf.loops().len(), 1);
+        assert_eq!(lf.loops()[0].body, vec![b1]);
+        assert_eq!(lf.loops()[0].latches, vec![b1]);
+    }
+
+    #[test]
+    fn loop_free_function_has_no_loops() {
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        fb.set_terminator(b0, Terminator::Return);
+        let f = fb.finish(b0).unwrap();
+        let dom = Dominators::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        assert!(lf.loops().is_empty());
+        assert_eq!(lf.innermost(b0).map(|l| l.header), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! Depth-first orderings of a function's CFG.
+//!
+//! The control flow heuristic of the paper (Fig. 3) uses DFS numbers to
+//! classify edges: an edge `u → v` with `dfs_num(v) <= dfs_num(u)` is a
+//! retreating (loop back) edge and is *terminal* for task growth.
+
+use ms_ir::{BlockId, Function};
+
+/// Depth-first numbering and reverse postorder of the blocks reachable
+/// from a function's entry.
+#[derive(Debug, Clone)]
+pub struct DfsOrder {
+    /// `dfs_num[b]`: preorder number of block `b`, or `usize::MAX` if
+    /// unreachable.
+    dfs_num: Vec<usize>,
+    /// Blocks in reverse postorder (ideal for forward dataflow).
+    rpo: Vec<BlockId>,
+    /// `rpo_pos[b]`: position of `b` within `rpo`, or `usize::MAX`.
+    rpo_pos: Vec<usize>,
+}
+
+impl DfsOrder {
+    /// Computes the ordering for `func` (iterative DFS, deterministic:
+    /// successors visited in terminator order).
+    pub fn compute(func: &Function) -> Self {
+        let n = func.num_blocks();
+        let mut dfs_num = vec![usize::MAX; n];
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut next_pre = 0usize;
+        // Iterative DFS with explicit stack of (block, next successor idx).
+        let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = Vec::new();
+        let entry = func.entry();
+        dfs_num[entry.index()] = next_pre;
+        next_pre += 1;
+        stack.push((entry, func.successors(entry), 0));
+        while let Some((b, succs, i)) = stack.last_mut() {
+            if *i < succs.len() {
+                let s = succs[*i];
+                *i += 1;
+                if dfs_num[s.index()] == usize::MAX {
+                    dfs_num[s.index()] = next_pre;
+                    next_pre += 1;
+                    let ss = func.successors(s);
+                    stack.push((s, ss, 0));
+                }
+            } else {
+                post.push(*b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        DfsOrder { dfs_num, rpo, rpo_pos }
+    }
+
+    /// The DFS preorder number of `b`, or `None` if unreachable.
+    pub fn dfs_num(&self, b: BlockId) -> Option<usize> {
+        let v = self.dfs_num[b.index()];
+        (v != usize::MAX).then_some(v)
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.dfs_num[b.index()] != usize::MAX
+    }
+
+    /// Blocks in reverse postorder.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in reverse postorder, or `None` if unreachable.
+    pub fn rpo_pos(&self, b: BlockId) -> Option<usize> {
+        let v = self.rpo_pos[b.index()];
+        (v != usize::MAX).then_some(v)
+    }
+
+    /// Whether edge `u → v` is *retreating* with respect to the DFS —
+    /// `v` is an ancestor of `u` in the DFS tree (or `v == u`), i.e.
+    /// `pre(v) <= pre(u)` **and** `post(v) >= post(u)`. For reducible
+    /// CFGs these are exactly the loop back edges; forward *cross* edges
+    /// (later preorder subtree into an earlier one) are not retreating.
+    /// This is the paper's `is_a_terminal_edge` test.
+    ///
+    /// Unreachable endpoints are treated as retreating (conservative).
+    pub fn is_retreating_edge(&self, u: BlockId, v: BlockId) -> bool {
+        let (Some(pre_u), Some(pre_v)) = (self.dfs_num(u), self.dfs_num(v)) else {
+            return true;
+        };
+        // rpo position is the reverse of postorder position: an earlier
+        // rpo position means a *later* postorder finish.
+        let (Some(rpo_u), Some(rpo_v)) = (self.rpo_pos(u), self.rpo_pos(v)) else {
+            return true;
+        };
+        pre_v <= pre_u && rpo_v <= rpo_u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_ir::{BranchBehavior, FunctionBuilder, Terminator};
+
+    /// entry → loop header → body → (back to header | exit)
+    fn loopy() -> Function {
+        let mut fb = FunctionBuilder::new("loopy");
+        let entry = fb.add_block();
+        let head = fb.add_block();
+        let body = fb.add_block();
+        let exit = fb.add_block();
+        fb.set_terminator(entry, Terminator::Jump { target: head });
+        fb.set_terminator(head, Terminator::Jump { target: body });
+        fb.set_terminator(
+            body,
+            Terminator::Branch { taken: head, fall: exit, cond: vec![], behavior: BranchBehavior::exact_loop(10) },
+        );
+        fb.set_terminator(exit, Terminator::Return);
+        fb.finish(entry).unwrap()
+    }
+
+    #[test]
+    fn back_edges_are_retreating() {
+        let f = loopy();
+        let d = DfsOrder::compute(&f);
+        let (head, body, exit) = (BlockId::new(1), BlockId::new(2), BlockId::new(3));
+        assert!(d.is_retreating_edge(body, head));
+        assert!(!d.is_retreating_edge(head, body));
+        assert!(!d.is_retreating_edge(body, exit));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = loopy();
+        let d = DfsOrder::compute(&f);
+        assert_eq!(d.rpo()[0], f.entry());
+        assert_eq!(d.rpo().len(), 4);
+        for b in f.block_ids() {
+            assert!(d.is_reachable(b));
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_numbers() {
+        let mut fb = FunctionBuilder::new("u");
+        let a = fb.add_block();
+        let orphan = fb.add_block();
+        fb.set_terminator(a, Terminator::Return);
+        fb.set_terminator(orphan, Terminator::Return);
+        let f = fb.finish(a).unwrap();
+        let d = DfsOrder::compute(&f);
+        assert!(!d.is_reachable(orphan));
+        assert_eq!(d.dfs_num(orphan), None);
+        assert_eq!(d.rpo_pos(orphan), None);
+        assert!(d.is_retreating_edge(a, orphan));
+    }
+
+    /// Cross edges (a later DFS subtree jumping into an earlier sibling
+    /// subtree) are forward control flow, not loop back edges.
+    #[test]
+    fn cross_edges_are_not_retreating() {
+        // 0 → {1, 3}; 1 → 2; 3 → 2 (DFS visits 1,2 then 3; 3 → 2 is a
+        // cross edge into the finished subtree).
+        let mut fb = FunctionBuilder::new("x");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        fb.set_terminator(
+            b0,
+            Terminator::Branch { taken: b1, fall: b3, cond: vec![], behavior: BranchBehavior::Taken(0.5) },
+        );
+        fb.set_terminator(b1, Terminator::Jump { target: b2 });
+        fb.set_terminator(b2, Terminator::Return);
+        fb.set_terminator(b3, Terminator::Jump { target: b2 });
+        let f = fb.finish(b0).unwrap();
+        let d = DfsOrder::compute(&f);
+        assert!(d.dfs_num(b3).unwrap() > d.dfs_num(b2).unwrap(), "cross-edge setup");
+        assert!(!d.is_retreating_edge(b3, b2), "cross edge must not be retreating");
+        assert!(!d.is_retreating_edge(b0, b3));
+    }
+
+    #[test]
+    fn self_loop_is_retreating() {
+        let mut fb = FunctionBuilder::new("s");
+        let a = fb.add_block();
+        let b = fb.add_block();
+        fb.set_terminator(
+            a,
+            Terminator::Branch { taken: a, fall: b, cond: vec![], behavior: BranchBehavior::exact_loop(3) },
+        );
+        fb.set_terminator(b, Terminator::Return);
+        let f = fb.finish(a).unwrap();
+        let d = DfsOrder::compute(&f);
+        assert!(d.is_retreating_edge(a, a));
+    }
+}

@@ -1,0 +1,389 @@
+//! Execution frequency profiles.
+//!
+//! The paper's heuristics are profile-driven: dependences are prioritised
+//! by execution frequency and calls are included when the callee is
+//! dynamically small (§3.2, §3.4). The original work profiled SPEC95
+//! runs; here a profile can either be *estimated* statically from the
+//! branch behaviour models embedded in the IR ([`Profile::estimate`]) or
+//! constructed from measured counts ([`Profile::from_raw`], used by the
+//! trace generator's profiling mode).
+
+use ms_ir::{BlockId, BlockRef, BranchBehavior, FuncId, Function, Program, Terminator};
+
+/// Cap applied to estimated counts so recursive call chains cannot
+/// diverge.
+const COUNT_CAP: f64 = 1e15;
+
+/// Per-edge transition probabilities of a block's terminator.
+///
+/// Duplicated targets (e.g. a branch whose arms coincide) are merged.
+pub fn edge_probs(func: &Function, b: BlockId) -> Vec<(BlockId, f64)> {
+    let mut pairs: Vec<(BlockId, f64)> = Vec::new();
+    let push = |t: BlockId, p: f64, pairs: &mut Vec<(BlockId, f64)>| {
+        if let Some(e) = pairs.iter_mut().find(|(x, _)| *x == t) {
+            e.1 += p;
+        } else {
+            pairs.push((t, p));
+        }
+    };
+    match func.block(b).terminator() {
+        Terminator::Jump { target } => push(*target, 1.0, &mut pairs),
+        Terminator::Branch { taken, fall, behavior, .. } => {
+            let p = match behavior {
+                BranchBehavior::Taken(p) => *p,
+                BranchBehavior::Pattern(v) => {
+                    if v.is_empty() {
+                        0.5
+                    } else {
+                        v.iter().filter(|&&x| x).count() as f64 / v.len() as f64
+                    }
+                }
+                BranchBehavior::Loop { avg_trips, .. } => {
+                    let t = (*avg_trips).max(1) as f64;
+                    (t - 1.0) / t
+                }
+            };
+            push(*taken, p, &mut pairs);
+            push(*fall, 1.0 - p, &mut pairs);
+        }
+        Terminator::Switch { targets, weights, .. } => {
+            let total: u64 = weights.iter().map(|&w| w as u64).sum();
+            let total = total.max(1) as f64;
+            for (t, w) in targets.iter().zip(weights) {
+                push(*t, *w as f64 / total, &mut pairs);
+            }
+        }
+        Terminator::Call { ret_to, .. } => push(*ret_to, 1.0, &mut pairs),
+        Terminator::Return | Terminator::Halt => {}
+    }
+    pairs
+}
+
+/// Execution frequencies for a whole program.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// `block_freq[f][b]`: expected executions of block `b` per
+    /// invocation of function `f`.
+    block_freq: Vec<Vec<f64>>,
+    /// `func_calls[f]`: expected invocations of `f` over the program run.
+    func_calls: Vec<f64>,
+    /// `dyn_size[f]`: expected dynamic instructions per invocation of
+    /// `f`, callees included.
+    dyn_size: Vec<f64>,
+}
+
+impl Profile {
+    /// Estimates a profile from the IR's branch behaviour models.
+    ///
+    /// Per-invocation block frequencies solve `f = e + Pᵀ f` by damped
+    /// power iteration (loops with expected trip count `t` converge to
+    /// body frequency ≈ `t`); invocation counts and dynamic sizes are
+    /// then propagated over the call graph to a fixpoint, with recursion
+    /// capped.
+    pub fn estimate(program: &Program) -> Self {
+        let nf = program.num_functions();
+        let mut block_freq: Vec<Vec<f64>> = Vec::with_capacity(nf);
+        for fid in program.func_ids() {
+            block_freq.push(Self::per_invocation_freqs(program.function(fid)));
+        }
+        // Invocation counts: entry runs once; call sites contribute
+        // caller_freq × caller_invocations. Iterate for recursion.
+        let mut func_calls = vec![0.0f64; nf];
+        func_calls[program.entry().index()] = 1.0;
+        for _ in 0..64 {
+            let mut next = vec![0.0f64; nf];
+            next[program.entry().index()] = 1.0;
+            for fid in program.func_ids() {
+                let f = program.function(fid);
+                for b in f.block_ids() {
+                    if let Terminator::Call { callee, .. } = f.block(b).terminator() {
+                        let add = func_calls[fid.index()] * block_freq[fid.index()][b.index()];
+                        next[callee.index()] = (next[callee.index()] + add).min(COUNT_CAP);
+                    }
+                }
+            }
+            let done = next
+                .iter()
+                .zip(&func_calls)
+                .all(|(a, b)| (a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+            func_calls = next;
+            if done {
+                break;
+            }
+        }
+        // Dynamic size per invocation, callees included.
+        let local: Vec<f64> = program
+            .func_ids()
+            .map(|fid| {
+                let f = program.function(fid);
+                f.block_ids()
+                    .map(|b| block_freq[fid.index()][b.index()] * f.block(b).len_with_ct() as f64)
+                    .sum()
+            })
+            .collect();
+        let mut dyn_size = local.clone();
+        for _ in 0..64 {
+            let mut next = local.clone();
+            for fid in program.func_ids() {
+                let f = program.function(fid);
+                for b in f.block_ids() {
+                    if let Terminator::Call { callee, .. } = f.block(b).terminator() {
+                        next[fid.index()] = (next[fid.index()]
+                            + block_freq[fid.index()][b.index()] * dyn_size[callee.index()])
+                        .min(COUNT_CAP);
+                    }
+                }
+            }
+            let done = next
+                .iter()
+                .zip(&dyn_size)
+                .all(|(a, b)| (a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+            dyn_size = next;
+            if done {
+                break;
+            }
+        }
+        Profile { block_freq, func_calls, dyn_size }
+    }
+
+    /// Solves `f = e + Pᵀ f` exactly by Gaussian elimination with partial
+    /// pivoting (power iteration converges far too slowly for loops with
+    /// hundreds of expected trips, leaving phantom frequency gradients
+    /// along loop bodies). Near-singular systems — loops that never exit
+    /// — are regularised so frequencies stay finite.
+    fn per_invocation_freqs(func: &Function) -> Vec<f64> {
+        let n = func.num_blocks();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Build A = I - Pᵀ (dense; functions are at most a few hundred
+        // blocks) and rhs e (1 at the entry).
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        for b in func.block_ids() {
+            for (t, p) in edge_probs(func, b) {
+                a[t.index() * n + b.index()] -= p;
+            }
+        }
+        let mut rhs = vec![0.0f64; n];
+        rhs[func.entry().index()] = 1.0;
+        // Gaussian elimination with partial pivoting.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[perm[r1] * n + col]
+                        .abs()
+                        .partial_cmp(&a[perm[r2] * n + col].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty range");
+            perm.swap(col, pivot_row);
+            let p_idx = perm[col];
+            let mut pivot = a[p_idx * n + col];
+            if pivot.abs() < 1e-12 {
+                // Regularise (loop with no exit probability).
+                pivot = 1e-9;
+                a[p_idx * n + col] = pivot;
+            }
+            for &row in &perm[col + 1..] {
+                let factor = a[row * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    a[row * n + k] -= factor * a[p_idx * n + k];
+                }
+                rhs[row] -= factor * rhs[p_idx];
+            }
+        }
+        // Back substitution.
+        let mut freq = vec![0.0f64; n];
+        for col in (0..n).rev() {
+            let row = perm[col];
+            let mut v = rhs[row];
+            for k in col + 1..n {
+                v -= a[row * n + k] * freq[k];
+            }
+            freq[col] = (v / a[row * n + col]).clamp(0.0, COUNT_CAP);
+        }
+        freq
+    }
+
+    /// Builds a profile from externally measured counts (e.g. a trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector shapes are inconsistent.
+    pub fn from_raw(block_freq: Vec<Vec<f64>>, func_calls: Vec<f64>, dyn_size: Vec<f64>) -> Self {
+        assert_eq!(block_freq.len(), func_calls.len());
+        assert_eq!(block_freq.len(), dyn_size.len());
+        Profile { block_freq, func_calls, dyn_size }
+    }
+
+    /// Expected executions of `blk` per invocation of its function.
+    pub fn block_freq(&self, blk: BlockRef) -> f64 {
+        self.block_freq[blk.func.index()][blk.block.index()]
+    }
+
+    /// Expected executions of `blk` over the whole program run.
+    pub fn global_block_freq(&self, blk: BlockRef) -> f64 {
+        self.block_freq(blk) * self.func_calls[blk.func.index()]
+    }
+
+    /// Expected invocations of `f` over the program run.
+    pub fn func_invocations(&self, f: FuncId) -> f64 {
+        self.func_calls[f.index()]
+    }
+
+    /// Expected dynamic instructions per invocation of `f`, including its
+    /// callees — the quantity the task-size heuristic compares against
+    /// `CALL_THRESH`.
+    pub fn func_dynamic_size(&self, f: FuncId) -> f64 {
+        self.dyn_size[f.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_ir::{FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
+
+    fn one_block_fn(name: &str, insts: usize, term: Terminator) -> ms_ir::Function {
+        let mut fb = FunctionBuilder::new(name);
+        let b = fb.add_block();
+        for _ in 0..insts {
+            fb.push_inst(b, Opcode::IAdd.inst().dst(Reg::int(1)));
+        }
+        fb.set_terminator(b, term);
+        fb.finish(b).unwrap()
+    }
+
+    #[test]
+    fn loop_frequency_matches_trip_count() {
+        let mut fb = FunctionBuilder::new("l");
+        let entry = fb.add_block();
+        let body = fb.add_block();
+        let exit = fb.add_block();
+        fb.set_terminator(entry, Terminator::Jump { target: body });
+        fb.set_terminator(
+            body,
+            Terminator::Branch {
+                taken: body,
+                fall: exit,
+                cond: vec![],
+                behavior: BranchBehavior::exact_loop(10),
+            },
+        );
+        fb.set_terminator(exit, Terminator::Halt);
+        let mut pb = ProgramBuilder::new();
+        let m = pb.declare_function("main");
+        pb.define_function(m, fb.finish(entry).unwrap());
+        let p = pb.finish(m).unwrap();
+        let prof = Profile::estimate(&p);
+        let body_freq = prof.block_freq(BlockRef::new(m, BlockId::new(1)));
+        assert!((body_freq - 10.0).abs() < 0.1, "body freq {body_freq} ≈ 10");
+        let exit_freq = prof.block_freq(BlockRef::new(m, BlockId::new(2)));
+        assert!((exit_freq - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn branch_probabilities_split_frequency() {
+        let mut fb = FunctionBuilder::new("b");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        fb.set_terminator(
+            b0,
+            Terminator::Branch { taken: b1, fall: b2, cond: vec![], behavior: BranchBehavior::Taken(0.25) },
+        );
+        fb.set_terminator(b1, Terminator::Halt);
+        fb.set_terminator(b2, Terminator::Halt);
+        let mut pb = ProgramBuilder::new();
+        let m = pb.declare_function("main");
+        pb.define_function(m, fb.finish(b0).unwrap());
+        let p = pb.finish(m).unwrap();
+        let prof = Profile::estimate(&p);
+        assert!((prof.block_freq(BlockRef::new(m, BlockId::new(1))) - 0.25).abs() < 1e-9);
+        assert!((prof.block_freq(BlockRef::new(m, BlockId::new(2))) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn call_counts_multiply_through_the_call_graph() {
+        // main loops 5× around a call to leaf (3 instructions + return).
+        let mut pb = ProgramBuilder::new();
+        let m = pb.declare_function("main");
+        let leaf = pb.declare_function("leaf");
+        let mut fb = FunctionBuilder::new("main");
+        let entry = fb.add_block();
+        let callblk = fb.add_block();
+        let latch = fb.add_block();
+        let exit = fb.add_block();
+        fb.set_terminator(entry, Terminator::Jump { target: callblk });
+        fb.set_terminator(callblk, Terminator::Call { callee: leaf, ret_to: latch });
+        fb.set_terminator(
+            latch,
+            Terminator::Branch {
+                taken: callblk,
+                fall: exit,
+                cond: vec![],
+                behavior: BranchBehavior::exact_loop(5),
+            },
+        );
+        fb.set_terminator(exit, Terminator::Halt);
+        pb.define_function(m, fb.finish(entry).unwrap());
+        pb.define_function(leaf, one_block_fn("leaf", 3, Terminator::Return));
+        let p = pb.finish(m).unwrap();
+        let prof = Profile::estimate(&p);
+        assert!((prof.func_invocations(leaf) - 5.0).abs() < 0.1);
+        // leaf per-invocation dynamic size: 3 insts + return ct = 4.
+        assert!((prof.func_dynamic_size(leaf) - 4.0).abs() < 1e-6);
+        // main's dynamic size includes 5 leaf invocations.
+        assert!(prof.func_dynamic_size(m) > 5.0 * 4.0);
+    }
+
+    #[test]
+    fn pattern_behavior_uses_taken_fraction() {
+        let f = {
+            let mut fb = FunctionBuilder::new("p");
+            let b0 = fb.add_block();
+            let b1 = fb.add_block();
+            let b2 = fb.add_block();
+            fb.set_terminator(
+                b0,
+                Terminator::Branch {
+                    taken: b1,
+                    fall: b2,
+                    cond: vec![],
+                    behavior: BranchBehavior::Pattern(vec![true, true, false, false]),
+                },
+            );
+            fb.set_terminator(b1, Terminator::Halt);
+            fb.set_terminator(b2, Terminator::Halt);
+            fb.finish(b0).unwrap()
+        };
+        let probs = edge_probs(&f, BlockId::new(0));
+        assert_eq!(probs.len(), 2);
+        assert!((probs[0].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recursion_is_capped_not_divergent() {
+        // f calls itself with probability 1 → counts must hit the cap,
+        // not overflow or hang.
+        let mut pb = ProgramBuilder::new();
+        let m = pb.declare_function("main");
+        let mut fb = FunctionBuilder::new("main");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        fb.set_terminator(b0, Terminator::Call { callee: m, ret_to: b1 });
+        fb.set_terminator(b1, Terminator::Halt);
+        pb.define_function(m, fb.finish(b0).unwrap());
+        let p = pb.finish(m).unwrap();
+        let prof = Profile::estimate(&p);
+        assert!(prof.func_invocations(m).is_finite());
+        assert!(prof.func_dynamic_size(m).is_finite());
+    }
+}

@@ -1,0 +1,156 @@
+//! CFG reachability and codependent sets.
+//!
+//! The *codependent set* of a register dependence (§3.4 of the paper) is
+//! "the set of basic blocks in all the control flow paths from the
+//! producer to the consumer". Including a dependence inside a task means
+//! including its whole codependent set, because tasks are connected
+//! subgraphs.
+
+use ms_ir::{BlockId, Function};
+
+use crate::bitset::BitSet;
+use crate::order::DfsOrder;
+
+/// All-pairs *forward* reachability over a function's CFG — loop back
+/// (retreating) edges are not followed, so "reaches" means "on some
+/// intra-iteration control flow path". This is the right notion for
+/// codependent sets: a dependence producer→consumer is included along
+/// the forward paths between them, not by walking around the loop.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    /// `fwd[b]`: blocks forward-reachable from `b` (including `b`).
+    fwd: Vec<BitSet>,
+}
+
+impl Reachability {
+    /// Computes forward reachability for `func` (one DFS per block; CFGs
+    /// here are small enough that the quadratic cost is negligible).
+    pub fn compute(func: &Function) -> Self {
+        let order = DfsOrder::compute(func);
+        let n = func.num_blocks();
+        let mut fwd = Vec::with_capacity(n);
+        for b in func.block_ids() {
+            let mut set = BitSet::new(n);
+            let mut stack = vec![b];
+            set.insert(b.index());
+            while let Some(x) = stack.pop() {
+                for s in func.successors(x) {
+                    if order.is_retreating_edge(x, s) {
+                        continue;
+                    }
+                    if set.insert(s.index()) {
+                        stack.push(s);
+                    }
+                }
+            }
+            fwd.push(set);
+        }
+        Reachability { fwd }
+    }
+
+    /// Whether `to` is reachable from `from` (reflexively true).
+    pub fn reaches(&self, from: BlockId, to: BlockId) -> bool {
+        self.fwd[from.index()].contains(to.index())
+    }
+
+    /// The codependent set of a producer/consumer block pair: every block
+    /// on any CFG path `producer → … → consumer`, endpoints included.
+    ///
+    /// Empty when the consumer is unreachable from the producer. When
+    /// `producer == consumer` the set is the singleton block.
+    pub fn codependent_set(&self, producer: BlockId, consumer: BlockId) -> Vec<BlockId> {
+        if !self.reaches(producer, consumer) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for x in self.fwd[producer.index()].iter() {
+            let xb = BlockId::new(x as u32);
+            if self.reaches(xb, consumer) {
+                out.push(xb);
+            }
+        }
+        out
+    }
+
+    /// Whether `block` lies on some path from `producer` to `consumer`
+    /// (the paper's `codependent()` predicate from Fig. 3).
+    pub fn is_codependent(&self, block: BlockId, producer: BlockId, consumer: BlockId) -> bool {
+        self.reaches(producer, block) && self.reaches(block, consumer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_ir::{BranchBehavior, FunctionBuilder, Terminator};
+
+    fn branch(taken: BlockId, fall: BlockId) -> Terminator {
+        Terminator::Branch { taken, fall, cond: vec![], behavior: BranchBehavior::Taken(0.5) }
+    }
+
+    /// 0 → {1, 2}; 1 → 3; 2 → 3; 3 → 4 (side block 5 off 2).
+    fn diamond_tail() -> (Function, Vec<BlockId>) {
+        let mut fb = FunctionBuilder::new("d");
+        let ids: Vec<BlockId> = (0..6).map(|_| fb.add_block()).collect();
+        fb.set_terminator(ids[0], branch(ids[1], ids[2]));
+        fb.set_terminator(ids[1], Terminator::Jump { target: ids[3] });
+        fb.set_terminator(ids[2], branch(ids[3], ids[5]));
+        fb.set_terminator(ids[3], Terminator::Jump { target: ids[4] });
+        fb.set_terminator(ids[4], Terminator::Return);
+        fb.set_terminator(ids[5], Terminator::Return);
+        (fb.finish(ids[0]).unwrap(), ids)
+    }
+
+    #[test]
+    fn codependent_set_is_all_paths_between_endpoints() {
+        let (f, ids) = diamond_tail();
+        let r = Reachability::compute(&f);
+        // Paths 0→3 run through 1 and 2 but not 4 or 5.
+        let set = r.codependent_set(ids[0], ids[3]);
+        assert_eq!(set, vec![ids[0], ids[1], ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn unreachable_consumer_yields_empty_set() {
+        let (f, ids) = diamond_tail();
+        let r = Reachability::compute(&f);
+        assert!(r.codependent_set(ids[4], ids[0]).is_empty());
+        assert!(!r.reaches(ids[5], ids[4]));
+    }
+
+    #[test]
+    fn same_block_is_singleton() {
+        let (f, ids) = diamond_tail();
+        let r = Reachability::compute(&f);
+        assert_eq!(r.codependent_set(ids[3], ids[3]), vec![ids[3]]);
+    }
+
+    #[test]
+    fn is_codependent_matches_set_membership() {
+        let (f, ids) = diamond_tail();
+        let r = Reachability::compute(&f);
+        for b in f.block_ids() {
+            let inset = r.codependent_set(ids[0], ids[3]).contains(&b);
+            assert_eq!(r.is_codependent(b, ids[0], ids[3]), inset);
+        }
+    }
+
+    #[test]
+    fn back_edges_are_not_followed() {
+        let mut fb = FunctionBuilder::new("l");
+        let a = fb.add_block();
+        let b = fb.add_block();
+        let c = fb.add_block();
+        fb.set_terminator(a, Terminator::Jump { target: b });
+        fb.set_terminator(b, branch(a, c));
+        fb.set_terminator(c, Terminator::Return);
+        let f = fb.finish(a).unwrap();
+        let r = Reachability::compute(&f);
+        // Forward paths only: the back edge b → a does not count.
+        assert!(!r.reaches(b, a));
+        assert!(r.reaches(a, c));
+        assert!(r.codependent_set(b, a).is_empty());
+        // Within the iteration, a reaches b and the set is {a, b}.
+        assert_eq!(r.codependent_set(a, b), vec![a, b]);
+    }
+}

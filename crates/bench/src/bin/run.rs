@@ -1,0 +1,157 @@
+//! General-purpose experiment runner: any benchmark × heuristic ×
+//! machine from the command line.
+//!
+//! ```text
+//! cargo run -p ms-bench --release --bin run -- compress --strategy ts --pus 8
+//! cargo run -p ms-bench --release --bin run -- all --strategy cf --in-order
+//! ```
+//!
+//! Flags: `--strategy bb|cf|dd|ts` (default cf), `--pus N` (default 4),
+//! `--in-order`, `--insts N` (default 100000), `--seed N`,
+//! `--targets N` (heuristic target limit, default 4), `--no-dead-reg`,
+//! `--json` (machine-readable output), `--file path.msir` (run a program
+//! in the textual IR format instead of a named workload), `--dump-ir`
+//! (print the selected program in the textual IR format and exit).
+
+use ms_bench::{run_selection, Heuristic};
+use ms_ir::Program;
+use ms_sim::SimConfig;
+use ms_workloads::{by_name, suite};
+
+struct Args {
+    bench: String,
+    strategy: Heuristic,
+    pus: usize,
+    in_order: bool,
+    insts: usize,
+    seed: u64,
+    targets: usize,
+    dead_reg: bool,
+    json: bool,
+    file: Option<String>,
+    dump_ir: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        bench: "all".to_string(),
+        strategy: Heuristic::ControlFlow,
+        pus: 4,
+        in_order: false,
+        insts: 100_000,
+        seed: ms_bench::DEFAULT_SEED,
+        targets: 4,
+        dead_reg: true,
+        json: false,
+        file: None,
+        dump_ir: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut positional_seen = false;
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--strategy" => {
+                args.strategy = match value("--strategy")?.as_str() {
+                    "bb" => Heuristic::BasicBlock,
+                    "cf" => Heuristic::ControlFlow,
+                    "dd" => Heuristic::DataDependence,
+                    "ts" => Heuristic::TaskSize,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                }
+            }
+            "--pus" => args.pus = value("--pus")?.parse().map_err(|e| format!("--pus: {e}"))?,
+            "--in-order" => args.in_order = true,
+            "--insts" => {
+                args.insts = value("--insts")?.parse().map_err(|e| format!("--insts: {e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--targets" => {
+                args.targets = value("--targets")?.parse().map_err(|e| format!("--targets: {e}"))?
+            }
+            "--no-dead-reg" => args.dead_reg = false,
+            "--json" => args.json = true,
+            "--file" => args.file = Some(value("--file")?),
+            "--dump-ir" => args.dump_ir = true,
+            other if !other.starts_with("--") && !positional_seen => {
+                args.bench = other.to_string();
+                positional_seen = true;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_one(name: &str, program: &Program, args: &Args) {
+    let sel = args.strategy.selector(args.targets).select(program);
+    if args.dump_ir {
+        print!("{}", ms_ir::write_program(&sel.program));
+        return;
+    }
+    let mut cfg = SimConfig::with_pus(args.pus);
+    if args.in_order {
+        cfg = cfg.in_order();
+    }
+    if !args.dead_reg {
+        cfg = cfg.without_dead_reg_analysis();
+    }
+    let stats = run_selection(&sel, cfg, args.insts, args.seed);
+    if args.json {
+        println!(
+            "{{\"bench\":\"{name}\",\"strategy\":\"{}\",\"stats\":{}}}",
+            args.strategy.label(),
+            stats.to_json()
+        );
+        return;
+    }
+    println!(
+        "── {name} [{}] {} PUs {} ──",
+        args.strategy.label(),
+        args.pus,
+        if args.in_order { "in-order" } else { "out-of-order" }
+    );
+    println!("{stats}");
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: run [benchmark|all] [--strategy bb|cf|dd|ts] [--pus N] [--in-order] [--insts N] [--seed N] [--targets N] [--no-dead-reg] [--json]");
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &args.file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let program = match ms_ir::parse_program(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        run_one(path, &program, &args);
+    } else if args.bench == "all" {
+        for w in suite() {
+            run_one(w.name, &w.build(), &args);
+        }
+    } else if let Some(w) = by_name(&args.bench) {
+        run_one(w.name, &w.build(), &args);
+    } else {
+        eprintln!("unknown benchmark `{}`; available:", args.bench);
+        for w in suite() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablation C (§1): distributed vs centralized — sweep the PU count
+//! from the single centralized unit to a 16-PU ring, holding the
+//! partition fixed (data dependence tasks). The paper's motivating claim
+//! is that several narrow PUs can beat one unit of the same aggregate
+//! width *only* with good task selection.
+//!
+//! ```text
+//! cargo run -p ms-bench --release --bin sweep_pus
+//! ```
+
+use ms_sim::SimConfig;
+use ms_tasksel::TaskSelector;
+use ms_trace::TraceGenerator;
+use ms_workloads::by_name;
+
+fn main() {
+    let benches = ["m88ksim", "perl", "tomcatv", "applu", "wave5"];
+    println!("Ablation: PU count sweep (data dependence tasks, out-of-order)");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}   speedup@8",
+        "bench", "1 PU", "2 PU", "4 PU", "8 PU", "16 PU"
+    );
+    for name in benches {
+        let w = by_name(name).expect("known benchmark");
+        let program = w.build();
+        let sel = TaskSelector::data_dependence(4).select(&program);
+        let trace = TraceGenerator::new(&sel.program, ms_bench::DEFAULT_SEED).generate(60_000);
+        let mut row = format!("{name:<10}");
+        let mut ipc1 = 0.0;
+        let mut ipc8 = 0.0;
+        for pus in [1usize, 2, 4, 8, 16] {
+            let stats =
+                ms_sim::Simulator::new(SimConfig::with_pus(pus), &sel.program, &sel.partition)
+                    .run(&trace);
+            if pus == 1 {
+                ipc1 = stats.ipc();
+            }
+            if pus == 8 {
+                ipc8 = stats.ipc();
+            }
+            row.push_str(&format!(" {:>8.3}", stats.ipc()));
+        }
+        println!("{row}   {:.2}x", ipc8 / ipc1.max(1e-9));
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablation B (§3.2): sweep the task-size heuristic's `CALL_THRESH` and
+//! `LOOP_THRESH` on the two benchmarks the paper says respond to it
+//! (129.compress and 145.fpppp). The paper fixed both at 30 to keep task
+//! overhead near 6% of task execution time.
+//!
+//! ```text
+//! cargo run -p ms-bench --release --bin sweep_thresholds
+//! ```
+
+use ms_sim::SimConfig;
+use ms_tasksel::{TaskSelector, TaskSizeParams};
+use ms_trace::TraceGenerator;
+use ms_workloads::by_name;
+
+fn run(name: &str, params: Option<TaskSizeParams>) -> (f64, f64) {
+    let w = by_name(name).expect("known benchmark");
+    let program = w.build();
+    let mut selector = TaskSelector::data_dependence(4);
+    if let Some(p) = params {
+        selector = selector.with_task_size(p);
+    }
+    let sel = selector.select(&program);
+    let trace = TraceGenerator::new(&sel.program, ms_bench::DEFAULT_SEED).generate(60_000);
+    let stats =
+        ms_sim::Simulator::new(SimConfig::eight_pu(), &sel.program, &sel.partition).run(&trace);
+    (stats.ipc(), stats.avg_task_size())
+}
+
+fn main() {
+    println!("Ablation: CALL_THRESH / LOOP_THRESH sweep (dd tasks + task size, 8 PUs)");
+    println!("{:<10} {:>14} {:>14} {:>14} {:>14} {:>14}", "bench", "off", "thresh=10", "thresh=30", "thresh=60", "thresh=120");
+    for name in ["compress", "fpppp"] {
+        let mut row = format!("{name:<10}");
+        let (ipc, size) = run(name, None);
+        row.push_str(&format!(" {ipc:>7.3}/{size:>5.1}"));
+        for t in [10.0f64, 30.0, 60.0, 120.0] {
+            let (ipc, size) =
+                run(name, Some(TaskSizeParams { call_thresh: t, loop_thresh: t as usize }));
+            row.push_str(&format!(" {ipc:>7.3}/{size:>5.1}"));
+        }
+        println!("{row}");
+    }
+    println!("\n(cells are IPC / mean dynamic task size; the paper picked 30 so that the");
+    println!(" ~2-cycle task overheads stay near 6% of task execution time)");
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Table 1** of the paper: dynamic task size (#dyn inst),
+//! control transfers per task (#ct inst), task misprediction %, effective
+//! per-branch misprediction % (normalised), and window span, for basic
+//! block, control flow, and data dependence tasks on the 8-PU machine.
+//!
+//! ```text
+//! cargo run -p ms-bench --release --bin table1
+//! ```
+
+use ms_bench::{run_one, Heuristic, DEFAULT_SEED, DEFAULT_TRACE_INSTS};
+use ms_sim::{SimConfig, SimStats};
+use ms_workloads::suite;
+
+struct Row {
+    bb: SimStats,
+    cf: SimStats,
+    dd: SimStats,
+}
+
+fn main() {
+    println!("Table 1 — dynamic task size, control flow misspeculation and window span (8 PUs)");
+    println!(
+        "{:<10} | {:>6} {:>6} {:>6} | {:>5} {:>6} {:>6} {:>6} | {:>5} {:>6} {:>6} {:>6} {:>6}",
+        "", "Basic", "Block", "", "Control", "Flow", "", "", "Data", "Dep.", "", "", ""
+    );
+    println!(
+        "{:<10} | {:>6} {:>6} {:>6} | {:>5} {:>6} {:>6} {:>6} | {:>5} {:>6} {:>6} {:>6} {:>6}",
+        "bench", "#dyn", "task%", "wspan", "#ct", "#dyn", "task%", "br%", "#ct", "#dyn", "task%", "br%", "wspan"
+    );
+    for w in suite() {
+        let cfg = SimConfig::eight_pu();
+        let row = Row {
+            bb: run_one(&w, Heuristic::BasicBlock, cfg.clone(), DEFAULT_TRACE_INSTS, DEFAULT_SEED),
+            cf: run_one(&w, Heuristic::ControlFlow, cfg.clone(), DEFAULT_TRACE_INSTS, DEFAULT_SEED),
+            dd: run_one(&w, Heuristic::DataDependence, cfg, DEFAULT_TRACE_INSTS, DEFAULT_SEED),
+        };
+        let ct = |s: &SimStats| s.ct_insts as f64 / s.num_dyn_tasks.max(1) as f64;
+        println!(
+            "{:<10} | {:>6.1} {:>6.2} {:>6.0} | {:>5.1} {:>6.1} {:>6.2} {:>6.2} | {:>5.1} {:>6.1} {:>6.2} {:>6.2} {:>6.0}",
+            w.name,
+            row.bb.avg_task_size(),
+            row.bb.task_mispred_pct(),
+            row.bb.window_span_formula(),
+            ct(&row.cf),
+            row.cf.avg_task_size(),
+            row.cf.task_mispred_pct(),
+            row.cf.br_mispred_pct_normalized(),
+            ct(&row.dd),
+            row.dd.avg_task_size(),
+            row.dd.task_mispred_pct(),
+            row.dd.br_mispred_pct_normalized(),
+            row.dd.window_span_formula(),
+        );
+    }
+    println!("\n(paper shape: bb tasks < 10 insts for integer, > 20 for fp except hydro2d;");
+    println!(" heuristic tasks several times larger; window spans 45-140 int, 250-800 fp;");
+    println!(" br%-normalised misprediction well below task%)");
+}

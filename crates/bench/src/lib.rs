@@ -1,0 +1,133 @@
+//! Shared harness for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Every experiment follows the same pipeline: build a synthetic
+//! workload, select tasks with one of the paper's heuristics, generate a
+//! trace of the (possibly transformed) program, split it into dynamic
+//! tasks, and run the cycle-level simulator. [`run_one`] packages that
+//! pipeline; the binaries sweep it over benchmarks, heuristics and
+//! machine configurations:
+//!
+//! * `figure5` — IPC of bb / cf / dd (+ task-size) tasks on 4 and 8 PUs,
+//!   out-of-order and in-order (the paper's Figure 5),
+//! * `table1` — dynamic task size, control transfers per task, task and
+//!   per-branch misprediction, window span (the paper's Table 1),
+//! * `sweep_targets`, `sweep_thresholds`, `sweep_pus` — ablations over
+//!   the predictor target limit `N`, the task-size thresholds, and the
+//!   PU count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ms_sim::{SimConfig, SimStats, Simulator};
+use ms_tasksel::{TaskSelector, TaskSizeParams};
+use ms_trace::TraceGenerator;
+use ms_workloads::Workload;
+
+/// Default dynamic instruction budget per run (big enough for warmed-up
+/// predictors and caches, small enough to sweep 18 × 4 × 4 configs).
+pub const DEFAULT_TRACE_INSTS: usize = 100_000;
+
+/// Default trace seed (experiments are exactly reproducible).
+pub const DEFAULT_SEED: u64 = 0x5eed;
+
+/// The partitioning strategies of the paper's evaluation, in Figure 5's
+/// bar order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heuristic {
+    /// Basic block tasks.
+    BasicBlock,
+    /// Control flow heuristic (N = 4).
+    ControlFlow,
+    /// Data dependence heuristic on top of control flow (N = 4).
+    DataDependence,
+    /// Data dependence + task size heuristic (the paper applies this
+    /// fourth bar to 129.compress and 145.fpppp).
+    TaskSize,
+}
+
+impl Heuristic {
+    /// All four, in Figure 5 bar order.
+    pub fn all() -> [Heuristic; 4] {
+        [Heuristic::BasicBlock, Heuristic::ControlFlow, Heuristic::DataDependence, Heuristic::TaskSize]
+    }
+
+    /// Short label ("bb", "cf", "dd", "ts").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Heuristic::BasicBlock => "bb",
+            Heuristic::ControlFlow => "cf",
+            Heuristic::DataDependence => "dd",
+            Heuristic::TaskSize => "ts",
+        }
+    }
+
+    /// The configured selector (target limit `n`).
+    pub fn selector(&self, n: usize) -> TaskSelector {
+        match self {
+            Heuristic::BasicBlock => TaskSelector::basic_block(),
+            Heuristic::ControlFlow => TaskSelector::control_flow(n),
+            Heuristic::DataDependence => TaskSelector::data_dependence(n),
+            Heuristic::TaskSize => {
+                TaskSelector::data_dependence(n).with_task_size(TaskSizeParams::default())
+            }
+        }
+    }
+}
+
+/// Runs one (workload, heuristic, machine) experiment.
+pub fn run_one(
+    workload: &Workload,
+    heuristic: Heuristic,
+    config: SimConfig,
+    trace_insts: usize,
+    seed: u64,
+) -> SimStats {
+    let program = workload.build();
+    let sel = heuristic.selector(4).select(&program);
+    run_selection(&sel, config, trace_insts, seed)
+}
+
+/// Runs one experiment for an already-made selection.
+pub fn run_selection(
+    sel: &ms_tasksel::Selection,
+    config: SimConfig,
+    trace_insts: usize,
+    seed: u64,
+) -> SimStats {
+    let trace = TraceGenerator::new(&sel.program, seed).generate(trace_insts);
+    Simulator::new(config, &sel.program, &sel.partition).run(&trace)
+}
+
+/// Formats a ratio as a signed percentage ("+23%").
+pub fn pct_change(base: f64, new: f64) -> String {
+    if base <= 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.0}%", 100.0 * (new - base) / base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristic_labels_are_distinct() {
+        let labels: Vec<&str> = Heuristic::all().iter().map(|h| h.label()).collect();
+        assert_eq!(labels, vec!["bb", "cf", "dd", "ts"]);
+    }
+
+    #[test]
+    fn pct_change_formats() {
+        assert_eq!(pct_change(2.0, 2.5), "+25%");
+        assert_eq!(pct_change(0.0, 2.5), "n/a");
+    }
+
+    #[test]
+    fn run_one_produces_stats() {
+        let w = ms_workloads::by_name("compress").unwrap();
+        let s = run_one(&w, Heuristic::ControlFlow, SimConfig::four_pu(), 5_000, 1);
+        assert!(s.ipc() > 0.0);
+        assert!(s.total_insts >= 5_000);
+    }
+}

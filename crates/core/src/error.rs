@@ -1,0 +1,104 @@
+//! Partition invariant violations.
+
+use std::error::Error;
+use std::fmt;
+
+use ms_ir::{BlockId, FuncId};
+
+use crate::task::TaskId;
+
+/// A violated Multiscalar task invariant, reported by
+/// [`TaskPartition::validate`](crate::TaskPartition::validate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// A reachable block belongs to no task.
+    Uncovered {
+        /// Function containing the block.
+        func: FuncId,
+        /// The uncovered block.
+        block: BlockId,
+    },
+    /// A task block is unreachable from the task entry within the task.
+    Disconnected {
+        /// Function containing the task.
+        func: FuncId,
+        /// The disconnected task.
+        task: TaskId,
+        /// The unreachable block.
+        block: BlockId,
+    },
+    /// An edge from outside a task targets a non-entry block.
+    SideEntry {
+        /// Function containing the task.
+        func: FuncId,
+        /// The violated task.
+        task: TaskId,
+        /// The non-entry block targeted from outside.
+        block: BlockId,
+        /// The offending predecessor block.
+        from: BlockId,
+    },
+    /// A function's entry block is not a task entry.
+    EntryNotTaskEntry {
+        /// The function.
+        func: FuncId,
+        /// Its entry block.
+        block: BlockId,
+    },
+    /// The return block of a non-included call is not a task entry.
+    ReturnNotTaskEntry {
+        /// Function containing the call.
+        func: FuncId,
+        /// The return block that should start a task.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Uncovered { func, block } => {
+                write!(f, "reachable block {func}:{block} belongs to no task")
+            }
+            PartitionError::Disconnected { func, task, block } => {
+                write!(f, "block {func}:{block} of task {task} is unreachable from its entry")
+            }
+            PartitionError::SideEntry { func, task, block, from } => {
+                write!(f, "edge {func}:{from} -> {block} enters task {task} at a non-entry block")
+            }
+            PartitionError::EntryNotTaskEntry { func, block } => {
+                write!(f, "function entry {func}:{block} is not a task entry")
+            }
+            PartitionError::ReturnNotTaskEntry { func, block } => {
+                write!(f, "call return block {func}:{block} is not a task entry")
+            }
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let cases = [
+            PartitionError::Uncovered { func: FuncId::new(0), block: BlockId::new(1) },
+            PartitionError::Disconnected { func: FuncId::new(0), task: TaskId::new(2), block: BlockId::new(1) },
+            PartitionError::SideEntry {
+                func: FuncId::new(0),
+                task: TaskId::new(2),
+                block: BlockId::new(1),
+                from: BlockId::new(3),
+            },
+            PartitionError::EntryNotTaskEntry { func: FuncId::new(0), block: BlockId::new(0) },
+            PartitionError::ReturnNotTaskEntry { func: FuncId::new(0), block: BlockId::new(9) },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Multiscalar task selection — the primary contribution of
+//! *Task Selection for a Multiscalar Processor* (Vijaykumar & Sohi,
+//! MICRO-31, 1998).
+//!
+//! A Multiscalar processor executes a sequential program as a sequence of
+//! speculatively-dispatched **tasks**: connected, single-entry subgraphs
+//! of the control flow graph. How the compiler draws the task boundaries
+//! determines control-flow speculation accuracy, inter-task data
+//! communication, memory dependence misspeculation, load imbalance and
+//! task overhead. This crate implements the paper's heuristics:
+//!
+//! * [`TaskSelector::basic_block`] — one task per basic block (baseline),
+//! * [`TaskSelector::control_flow`] — greedy multi-block growth that
+//!   exploits reconvergence to keep at most `N` successor targets,
+//!   terminating at loop boundaries, calls and returns,
+//! * [`TaskSelector::data_dependence`] — the same growth steered to
+//!   include profiled register def-use dependences (and their codependent
+//!   sets) within tasks,
+//! * [`TaskSelector::with_task_size`] — the task-size preprocessing:
+//!   unroll loops smaller than `LOOP_THRESH` and include calls to
+//!   functions dynamically smaller than `CALL_THRESH`.
+//!
+//! The result is a [`TaskPartition`] whose invariants (exact cover,
+//! connectivity, single entry) are machine-checked by
+//! [`TaskPartition::validate`], plus the (possibly loop-unrolled) program
+//! it refers to.
+//!
+//! # Example
+//!
+//! ```
+//! use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
+//! use ms_tasksel::{PartitionStats, TaskSelector};
+//! use ms_analysis::Profile;
+//!
+//! // A loop whose body is several blocks.
+//! let mut fb = FunctionBuilder::new("main");
+//! let entry = fb.add_block();
+//! let head = fb.add_block();
+//! let latch = fb.add_block();
+//! let exit = fb.add_block();
+//! fb.push_inst(head, Opcode::IAdd.inst().dst(Reg::int(1)).src(Reg::int(1)));
+//! fb.set_terminator(entry, Terminator::Jump { target: head });
+//! fb.set_terminator(head, Terminator::Jump { target: latch });
+//! fb.set_terminator(latch, Terminator::Branch {
+//!     taken: head, fall: exit, cond: vec![Reg::int(1)],
+//!     behavior: BranchBehavior::exact_loop(50),
+//! });
+//! fb.set_terminator(exit, Terminator::Halt);
+//! let mut pb = ProgramBuilder::new();
+//! let m = pb.declare_function("main");
+//! pb.define_function(m, fb.finish(entry)?);
+//! let program = pb.finish(m)?;
+//!
+//! let sel = TaskSelector::control_flow(4).select(&program);
+//! sel.partition.validate(&sel.program).expect("invariants hold");
+//! let profile = Profile::estimate(&sel.program);
+//! let stats = PartitionStats::compute(&sel.program, &sel.partition, &profile, 4);
+//! assert!(stats.avg_static_size > 1.0); // bigger than basic blocks
+//! # Ok::<(), ms_ir::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dot;
+mod error;
+mod grow;
+mod predicate;
+mod selector;
+mod stats;
+mod task;
+mod transform;
+
+pub use dot::to_dot;
+pub use error::PartitionError;
+pub use grow::GrowCtx;
+pub use predicate::if_convert;
+pub use selector::{Selection, Strategy, TaskSelector};
+pub use stats::PartitionStats;
+pub use task::{FuncPartition, Task, TaskId, TaskPartition, TaskTarget};
+pub use transform::{apply_task_size, unroll_small_loops, TaskSizeParams};

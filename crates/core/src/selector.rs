@@ -1,0 +1,657 @@
+//! The task selector: the paper's three partitioning strategies plus the
+//! optional task-size preprocessing.
+
+use std::collections::BTreeSet;
+
+use ms_analysis::{DefUseChains, Profile, Reachability};
+use ms_ir::{BlockId, BlockRef, FuncId, Function, Program, Terminator};
+
+use crate::grow::GrowCtx;
+use crate::task::{FuncPartition, Task, TaskPartition, TaskTarget};
+use crate::transform::{apply_task_size, TaskSizeParams};
+
+/// Which heuristic family partitions the CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// One task per basic block (the paper's baseline).
+    BasicBlock,
+    /// Multi-block tasks grown greedily, exploiting reconvergence to stay
+    /// within the hardware target limit (§3.3).
+    ControlFlow,
+    /// Control-flow growth steered to include profiled register
+    /// dependences and their codependent sets (§3.4). Applied *on top of*
+    /// the control flow heuristic, as in the paper's evaluation.
+    DataDependence,
+}
+
+impl Strategy {
+    /// Short label used in reports ("bb", "cf", "dd").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::BasicBlock => "bb",
+            Strategy::ControlFlow => "cf",
+            Strategy::DataDependence => "dd",
+        }
+    }
+}
+
+/// The result of task selection: the (possibly transformed) program and
+/// its partition. The transformed program must be the one traced and
+/// simulated, since loop unrolling changes the CFG.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The program the partition refers to (unrolled if the task-size
+    /// heuristic ran; otherwise a clone of the input).
+    pub program: Program,
+    /// The task partition.
+    pub partition: TaskPartition,
+}
+
+/// Configures and runs task selection.
+///
+/// # Example
+///
+/// ```
+/// use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
+/// use ms_tasksel::TaskSelector;
+///
+/// let mut fb = FunctionBuilder::new("main");
+/// let entry = fb.add_block();
+/// let body = fb.add_block();
+/// let exit = fb.add_block();
+/// fb.push_inst(body, Opcode::IAdd.inst().dst(Reg::int(1)).src(Reg::int(1)));
+/// fb.set_terminator(entry, Terminator::Jump { target: body });
+/// fb.set_terminator(body, Terminator::Branch {
+///     taken: body, fall: exit, cond: vec![Reg::int(1)],
+///     behavior: BranchBehavior::exact_loop(8),
+/// });
+/// fb.set_terminator(exit, Terminator::Halt);
+/// let mut pb = ProgramBuilder::new();
+/// let m = pb.declare_function("main");
+/// pb.define_function(m, fb.finish(entry)?);
+/// let program = pb.finish(m)?;
+///
+/// let sel = TaskSelector::control_flow(4).select(&program);
+/// assert!(sel.partition.validate(&sel.program).is_ok());
+/// # Ok::<(), ms_ir::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskSelector {
+    strategy: Strategy,
+    max_targets: usize,
+    task_size: Option<TaskSizeParams>,
+    explore_limit: usize,
+}
+
+impl TaskSelector {
+    /// Basic block tasks (the paper's baseline).
+    pub fn basic_block() -> Self {
+        TaskSelector {
+            strategy: Strategy::BasicBlock,
+            max_targets: 4,
+            task_size: None,
+            explore_limit: 64,
+        }
+    }
+
+    /// Control flow tasks with at most `max_targets` successor targets
+    /// (the paper's hardware limit `N`, 4 in its evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_targets == 0`.
+    pub fn control_flow(max_targets: usize) -> Self {
+        assert!(max_targets > 0, "at least one task target is required");
+        TaskSelector {
+            strategy: Strategy::ControlFlow,
+            max_targets,
+            task_size: None,
+            explore_limit: 64,
+        }
+    }
+
+    /// Data dependence tasks (control flow rules plus dependence-steered
+    /// growth) with at most `max_targets` successor targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_targets == 0`.
+    pub fn data_dependence(max_targets: usize) -> Self {
+        assert!(max_targets > 0, "at least one task target is required");
+        TaskSelector {
+            strategy: Strategy::DataDependence,
+            max_targets,
+            task_size: None,
+            explore_limit: 64,
+        }
+    }
+
+    /// Enables the task-size heuristic (loop unrolling + call inclusion)
+    /// as preprocessing.
+    #[must_use]
+    pub fn with_task_size(mut self, params: TaskSizeParams) -> Self {
+        self.task_size = Some(params);
+        self
+    }
+
+    /// Overrides the safety cap on blocks explored per task growth
+    /// (default 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0`.
+    #[must_use]
+    pub fn with_explore_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "explore limit must be positive");
+        self.explore_limit = limit;
+        self
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The configured target limit `N`.
+    pub fn max_targets(&self) -> usize {
+        self.max_targets
+    }
+
+    /// Partitions `program` into tasks.
+    ///
+    /// The returned [`Selection`] carries the program the partition is
+    /// valid for — identical to the input unless the task-size heuristic
+    /// transformed it.
+    pub fn select(&self, program: &Program) -> Selection {
+        let (program, included_calls) = match &self.task_size {
+            Some(p) => apply_task_size(program, p),
+            None => (program.clone(), BTreeSet::new()),
+        };
+        let profile = Profile::estimate(&program);
+        let mut funcs = Vec::with_capacity(program.num_functions());
+        for fid in program.func_ids() {
+            let func = program.function(fid);
+            let included: BTreeSet<BlockId> = included_calls
+                .iter()
+                .filter(|(f, _)| *f == fid)
+                .map(|(_, b)| *b)
+                .collect();
+            let tasks = self.partition_function(fid, func, included, &profile);
+            funcs.push(FuncPartition::new(fid, tasks, func.num_blocks()));
+        }
+        let label = match (&self.strategy, &self.task_size) {
+            (s, None) => s.label().to_string(),
+            (s, Some(_)) => format!("{}+ts", s.label()),
+        };
+        let partition = TaskPartition::new(funcs, included_calls, label);
+        debug_assert_eq!(partition.validate(&program).map_err(|e| e.to_string()), Ok(()));
+        Selection { program, partition }
+    }
+
+    fn partition_function(
+        &self,
+        fid: FuncId,
+        func: &Function,
+        included: BTreeSet<BlockId>,
+        profile: &Profile,
+    ) -> Vec<Task> {
+        let ctx = GrowCtx::new(func, included, self.max_targets, self.explore_limit);
+        let mut state = PartitionState::new(func.num_blocks());
+
+        if self.strategy == Strategy::DataDependence {
+            self.dependence_phase(fid, func, &ctx, profile, &mut state);
+        }
+        self.cover_phase(func, &ctx, &mut state);
+        repair_single_entry(func, &ctx, &mut state);
+        state.tasks
+    }
+
+    /// The paper's `task_selection()` dependence loop: for each register
+    /// dependence in descending profiled frequency, expand the producer's
+    /// task (or start one at the producer) along the codependent set.
+    fn dependence_phase(
+        &self,
+        fid: FuncId,
+        func: &Function,
+        ctx: &GrowCtx<'_>,
+        profile: &Profile,
+        state: &mut PartitionState,
+    ) {
+        let du = DefUseChains::compute(func);
+        let reach = Reachability::compute(func);
+        let mut deps = du.block_deps();
+        // Quantise frequencies before comparing so that floating point
+        // noise from the profile estimator cannot reorder effectively
+        // tied dependences; ties then break deterministically by ids,
+        // which puts dominating producers (lower block ids in builder
+        // order) first.
+        let qfreq = |b: BlockId| {
+            (profile.block_freq(BlockRef::new(fid, b)) * 1024.0).round() as u64
+        };
+        deps.sort_by(|a, b| qfreq(b.1).cmp(&qfreq(a.1)).then_with(|| a.cmp(b)));
+        // The heuristic prioritises by profiled frequency and only acts
+        // on the dependences worth acting on: chasing every cold
+        // dependence would shred the control-flow tasks that already
+        // include most chains (the paper notes the heuristic "has fewer
+        // opportunities" beyond the control flow heuristic, §4.3.1).
+        let cutoff = deps
+            .first()
+            .map(|d| profile.block_freq(BlockRef::new(fid, d.1)) * 0.25)
+            .unwrap_or(0.0);
+        deps.retain(|d| profile.block_freq(BlockRef::new(fid, d.1)) >= cutoff);
+        for (producer, consumer, _reg) in deps {
+            #[cfg(feature = "selector-debug")]
+            eprintln!("dep {producer} -> {consumer} ({_reg}) owner={:?}", state.owner(producer));
+            // The function entry must stay a task entry: dependences
+            // whose codependent set would swallow it are grown from it
+            // during cover instead.
+            match state.owner(producer) {
+                Some(ti) => {
+                    let task = &state.tasks[ti];
+                    if task.contains(consumer) {
+                        continue;
+                    }
+                    let entry = task.entry();
+                    let initial = task.blocks().clone();
+                    let taken = |b: BlockId| state.owned_by_other(b, ti);
+                    let steer =
+                        |b: BlockId| reach.is_codependent(b, producer, consumer) && b != func.entry();
+                    let grown = ctx.grow(entry, &initial, &taken, Some(&steer));
+                    #[cfg(feature = "selector-debug")]
+                    eprintln!("  expanded task {ti} to {:?}", grown.blocks());
+                    state.replace(ti, grown);
+                }
+                None => {
+                    if producer == func.entry() {
+                        continue;
+                    }
+                    let taken = |b: BlockId| state.owner(b).is_some();
+                    let steer =
+                        |b: BlockId| reach.is_codependent(b, producer, consumer) && b != func.entry();
+                    let grown = ctx.grow(producer, &BTreeSet::new(), &taken, Some(&steer));
+                    #[cfg(feature = "selector-debug")]
+                    eprintln!("  new task at {producer}: {:?}", grown.blocks());
+                    state.push(grown);
+                }
+            }
+        }
+    }
+
+    /// Covers every remaining reachable block by growing tasks from the
+    /// function entry and from each exposed target.
+    fn cover_phase(&self, func: &Function, ctx: &GrowCtx<'_>, state: &mut PartitionState) {
+        let mut seeds: BTreeSet<BlockId> = BTreeSet::from([func.entry()]);
+        for t in &state.tasks {
+            Self::collect_seeds(func, ctx, t, &mut seeds);
+        }
+        // The function entry must be a task *entry*: if a dependence task
+        // absorbed it as an interior block, repair will split it out; as
+        // a precaution the dependence phase never includes it.
+        while let Some(&s) = seeds.iter().next() {
+            seeds.remove(&s);
+            if state.owner(s).is_some() {
+                continue;
+            }
+            let task = match self.strategy {
+                Strategy::BasicBlock => Task::singleton(s),
+                _ => {
+                    let taken = |b: BlockId| state.owner(b).is_some();
+                    ctx.grow(s, &BTreeSet::new(), &taken, None)
+                }
+            };
+            Self::collect_seeds(func, ctx, &task, &mut seeds);
+            state.push(task);
+        }
+        // Safety net: any reachable block not yet covered becomes a
+        // singleton task (should not trigger; kept for robustness).
+        for b in func.reachable_blocks() {
+            if state.owner(b).is_none() {
+                state.push(Task::singleton(b));
+            }
+        }
+    }
+
+    /// Seeds from a finished task: every exposed internal target plus the
+    /// return blocks of its non-included calls.
+    fn collect_seeds(
+        func: &Function,
+        ctx: &GrowCtx<'_>,
+        task: &Task,
+        seeds: &mut BTreeSet<BlockId>,
+    ) {
+        for target in task.targets(func, ctx.included_calls()) {
+            if let TaskTarget::Block(b) = target {
+                seeds.insert(b);
+            }
+        }
+        for &b in task.blocks() {
+            if let Terminator::Call { ret_to, .. } = func.block(b).terminator() {
+                if !ctx.included_calls().contains(&b) {
+                    seeds.insert(*ret_to);
+                }
+            }
+        }
+    }
+}
+
+/// Mutable bookkeeping during one function's partitioning.
+#[derive(Debug)]
+struct PartitionState {
+    tasks: Vec<Task>,
+    owner: Vec<Option<usize>>,
+}
+
+impl PartitionState {
+    fn new(num_blocks: usize) -> Self {
+        PartitionState { tasks: Vec::new(), owner: vec![None; num_blocks] }
+    }
+
+    fn owner(&self, b: BlockId) -> Option<usize> {
+        self.owner[b.index()]
+    }
+
+    fn owned_by_other(&self, b: BlockId, ti: usize) -> bool {
+        matches!(self.owner[b.index()], Some(o) if o != ti)
+    }
+
+    fn push(&mut self, task: Task) {
+        let ti = self.tasks.len();
+        for &b in task.blocks() {
+            debug_assert!(self.owner[b.index()].is_none());
+            self.owner[b.index()] = Some(ti);
+        }
+        self.tasks.push(task);
+    }
+
+    /// Replaces task `ti` with a grown/shrunk version, fixing ownership.
+    fn replace(&mut self, ti: usize, task: Task) {
+        for &b in self.tasks[ti].blocks() {
+            self.owner[b.index()] = None;
+        }
+        for &b in task.blocks() {
+            debug_assert!(self.owner[b.index()].is_none());
+            self.owner[b.index()] = Some(ti);
+        }
+        self.tasks[ti] = task;
+    }
+}
+
+/// Successors of `b` *within* a task, honouring included calls (the same
+/// walk `TaskPartition::validate` uses for connectivity).
+fn intra_task_successors(
+    func: &Function,
+    b: BlockId,
+    included: &BTreeSet<BlockId>,
+) -> Vec<BlockId> {
+    match func.block(b).terminator() {
+        Terminator::Call { ret_to, .. } if included.contains(&b) => vec![*ret_to],
+        Terminator::Call { .. } => Vec::new(),
+        _ => func.successors(b),
+    }
+}
+
+/// Restores the single-entry invariant: while some task has a non-entry
+/// block targeted from outside, split that block (and everything in the
+/// task only reachable through it) into fresh tasks grown within the
+/// removed set. Each split strictly shrinks an existing task, so this
+/// terminates.
+fn repair_single_entry(func: &Function, ctx: &GrowCtx<'_>, state: &mut PartitionState) {
+    while let Some((ti, split_at)) = find_side_entry(func, state) {
+        let task = &state.tasks[ti];
+        let entry = task.entry();
+        // Blocks still reachable from the entry without passing split_at.
+        let mut keep: BTreeSet<BlockId> = BTreeSet::from([entry]);
+        let mut stack = vec![entry];
+        while let Some(x) = stack.pop() {
+            for s in intra_task_successors(func, x, ctx.included_calls()) {
+                if s != split_at && task.contains(s) && keep.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        let removed: BTreeSet<BlockId> =
+            task.blocks().iter().copied().filter(|b| !keep.contains(b)).collect();
+        debug_assert!(removed.contains(&split_at));
+        state.replace(ti, Task::new(entry, keep));
+        // Re-cover the removed blocks with fresh tasks confined to the
+        // removed set (split_at first, so it becomes an entry).
+        let mut order: Vec<BlockId> = vec![split_at];
+        order.extend(removed.iter().copied().filter(|&b| b != split_at));
+        for seed in order {
+            if state.owner(seed).is_some() {
+                continue;
+            }
+            let taken = |b: BlockId| state.owner(b).is_some();
+            let steer = |b: BlockId| removed.contains(&b);
+            let grown = ctx.grow(seed, &BTreeSet::new(), &taken, Some(&steer));
+            state.push(grown);
+        }
+    }
+}
+
+/// Finds a `(task index, block)` violating single entry, if any.
+fn find_side_entry(func: &Function, state: &PartitionState) -> Option<(usize, BlockId)> {
+    for (ti, task) in state.tasks.iter().enumerate() {
+        for &b in task.blocks() {
+            if b == task.entry() {
+                continue;
+            }
+            for &p in func.predecessors(b) {
+                if !task.contains(p) {
+                    return Some((ti, b));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg};
+
+    fn build(fb: FunctionBuilder, entry: BlockId) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.declare_function("main");
+        pb.define_function(m, fb.finish(entry).unwrap());
+        pb.finish(m).unwrap()
+    }
+
+    fn branch(taken: BlockId, fall: BlockId) -> Terminator {
+        Terminator::Branch { taken, fall, cond: vec![], behavior: BranchBehavior::Taken(0.5) }
+    }
+
+    /// Basic block selection: one task per reachable block.
+    #[test]
+    fn basic_block_tasks_are_singletons() {
+        let mut fb = FunctionBuilder::new("main");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        fb.set_terminator(b0, branch(b1, b2));
+        fb.set_terminator(b1, Terminator::Halt);
+        fb.set_terminator(b2, Terminator::Halt);
+        let p = build(fb, b0);
+        let sel = TaskSelector::basic_block().select(&p);
+        assert!(sel.partition.validate(&sel.program).is_ok());
+        assert_eq!(sel.partition.num_tasks(), 3);
+        for fp in sel.partition.funcs() {
+            for t in fp.tasks() {
+                assert_eq!(t.len(), 1);
+            }
+        }
+    }
+
+    /// Control flow selection merges a diamond into one task.
+    #[test]
+    fn control_flow_merges_reconverging_paths() {
+        let mut fb = FunctionBuilder::new("main");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        fb.set_terminator(b0, branch(b1, b2));
+        fb.set_terminator(b1, Terminator::Jump { target: b3 });
+        fb.set_terminator(b2, Terminator::Jump { target: b3 });
+        fb.set_terminator(b3, Terminator::Halt);
+        let p = build(fb, b0);
+        let sel = TaskSelector::control_flow(4).select(&p);
+        assert!(sel.partition.validate(&sel.program).is_ok());
+        assert_eq!(sel.partition.num_tasks(), 1);
+    }
+
+    /// The paper's Figure 4 scenario: a dependence from a producer block
+    /// to a consumer block several blocks downstream. The data dependence
+    /// heuristic includes the codependent set in one task.
+    #[test]
+    fn figure4_dependence_is_included_within_a_task() {
+        let mut fb = FunctionBuilder::new("main");
+        // producer → {a, b} → join(consumer) → exit; producer defines r9,
+        // join uses it.
+        let producer = fb.add_block();
+        let a = fb.add_block();
+        let b = fb.add_block();
+        let join = fb.add_block();
+        let exit = fb.add_block();
+        fb.push_inst(producer, Opcode::IMov.inst().dst(Reg::int(9)));
+        fb.push_inst(join, Opcode::IAdd.inst().dst(Reg::int(10)).src(Reg::int(9)));
+        fb.set_terminator(producer, branch(a, b));
+        fb.set_terminator(a, Terminator::Jump { target: join });
+        fb.set_terminator(b, Terminator::Jump { target: join });
+        fb.set_terminator(join, Terminator::Jump { target: exit });
+        fb.set_terminator(exit, Terminator::Halt);
+        let p = build(fb, producer);
+        let sel = TaskSelector::data_dependence(4).select(&p);
+        assert!(sel.partition.validate(&sel.program).is_ok());
+        let fp = &sel.partition.funcs()[0];
+        let t_prod = fp.task_of(producer).unwrap();
+        let t_join = fp.task_of(join).unwrap();
+        assert_eq!(t_prod, t_join, "dependence split across tasks");
+    }
+
+    /// Selection respects the target limit on a wide switch: the switch
+    /// block cannot merge with anything that would exceed N.
+    #[test]
+    fn switch_with_many_targets_bounds_tasks() {
+        let mut fb = FunctionBuilder::new("main");
+        let s = fb.add_block();
+        let arms: Vec<BlockId> = (0..6).map(|_| fb.add_block()).collect();
+        let join = fb.add_block();
+        fb.set_terminator(
+            s,
+            Terminator::Switch { targets: arms.clone(), weights: vec![1; 6], cond: vec![] },
+        );
+        for &a in &arms {
+            fb.set_terminator(a, Terminator::Jump { target: join });
+        }
+        fb.set_terminator(join, Terminator::Halt);
+        let p = build(fb, s);
+        let sel = TaskSelector::control_flow(4).select(&p);
+        assert!(sel.partition.validate(&sel.program).is_ok());
+        // Everything still covered despite the infeasible fork.
+        let fp = &sel.partition.funcs()[0];
+        for blk in p.function(p.entry()).reachable_blocks() {
+            assert!(fp.task_of(blk).is_some());
+        }
+    }
+
+    /// Loops: the loop body becomes one task targeting itself.
+    #[test]
+    fn loop_bodies_become_self_targeting_tasks() {
+        let mut fb = FunctionBuilder::new("main");
+        let entry = fb.add_block();
+        let head = fb.add_block();
+        let latch = fb.add_block();
+        let exit = fb.add_block();
+        fb.push_inst(head, Opcode::IAdd.inst().dst(Reg::int(1)).src(Reg::int(1)));
+        fb.set_terminator(entry, Terminator::Jump { target: head });
+        fb.set_terminator(head, Terminator::Jump { target: latch });
+        fb.set_terminator(
+            latch,
+            Terminator::Branch {
+                taken: head,
+                fall: exit,
+                cond: vec![Reg::int(1)],
+                behavior: BranchBehavior::exact_loop(10),
+            },
+        );
+        fb.set_terminator(exit, Terminator::Halt);
+        let p = build(fb, entry);
+        let sel = TaskSelector::control_flow(4).select(&p);
+        assert!(sel.partition.validate(&sel.program).is_ok());
+        let fp = &sel.partition.funcs()[0];
+        let t = fp.task_of(head).unwrap();
+        assert_eq!(fp.task_of(latch), Some(t));
+        let targets = sel.partition.targets(&sel.program, p.entry(), t);
+        assert!(targets.contains(&TaskTarget::Block(head)));
+    }
+
+    /// Multi-function program with calls: everything validates and call
+    /// return blocks are task entries.
+    #[test]
+    fn calls_split_tasks_and_validate() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.declare_function("main");
+        let leaf = pb.declare_function("leaf");
+        let mut fb = FunctionBuilder::new("main");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        fb.push_inst(b0, Opcode::IMov.inst().dst(Reg::int(1)));
+        fb.set_terminator(b0, Terminator::Call { callee: leaf, ret_to: b1 });
+        fb.set_terminator(b1, Terminator::Jump { target: b2 });
+        fb.set_terminator(b2, Terminator::Halt);
+        pb.define_function(m, fb.finish(b0).unwrap());
+        let mut fb = FunctionBuilder::new("leaf");
+        let l0 = fb.add_block();
+        for _ in 0..40 {
+            fb.push_inst(l0, Opcode::IAdd.inst().dst(Reg::int(2)).src(Reg::int(1)));
+        }
+        fb.set_terminator(l0, Terminator::Return);
+        pb.define_function(leaf, fb.finish(l0).unwrap());
+        let p = pb.finish(m).unwrap();
+        for sel in [
+            TaskSelector::basic_block().select(&p),
+            TaskSelector::control_flow(4).select(&p),
+            TaskSelector::data_dependence(4).select(&p),
+            TaskSelector::control_flow(4).with_task_size(TaskSizeParams::default()).select(&p),
+        ] {
+            assert!(sel.partition.validate(&sel.program).is_ok(), "{}", sel.partition.strategy());
+        }
+    }
+
+    /// Task size preprocessing transforms the program: the selection's
+    /// program differs from the input (the small loop was unrolled).
+    #[test]
+    fn task_size_returns_the_transformed_program() {
+        let mut fb = FunctionBuilder::new("main");
+        let entry = fb.add_block();
+        let body = fb.add_block();
+        let exit = fb.add_block();
+        fb.push_inst(body, Opcode::IAdd.inst().dst(Reg::int(1)).src(Reg::int(1)));
+        fb.set_terminator(entry, Terminator::Jump { target: body });
+        fb.set_terminator(
+            body,
+            Terminator::Branch {
+                taken: body,
+                fall: exit,
+                cond: vec![Reg::int(1)],
+                behavior: BranchBehavior::exact_loop(30),
+            },
+        );
+        fb.set_terminator(exit, Terminator::Halt);
+        let p = build(fb, entry);
+        let sel =
+            TaskSelector::control_flow(4).with_task_size(TaskSizeParams::default()).select(&p);
+        assert!(sel.program.function(p.entry()).num_blocks() > 3);
+        assert!(sel.partition.validate(&sel.program).is_ok());
+        assert_eq!(sel.partition.strategy(), "cf+ts");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_targets_is_rejected() {
+        let _ = TaskSelector::control_flow(0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests: every selection strategy produces a valid Multiscalar
+//! partition (exact cover, connected, single-entry tasks) on arbitrary
+//! CFGs, not just the hand-built ones.
+
+use proptest::prelude::*;
+
+use ms_ir::{
+    BlockId, BranchBehavior, FuncId, FunctionBuilder, Opcode, Program, ProgramBuilder, Reg,
+    Terminator,
+};
+use ms_tasksel::{if_convert, TaskSelector, TaskSizeParams, TaskTarget};
+
+/// A compact description of one random block's contents/terminator.
+#[derive(Debug, Clone)]
+struct BlockSpec {
+    insts: usize,
+    /// Terminator selector plus raw operands; resolved modulo the block
+    /// count at build time.
+    kind: u8,
+    a: usize,
+    b: usize,
+    prob: f64,
+    trips: u32,
+}
+
+fn block_spec() -> impl Strategy<Value = BlockSpec> {
+    (0usize..6, 0u8..10, any::<usize>(), any::<usize>(), 0.0f64..1.0, 1u32..12).prop_map(
+        |(insts, kind, a, b, prob, trips)| BlockSpec { insts, kind, a, b, prob, trips },
+    )
+}
+
+/// Builds a syntactically valid single-function program from specs.
+/// Every block gets a terminator; targets wrap modulo the block count,
+/// so arbitrary loops, diamonds, unreachable blocks and self-loops all
+/// occur.
+fn build_program(specs: Vec<BlockSpec>) -> Program {
+    let n = specs.len().max(1);
+    let mut fb = FunctionBuilder::new("random");
+    let ids: Vec<BlockId> = (0..n).map(|_| fb.add_block()).collect();
+    for (i, spec) in specs.iter().enumerate() {
+        let blk = ids[i];
+        for j in 0..spec.insts {
+            let dst = Reg::int(2 + (j as u8 + i as u8) % 12);
+            let src = Reg::int(2 + (j as u8) % 12);
+            fb.push_inst(blk, Opcode::IAdd.inst().dst(dst).src(src));
+        }
+        let ta = ids[spec.a % n];
+        let tb = ids[spec.b % n];
+        let term = match spec.kind {
+            0 | 1 => Terminator::Jump { target: ta },
+            2..=4 => Terminator::Branch {
+                taken: ta,
+                fall: tb,
+                cond: vec![Reg::int(1)],
+                behavior: BranchBehavior::Taken(spec.prob),
+            },
+            5 => Terminator::Branch {
+                taken: ta,
+                fall: tb,
+                cond: vec![Reg::int(1)],
+                behavior: BranchBehavior::Loop { avg_trips: spec.trips, jitter: 0 },
+            },
+            6 => Terminator::Switch {
+                targets: vec![ta, tb, ids[(spec.a / 7) % n]],
+                weights: vec![3, 2, 1],
+                cond: vec![Reg::int(1)],
+            },
+            7 => Terminator::Branch {
+                taken: ta,
+                fall: tb,
+                cond: vec![Reg::int(1)],
+                behavior: BranchBehavior::Pattern(vec![true, false, true]),
+            },
+            _ => Terminator::Halt,
+        };
+        fb.set_terminator(blk, term);
+    }
+    let func = fb.finish(ids[0]).expect("random function is structurally valid");
+    let mut pb = ProgramBuilder::new();
+    let main = pb.declare_function("random");
+    pb.define_function(main, func);
+    pb.finish(main).expect("random program is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every strategy yields a partition satisfying the Multiscalar
+    /// invariants on arbitrary CFGs.
+    #[test]
+    fn partitions_are_always_valid(specs in prop::collection::vec(block_spec(), 1..24)) {
+        let program = build_program(specs);
+        for sel in [
+            TaskSelector::basic_block().select(&program),
+            TaskSelector::control_flow(4).select(&program),
+            TaskSelector::control_flow(2).select(&program),
+            TaskSelector::data_dependence(4).select(&program),
+            TaskSelector::data_dependence(4)
+                .with_task_size(TaskSizeParams::default())
+                .select(&program),
+        ] {
+            prop_assert!(
+                sel.partition.validate(&sel.program).is_ok(),
+                "strategy {} violated invariants: {:?}",
+                sel.partition.strategy(),
+                sel.partition.validate(&sel.program)
+            );
+        }
+    }
+
+    /// Selection is deterministic: same program, same partition.
+    #[test]
+    fn selection_is_deterministic(specs in prop::collection::vec(block_spec(), 1..16)) {
+        let program = build_program(specs);
+        let a = TaskSelector::data_dependence(4).select(&program);
+        let b = TaskSelector::data_dependence(4).select(&program);
+        let fa = &a.partition.funcs()[0];
+        let fb = &b.partition.funcs()[0];
+        prop_assert_eq!(fa.tasks().len(), fb.tasks().len());
+        for (x, y) in fa.tasks().iter().zip(fb.tasks()) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// Every internal task target names another task's entry (the
+    /// sequencer must always land on a task head).
+    #[test]
+    fn targets_are_task_entries(specs in prop::collection::vec(block_spec(), 1..20)) {
+        let program = build_program(specs);
+        let sel = TaskSelector::control_flow(4).select(&program);
+        let fid = FuncId::new(0);
+        let fp = sel.partition.func(fid);
+        for (ti, _task) in fp.tasks().iter().enumerate() {
+            let targets =
+                sel.partition.targets(&sel.program, fid, ms_tasksel::TaskId::new(ti as u32));
+            for t in targets {
+                if let TaskTarget::Block(b) = t {
+                    prop_assert!(
+                        fp.task_at_entry(b).is_some(),
+                        "target {b} of task {ti} is not a task entry"
+                    );
+                }
+            }
+        }
+    }
+
+    /// If-conversion preserves validity: the converted program still
+    /// builds, validates, and partitions under every strategy.
+    #[test]
+    fn if_conversion_preserves_validity(
+        specs in prop::collection::vec(block_spec(), 1..20),
+        max_arm in 1usize..8,
+    ) {
+        let program = build_program(specs);
+        let converted = if_convert(&program, max_arm);
+        prop_assert!(converted.validate().is_ok());
+        let sel = TaskSelector::control_flow(4).select(&converted);
+        prop_assert!(sel.partition.validate(&sel.program).is_ok());
+    }
+
+    /// Basic block partitions have exactly one task per reachable block.
+    #[test]
+    fn basic_block_partition_is_singleton_cover(specs in prop::collection::vec(block_spec(), 1..20)) {
+        let program = build_program(specs);
+        let sel = TaskSelector::basic_block().select(&program);
+        let func = sel.program.function(FuncId::new(0));
+        let reachable = func.reachable_blocks().len();
+        let fp = &sel.partition.funcs()[0];
+        prop_assert_eq!(fp.tasks().len(), reachable);
+        for t in fp.tasks() {
+            prop_assert_eq!(t.len(), 1);
+        }
+    }
+}

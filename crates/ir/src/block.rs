@@ -1,0 +1,246 @@
+//! Basic blocks, terminators and branch behaviour models.
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::program::{BlockId, FuncId};
+use crate::reg::Reg;
+
+/// A model of the dynamic behaviour of a conditional branch, sampled by
+/// the trace generator.
+///
+/// Real reproductions interpret program values; this reproduction instead
+/// attaches the *statistical outcome* the interpreter would have produced,
+/// which is all the predictors and the trace ever observe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BranchBehavior {
+    /// Taken with the given probability, independently per dynamic
+    /// instance. `0.5` is maximally unpredictable, `0.95` models a highly
+    /// biased (well-predicted) branch.
+    Taken(f64),
+    /// A deterministic repeating outcome pattern (e.g. `TTTN` for a short
+    /// unrolled loop remainder). Perfectly predictable by a history-based
+    /// predictor once warmed up.
+    Pattern(Vec<bool>),
+    /// A loop back-edge: taken `trips - 1` times then not taken, where
+    /// `trips` is sampled around `avg_trips` (±`jitter`, uniformly) per
+    /// loop entry. The taken target must be the loop header.
+    Loop {
+        /// Mean trip count per loop invocation.
+        avg_trips: u32,
+        /// Half-width of the uniform jitter applied to the trip count.
+        jitter: u32,
+    },
+}
+
+impl BranchBehavior {
+    /// A loop back-edge with a fixed trip count.
+    pub fn exact_loop(trips: u32) -> Self {
+        BranchBehavior::Loop { avg_trips: trips, jitter: 0 }
+    }
+}
+
+/// The control transfer that ends a basic block and defines its CFG edges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump to `target`.
+    Jump {
+        /// Destination block.
+        target: BlockId,
+    },
+    /// Two-way conditional branch. `cond` registers are the branch's data
+    /// inputs (the branch resolves once they are available).
+    Branch {
+        /// Block executed when the branch is taken.
+        taken: BlockId,
+        /// Fall-through block.
+        fall: BlockId,
+        /// Registers the branch condition reads.
+        cond: Vec<Reg>,
+        /// Statistical outcome model.
+        behavior: BranchBehavior,
+    },
+    /// Multi-way indirect jump (switch / jump table). Selects among
+    /// `targets` with relative `weights`.
+    Switch {
+        /// Possible destinations.
+        targets: Vec<BlockId>,
+        /// Relative selection weights, same length as `targets`.
+        weights: Vec<u32>,
+        /// Registers the selector reads.
+        cond: Vec<Reg>,
+    },
+    /// Call to `callee`; on return, execution continues at `ret_to`.
+    Call {
+        /// The called function.
+        callee: FuncId,
+        /// Block control returns to.
+        ret_to: BlockId,
+    },
+    /// Return from the current function.
+    Return,
+    /// End of program (only meaningful in the entry function).
+    Halt,
+}
+
+impl Terminator {
+    /// The intra-function CFG successor blocks of this terminator.
+    ///
+    /// A `Call` has its return block as successor (the callee is an
+    /// inter-function edge, tracked separately); `Return` and `Halt` have
+    /// none.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump { target } => vec![*target],
+            Terminator::Branch { taken, fall, .. } => {
+                if taken == fall {
+                    vec![*taken]
+                } else {
+                    vec![*taken, *fall]
+                }
+            }
+            Terminator::Switch { targets, .. } => {
+                let mut out: Vec<BlockId> = Vec::new();
+                for t in targets {
+                    if !out.contains(t) {
+                        out.push(*t);
+                    }
+                }
+                out
+            }
+            Terminator::Call { ret_to, .. } => vec![*ret_to],
+            Terminator::Return | Terminator::Halt => Vec::new(),
+        }
+    }
+
+    /// The registers this terminator reads to resolve.
+    pub fn cond_regs(&self) -> &[Reg] {
+        match self {
+            Terminator::Branch { cond, .. } | Terminator::Switch { cond, .. } => cond,
+            _ => &[],
+        }
+    }
+
+    /// Whether this terminator is a control transfer that the dynamic
+    /// stream materialises as an instruction (everything except `Halt`).
+    pub fn emits_ct_inst(&self) -> bool {
+        !matches!(self, Terminator::Halt)
+    }
+
+    /// Whether this is a function call.
+    pub fn is_call(&self) -> bool {
+        matches!(self, Terminator::Call { .. })
+    }
+
+    /// Whether this is a function return.
+    pub fn is_return(&self) -> bool {
+        matches!(self, Terminator::Return)
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump { target } => write!(f, "jump {target}"),
+            Terminator::Branch { taken, fall, .. } => write!(f, "branch {taken}, {fall}"),
+            Terminator::Switch { targets, .. } => {
+                write!(f, "switch [")?;
+                for (i, t) in targets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "]")
+            }
+            Terminator::Call { callee, ret_to } => write!(f, "call {callee} -> {ret_to}"),
+            Terminator::Return => write!(f, "return"),
+            Terminator::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// A basic block: a straight-line instruction sequence plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    insts: Vec<Inst>,
+    term: Terminator,
+}
+
+impl BasicBlock {
+    /// Creates a block from its instructions and terminator.
+    pub fn new(insts: Vec<Inst>, term: Terminator) -> Self {
+        BasicBlock { insts, term }
+    }
+
+    /// The block's straight-line instructions (terminator excluded).
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The block's terminator.
+    pub fn terminator(&self) -> &Terminator {
+        &self.term
+    }
+
+    /// Number of instructions including the terminator's control transfer
+    /// (if it emits one) — the block's contribution to dynamic task size.
+    pub fn len_with_ct(&self) -> usize {
+        self.insts.len() + usize::from(self.term.emits_ct_inst())
+    }
+
+    /// CFG successors (delegates to the terminator).
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.term.successors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode;
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(i)
+    }
+
+    #[test]
+    fn branch_successors_deduplicate_same_target() {
+        let t = Terminator::Branch {
+            taken: b(1),
+            fall: b(1),
+            cond: vec![],
+            behavior: BranchBehavior::Taken(0.5),
+        };
+        assert_eq!(t.successors(), vec![b(1)]);
+    }
+
+    #[test]
+    fn switch_successors_deduplicate() {
+        let t = Terminator::Switch { targets: vec![b(1), b(2), b(1)], weights: vec![1, 1, 1], cond: vec![] };
+        assert_eq!(t.successors(), vec![b(1), b(2)]);
+    }
+
+    #[test]
+    fn call_successor_is_return_block() {
+        let t = Terminator::Call { callee: FuncId::new(3), ret_to: b(7) };
+        assert_eq!(t.successors(), vec![b(7)]);
+        assert!(t.is_call());
+    }
+
+    #[test]
+    fn return_and_halt_have_no_successors() {
+        assert!(Terminator::Return.successors().is_empty());
+        assert!(Terminator::Halt.successors().is_empty());
+        assert!(!Terminator::Halt.emits_ct_inst());
+        assert!(Terminator::Return.emits_ct_inst());
+    }
+
+    #[test]
+    fn block_length_counts_control_transfer() {
+        let blk = BasicBlock::new(vec![Opcode::IAdd.inst()], Terminator::Return);
+        assert_eq!(blk.len_with_ct(), 2);
+        let halt = BasicBlock::new(vec![Opcode::IAdd.inst()], Terminator::Halt);
+        assert_eq!(halt.len_with_ct(), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Builders for functions and programs.
+
+use crate::block::{BasicBlock, Terminator};
+use crate::error::BuildError;
+use crate::inst::Inst;
+use crate::mem::{AddrGenId, AddrSpec};
+use crate::program::{BlockId, FuncId, Function, Program};
+
+/// Incrementally constructs a [`Function`].
+///
+/// Blocks are created first (so forward references work), filled with
+/// instructions, given terminators, and the builder is then
+/// [finished](FunctionBuilder::finish) with the entry block.
+///
+/// # Example
+///
+/// ```
+/// use ms_ir::{FunctionBuilder, Opcode, Reg, Terminator};
+///
+/// let mut fb = FunctionBuilder::new("f");
+/// let entry = fb.add_block();
+/// fb.push_inst(entry, Opcode::IAdd.inst().dst(Reg::int(1)));
+/// fb.set_terminator(entry, Terminator::Return);
+/// let f = fb.finish(entry)?;
+/// assert_eq!(f.num_blocks(), 1);
+/// # Ok::<(), ms_ir::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    insts: Vec<Vec<Inst>>,
+    terms: Vec<Option<Terminator>>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder { name: name.into(), insts: Vec::new(), terms: Vec::new() }
+    }
+
+    /// Adds an empty block and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        self.insts.push(Vec::new());
+        self.terms.push(None);
+        BlockId::new((self.insts.len() - 1) as u32)
+    }
+
+    /// Appends an instruction to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn push_inst(&mut self, block: BlockId, inst: Inst) {
+        self.insts[block.index()].push(inst);
+    }
+
+    /// Sets (or replaces) the terminator of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn set_terminator(&mut self, block: BlockId, term: Terminator) {
+        self.terms[block.index()] = Some(term);
+    }
+
+    /// Number of blocks created so far.
+    pub fn num_blocks(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Finishes the function with `entry` as its entry block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::MissingTerminator`] if any block has no
+    /// terminator, and propagates structural errors from
+    /// [`Function::from_parts`].
+    pub fn finish(self, entry: BlockId) -> Result<Function, BuildError> {
+        let mut blocks = Vec::with_capacity(self.insts.len());
+        for (i, (insts, term)) in self.insts.into_iter().zip(self.terms).enumerate() {
+            let term = term.ok_or(BuildError::MissingTerminator {
+                func: self.name.clone(),
+                block: BlockId::new(i as u32),
+            })?;
+            blocks.push(BasicBlock::new(insts, term));
+        }
+        Function::from_parts(self.name, blocks, entry)
+    }
+}
+
+/// Incrementally constructs a [`Program`].
+///
+/// Functions are *declared* first — which assigns their [`FuncId`]s so
+/// call terminators can reference them — and *defined* later in any order.
+///
+/// # Example
+///
+/// ```
+/// use ms_ir::{AddrSpec, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let g = pb.add_addr_gen(AddrSpec::Global { addr: 0x1000 });
+/// let main = pb.declare_function("main");
+/// let mut fb = FunctionBuilder::new("main");
+/// let b = fb.add_block();
+/// fb.push_inst(b, Opcode::Load.inst().dst(Reg::int(1)).mem(g));
+/// fb.set_terminator(b, Terminator::Halt);
+/// pb.define_function(main, fb.finish(b)?);
+/// let program = pb.finish(main)?;
+/// assert_eq!(program.num_functions(), 1);
+/// # Ok::<(), ms_ir::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Option<Function>>,
+    names: Vec<String>,
+    addr_gens: Vec<AddrSpec>,
+}
+
+impl ProgramBuilder {
+    /// Starts building an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a function, reserving its id.
+    pub fn declare_function(&mut self, name: impl Into<String>) -> FuncId {
+        self.functions.push(None);
+        self.names.push(name.into());
+        FuncId::new((self.functions.len() - 1) as u32)
+    }
+
+    /// Supplies the body of a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not declared by this builder.
+    pub fn define_function(&mut self, id: FuncId, func: Function) {
+        self.functions[id.index()] = Some(func);
+    }
+
+    /// Registers an address generator and returns its id.
+    pub fn add_addr_gen(&mut self, spec: AddrSpec) -> AddrGenId {
+        self.addr_gens.push(spec);
+        AddrGenId::new((self.addr_gens.len() - 1) as u32)
+    }
+
+    /// Finishes the program with `entry` as its entry function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UndefinedFunction`] if any declared function
+    /// has no body, and propagates validation errors from
+    /// [`Program::validate`].
+    pub fn finish(self, entry: FuncId) -> Result<Program, BuildError> {
+        let mut functions = Vec::with_capacity(self.functions.len());
+        for (i, f) in self.functions.into_iter().enumerate() {
+            functions.push(f.ok_or(BuildError::UndefinedFunction { func: FuncId::new(i as u32) })?);
+        }
+        Program::from_parts(functions, entry, self.addr_gens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode;
+    use crate::reg::Reg;
+
+    #[test]
+    fn missing_terminator_is_reported() {
+        let mut fb = FunctionBuilder::new("f");
+        let b = fb.add_block();
+        let err = fb.finish(b).unwrap_err();
+        assert!(matches!(err, BuildError::MissingTerminator { .. }));
+    }
+
+    #[test]
+    fn undefined_function_is_reported() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.declare_function("main");
+        let _g = pb.declare_function("ghost");
+        let mut fb = FunctionBuilder::new("main");
+        let b = fb.add_block();
+        fb.set_terminator(b, Terminator::Halt);
+        pb.define_function(m, fb.finish(b).unwrap());
+        assert!(matches!(pb.finish(m), Err(BuildError::UndefinedFunction { .. })));
+    }
+
+    #[test]
+    fn declared_ids_are_dense_and_ordered() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.declare_function("a");
+        let b = pb.declare_function("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn cross_function_calls_resolve() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare_function("main");
+        let leaf = pb.declare_function("leaf");
+
+        let mut fb = FunctionBuilder::new("main");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        fb.push_inst(b0, Opcode::IAdd.inst().dst(Reg::int(1)));
+        fb.set_terminator(b0, Terminator::Call { callee: leaf, ret_to: b1 });
+        fb.set_terminator(b1, Terminator::Halt);
+        pb.define_function(main, fb.finish(b0).unwrap());
+
+        let mut fb = FunctionBuilder::new("leaf");
+        let b = fb.add_block();
+        fb.push_inst(b, Opcode::IMul.inst().dst(Reg::int(2)).src(Reg::int(1)));
+        fb.set_terminator(b, Terminator::Return);
+        pb.define_function(leaf, fb.finish(b).unwrap());
+
+        let p = pb.finish(main).unwrap();
+        assert_eq!(p.num_functions(), 2);
+        assert!(p.validate().is_ok());
+    }
+}

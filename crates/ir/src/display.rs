@@ -1,0 +1,63 @@
+//! Human-readable program listings.
+
+use std::fmt;
+
+use crate::program::{Function, Program};
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {} (entry {}):", self.name(), self.entry())?;
+        for b in self.block_ids() {
+            writeln!(f, "  {b}:")?;
+            let blk = self.block(b);
+            for inst in blk.insts() {
+                writeln!(f, "    {inst}")?;
+            }
+            writeln!(f, "    {}", blk.terminator())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program (entry {}):", self.entry())?;
+        for fid in self.func_ids() {
+            write!(f, "{}", self.function(fid))?;
+        }
+        if !self.addr_gens().is_empty() {
+            writeln!(f, "address generators:")?;
+            for (i, g) in self.addr_gens().iter().enumerate() {
+                writeln!(f, "  g{i}: {g}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::inst::Opcode;
+    use crate::mem::AddrSpec;
+    use crate::reg::Reg;
+    use crate::Terminator;
+
+    #[test]
+    fn listing_mentions_blocks_instructions_and_generators() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.add_addr_gen(AddrSpec::Global { addr: 0x40 });
+        let m = pb.declare_function("main");
+        let mut fb = FunctionBuilder::new("main");
+        let b = fb.add_block();
+        fb.push_inst(b, Opcode::Load.inst().dst(Reg::int(3)).mem(g));
+        fb.set_terminator(b, Terminator::Halt);
+        pb.define_function(m, fb.finish(b).unwrap());
+        let p = pb.finish(m).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("fn main"));
+        assert!(s.contains("load r3 [g0]"));
+        assert!(s.contains("g0: global@0x40"));
+        assert!(s.contains("halt"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Symbolic memory address generators.
+//!
+//! The IR does not interpret values, so memory instructions cannot compute
+//! addresses. Instead every static memory instruction names an *address
+//! generator* — a declarative description of the address stream the
+//! instruction produces over its dynamic instances. The trace generator
+//! (`ms-trace`) owns the dynamic state (stream positions, RNG) and turns
+//! generators into concrete addresses.
+//!
+//! Aliasing between generators is what creates inter-task memory
+//! dependences: two instructions referencing the same [`AddrSpec::Global`],
+//! or striding over overlapping regions, will touch the same bytes and be
+//! caught by the simulator's ARB when split across tasks.
+
+use std::fmt;
+
+/// Identifier of an address generator within a [`Program`](crate::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AddrGenId(u32);
+
+impl AddrGenId {
+    /// Creates an identifier from a raw index.
+    pub fn new(index: u32) -> Self {
+        AddrGenId(index)
+    }
+
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AddrGenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Declarative description of a dynamic address stream.
+///
+/// All addresses are byte addresses; accesses are assumed to be 8 bytes
+/// wide and naturally aligned (the trace generator aligns base addresses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AddrSpec {
+    /// A fixed scalar location (e.g. a global counter). Every dynamic
+    /// access touches the same address — the classic source of inter-task
+    /// memory dependences.
+    Global {
+        /// The byte address of the scalar.
+        addr: u64,
+    },
+    /// A sequential walk over an array region: access `i` touches
+    /// `base + (i * stride) mod (len * 8)`. Models streaming loops.
+    Stride {
+        /// Region base byte address.
+        base: u64,
+        /// Stride in bytes between consecutive dynamic accesses.
+        stride: i64,
+        /// Region length in 8-byte elements; the walk wraps.
+        len: u64,
+    },
+    /// Uniformly random accesses within a region of `len` 8-byte elements
+    /// starting at `base`. Models hash tables and pointer-dense heaps;
+    /// small `len` yields frequent (unpredictable) aliasing.
+    Indexed {
+        /// Region base byte address.
+        base: u64,
+        /// Region length in 8-byte elements.
+        len: u64,
+    },
+    /// A stack slot private to each function activation: the trace
+    /// generator gives every call frame a distinct base, so two dynamic
+    /// instances of the same slot alias only within one activation.
+    Stack {
+        /// Slot index within the frame.
+        slot: u32,
+    },
+}
+
+impl AddrSpec {
+    /// Whether two specs can ever touch a common address.
+    ///
+    /// Used by tests and by static dependence estimation; conservative
+    /// (returns `true` when regions overlap even if dynamic interleaving
+    /// might avoid collisions).
+    pub fn may_alias(&self, other: &AddrSpec) -> bool {
+        use AddrSpec::*;
+        let range = |s: &AddrSpec| -> Option<(u64, u64)> {
+            match s {
+                Global { addr } => Some((*addr, *addr + 8)),
+                Stride { base, len, .. } | Indexed { base, len } => Some((*base, *base + len * 8)),
+                Stack { .. } => None,
+            }
+        };
+        match (self, other) {
+            (Stack { slot: a }, Stack { slot: b }) => a == b,
+            (Stack { .. }, _) | (_, Stack { .. }) => false,
+            _ => {
+                let (a0, a1) = range(self).expect("non-stack specs have ranges");
+                let (b0, b1) = range(other).expect("non-stack specs have ranges");
+                a0 < b1 && b0 < a1
+            }
+        }
+    }
+}
+
+impl fmt::Display for AddrSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrSpec::Global { addr } => write!(f, "global@{addr:#x}"),
+            AddrSpec::Stride { base, stride, len } => {
+                write!(f, "stride@{base:#x}+{stride}x{len}")
+            }
+            AddrSpec::Indexed { base, len } => write!(f, "indexed@{base:#x}x{len}"),
+            AddrSpec::Stack { slot } => write!(f, "stack[{slot}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_alias_only_same_address() {
+        let a = AddrSpec::Global { addr: 0x1000 };
+        let b = AddrSpec::Global { addr: 0x1000 };
+        let c = AddrSpec::Global { addr: 0x2000 };
+        assert!(a.may_alias(&b));
+        assert!(!a.may_alias(&c));
+    }
+
+    #[test]
+    fn overlapping_regions_alias() {
+        let a = AddrSpec::Stride { base: 0x1000, stride: 8, len: 100 };
+        let b = AddrSpec::Indexed { base: 0x1100, len: 10 };
+        let c = AddrSpec::Indexed { base: 0x9000, len: 10 };
+        assert!(a.may_alias(&b));
+        assert!(!a.may_alias(&c));
+    }
+
+    #[test]
+    fn stack_slots_alias_by_slot_only() {
+        let a = AddrSpec::Stack { slot: 0 };
+        let b = AddrSpec::Stack { slot: 0 };
+        let c = AddrSpec::Stack { slot: 1 };
+        let g = AddrSpec::Global { addr: 0 };
+        assert!(a.may_alias(&b));
+        assert!(!a.may_alias(&c));
+        assert!(!a.may_alias(&g));
+    }
+
+    #[test]
+    fn global_inside_region_aliases() {
+        let g = AddrSpec::Global { addr: 0x1008 };
+        let r = AddrSpec::Stride { base: 0x1000, stride: 8, len: 4 };
+        assert!(g.may_alias(&r));
+    }
+}

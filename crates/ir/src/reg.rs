@@ -1,0 +1,159 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// Number of integer registers in the architectural file.
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of floating point registers in the architectural file.
+pub const NUM_FP_REGS: u8 = 32;
+/// Total number of architectural registers (integer + floating point).
+pub const NUM_REGS: usize = NUM_INT_REGS as usize + NUM_FP_REGS as usize;
+
+/// The class (bank) a register belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// Integer register bank (`r0`..`r31`).
+    Int,
+    /// Floating point register bank (`f0`..`f31`).
+    Fp,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register: a class plus an index within the bank.
+///
+/// Registers are the unit of inter-task communication in a Multiscalar
+/// processor: the last write of a register inside a task is *forwarded* on
+/// the register communication ring to successor tasks.
+///
+/// # Example
+///
+/// ```
+/// use ms_ir::{Reg, RegClass};
+///
+/// let r5 = Reg::int(5);
+/// assert_eq!(r5.class(), RegClass::Int);
+/// assert_eq!(r5.index(), 5);
+/// assert_eq!(r5.to_string(), "r5");
+/// assert_eq!(Reg::fp(3).to_string(), "f3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg {
+    class: RegClass,
+    index: u8,
+}
+
+impl Reg {
+    /// Creates an integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_INT_REGS`.
+    pub fn int(index: u8) -> Self {
+        assert!(index < NUM_INT_REGS, "integer register index out of range");
+        Reg { class: RegClass::Int, index }
+    }
+
+    /// Creates a floating point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_FP_REGS`.
+    pub fn fp(index: u8) -> Self {
+        assert!(index < NUM_FP_REGS, "fp register index out of range");
+        Reg { class: RegClass::Fp, index }
+    }
+
+    /// The register's class.
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// The register's index within its bank.
+    pub fn index(&self) -> u8 {
+        self.index
+    }
+
+    /// A dense index over the full architectural file, suitable for
+    /// indexing scoreboards and bitmaps: integer registers occupy
+    /// `0..NUM_INT_REGS`, floating point registers follow.
+    ///
+    /// ```
+    /// use ms_ir::Reg;
+    /// assert_eq!(Reg::int(7).dense(), 7);
+    /// assert_eq!(Reg::fp(0).dense(), 32);
+    /// ```
+    pub fn dense(&self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_INT_REGS as usize + self.index as usize,
+        }
+    }
+
+    /// Inverse of [`Reg::dense`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense >= NUM_REGS`.
+    pub fn from_dense(dense: usize) -> Self {
+        assert!(dense < NUM_REGS, "dense register index out of range");
+        if dense < NUM_INT_REGS as usize {
+            Reg::int(dense as u8)
+        } else {
+            Reg::fp((dense - NUM_INT_REGS as usize) as u8)
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_round_trips_every_register() {
+        for d in 0..NUM_REGS {
+            assert_eq!(Reg::from_dense(d).dense(), d);
+        }
+    }
+
+    #[test]
+    fn display_names_match_bank() {
+        assert_eq!(Reg::int(0).to_string(), "r0");
+        assert_eq!(Reg::int(31).to_string(), "r31");
+        assert_eq!(Reg::fp(31).to_string(), "f31");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_index_is_bounds_checked() {
+        let _ = Reg::int(NUM_INT_REGS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dense_index_is_bounds_checked() {
+        let _ = Reg::from_dense(NUM_REGS);
+    }
+
+    #[test]
+    fn ordering_groups_by_class_then_index() {
+        assert!(Reg::int(31) < Reg::fp(0));
+        assert!(Reg::int(1) < Reg::int(2));
+    }
+}

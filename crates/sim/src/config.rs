@@ -1,0 +1,235 @@
+//! Simulator configuration (defaults from §4.2 of the paper).
+
+/// Functional unit counts of one processing unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuCounts {
+    /// Integer ALUs (paper: 2).
+    pub int: u32,
+    /// Floating point units (paper: 1).
+    pub fp: u32,
+    /// Branch units (paper: 1).
+    pub branch: u32,
+    /// Memory ports (paper: 1).
+    pub mem: u32,
+}
+
+impl Default for FuCounts {
+    fn default() -> Self {
+        FuCounts { int: 2, fp: 1, branch: 1, mem: 1 }
+    }
+}
+
+/// One cache level's timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total size in bytes.
+    pub size: u64,
+    /// Associativity.
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+}
+
+/// Full Multiscalar processor configuration.
+///
+/// [`SimConfig::four_pu`] and [`SimConfig::eight_pu`] reproduce the
+/// paper's two evaluated machines; [`SimConfig::single_pu`] is the
+/// centralized (superscalar-like) baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of processing units.
+    pub num_pus: usize,
+    /// Issue (and fetch) width per PU (paper: 2).
+    pub issue_width: u32,
+    /// Reorder buffer entries per PU (paper: 16).
+    pub rob_size: u32,
+    /// Issue list entries per PU (paper: 8) — bounds how far ahead of the
+    /// oldest unissued instruction an out-of-order PU may look.
+    pub issue_list: u32,
+    /// Whether PUs issue strictly in order.
+    pub in_order: bool,
+    /// Functional units per PU.
+    pub fus: FuCounts,
+    /// Pipeline fill cycles charged at every task start (§2.3 task start
+    /// overhead).
+    pub task_start_overhead: u32,
+    /// Cycles to commit a task's speculative state at retirement (§2.3
+    /// task end overhead).
+    pub task_end_overhead: u32,
+    /// Front-end refill bubble after an intra-task branch misprediction.
+    pub branch_mispredict_penalty: u32,
+    /// Sequencer restart cycles after a control-flow misspeculation is
+    /// detected at the end of the mispredicted task.
+    pub task_mispredict_restart: u32,
+    /// Sequencer restart cycles after a memory-dependence squash.
+    pub squash_restart: u32,
+    /// History bits of the intra-task gshare predictor (paper: 16).
+    pub gshare_history_bits: u32,
+    /// log2 of the gshare table size (paper: 64K entries → 16).
+    pub gshare_table_bits: u32,
+    /// History bits of the path-based inter-task predictor (paper: 16).
+    pub task_pred_history_bits: u32,
+    /// log2 of the task predictor table size (paper: 64K entries → 16).
+    pub task_pred_table_bits: u32,
+    /// Values the register ring carries per cycle per link (paper: 2).
+    pub ring_bandwidth: u32,
+    /// Extra cycles per ring hop beyond the adjacent-PU same-cycle
+    /// bypass.
+    pub ring_hop_latency: u32,
+    /// ARB entries per PU (paper: 32); a task whose speculative footprint
+    /// exceeds this stalls further memory operations until it is the
+    /// head.
+    pub arb_entries_per_pu: u32,
+    /// ARB hit (speculative forward) latency (paper: 2).
+    pub arb_hit_latency: u32,
+    /// Entries in the memory dependence synchronisation table
+    /// (paper: 256).
+    pub sync_table_entries: u32,
+    /// Whether the compiler's dead register analysis filters ring
+    /// forwards to registers live out of the task (Breach et al. \[3\];
+    /// on by default, as in the paper's toolchain). When off, every
+    /// register the task wrote is forwarded.
+    pub dead_reg_analysis: bool,
+    /// Task descriptor cache (paper: 32 KB, 2-way, augmenting the L1
+    /// I-cache). The sequencer reads a task's descriptor (entry PC +
+    /// target list) at dispatch; a miss delays dispatch by the L2 hit
+    /// latency.
+    pub task_cache: CacheParams,
+    /// L1 instruction cache.
+    pub l1i: CacheParams,
+    /// L1 data cache.
+    pub l1d: CacheParams,
+    /// Unified L2 cache.
+    pub l2: CacheParams,
+    /// Main memory latency in cycles (paper: 58).
+    pub mem_latency: u32,
+}
+
+impl SimConfig {
+    /// Baseline parameters shared by all presets.
+    fn base(num_pus: usize) -> Self {
+        let l1_size = if num_pus >= 8 { 128 * 1024 } else { 64 * 1024 };
+        SimConfig {
+            num_pus,
+            issue_width: 2,
+            rob_size: 16,
+            issue_list: 8,
+            in_order: false,
+            fus: FuCounts::default(),
+            task_start_overhead: 2,
+            task_end_overhead: 2,
+            branch_mispredict_penalty: 5,
+            task_mispredict_restart: 4,
+            squash_restart: 4,
+            gshare_history_bits: 16,
+            gshare_table_bits: 16,
+            task_pred_history_bits: 16,
+            task_pred_table_bits: 16,
+            ring_bandwidth: 2,
+            ring_hop_latency: 1,
+            arb_entries_per_pu: 32,
+            arb_hit_latency: 2,
+            sync_table_entries: 256,
+            dead_reg_analysis: true,
+            task_cache: CacheParams { size: 32 * 1024, assoc: 2, line: 32, hit_latency: 1 },
+            l1i: CacheParams { size: l1_size, assoc: 2, line: 32, hit_latency: 1 },
+            l1d: CacheParams { size: l1_size, assoc: 2, line: 32, hit_latency: 1 },
+            l2: CacheParams { size: 4 * 1024 * 1024, assoc: 2, line: 64, hit_latency: 12 },
+            mem_latency: 58,
+        }
+    }
+
+    /// The paper's 4-PU machine (64 KB L1 caches).
+    pub fn four_pu() -> Self {
+        Self::base(4)
+    }
+
+    /// The paper's 8-PU machine (128 KB L1 caches).
+    pub fn eight_pu() -> Self {
+        Self::base(8)
+    }
+
+    /// A single-PU machine: the centralized baseline. Task-level
+    /// speculation degenerates to sequential task execution.
+    pub fn single_pu() -> Self {
+        Self::base(1)
+    }
+
+    /// A machine with `n` PUs (L1 size follows the paper's 8-PU sizing
+    /// for `n >= 8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_pus(n: usize) -> Self {
+        assert!(n > 0, "at least one PU is required");
+        Self::base(n)
+    }
+
+    /// Switches the PUs to in-order issue (builder style).
+    #[must_use]
+    pub fn in_order(mut self) -> Self {
+        self.in_order = true;
+        self
+    }
+
+    /// Switches the PUs to out-of-order issue (the default).
+    #[must_use]
+    pub fn out_of_order(mut self) -> Self {
+        self.in_order = false;
+        self
+    }
+
+    /// Disables the dead register analysis (naive forwarding of every
+    /// written register) — the ablation of the paper's companion
+    /// register-communication work.
+    #[must_use]
+    pub fn without_dead_reg_analysis(mut self) -> Self {
+        self.dead_reg_analysis = false;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    /// The paper's 4-PU out-of-order configuration.
+    fn default() -> Self {
+        Self::four_pu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_paper() {
+        let c4 = SimConfig::four_pu();
+        assert_eq!(c4.num_pus, 4);
+        assert_eq!(c4.issue_width, 2);
+        assert_eq!(c4.rob_size, 16);
+        assert_eq!(c4.fus.int, 2);
+        assert_eq!(c4.l1i.size, 64 * 1024);
+        assert_eq!(c4.mem_latency, 58);
+        assert_eq!(c4.task_cache.size, 32 * 1024);
+        let c8 = SimConfig::eight_pu();
+        assert_eq!(c8.num_pus, 8);
+        assert_eq!(c8.l1d.size, 128 * 1024);
+        assert_eq!(c8.arb_entries_per_pu, 32);
+        assert_eq!(c8.sync_table_entries, 256);
+    }
+
+    #[test]
+    fn order_builders_toggle() {
+        let c = SimConfig::four_pu().in_order();
+        assert!(c.in_order);
+        assert!(!c.out_of_order().in_order);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PU")]
+    fn zero_pus_is_rejected() {
+        let _ = SimConfig::with_pus(0);
+    }
+}

@@ -1,0 +1,778 @@
+//! The cycle-level Multiscalar execution engine.
+//!
+//! Trace-driven timing simulation: dynamic tasks (from
+//! [`ms_trace::split_tasks`]) are dispatched in program order to PUs
+//! arranged on a ring, one task per PU, with
+//!
+//! * inter-task control speculation by a path-based target predictor
+//!   (misprediction detected when the mispredicted task's exit resolves,
+//!   charging wrong-path occupancy + restart),
+//! * register values forwarded on a bandwidth-limited ring after the
+//!   producing task's dynamically-last write of each register,
+//! * memory dependence speculation through an ARB model: a load that
+//!   executes before an earlier in-flight task's store to the same
+//!   address squashes the loading task (and, implicitly, its successors,
+//!   which have not been dispatched past it yet), re-executing it after
+//!   the store; the synchronisation table then serialises later instances
+//!   of that load,
+//! * per-PU pipelines: fetch through a shared L1I, 2-wide issue (in-order
+//!   or out-of-order within an issue list), ROB occupancy, per-class
+//!   functional units, gshare prediction of intra-task branches, and
+//!   loads through ARB forwarding or the L1D hierarchy,
+//! * in-order task retirement with task start/end overheads — completed
+//!   tasks wait for their predecessor (load imbalance).
+
+use std::collections::{HashMap, HashSet};
+
+use ms_analysis::Liveness;
+use ms_ir::{FuClass, Opcode, Program, NUM_REGS};
+use ms_tasksel::{TaskPartition, TaskTarget};
+use ms_trace::{split_tasks, CtOutcome, DynExit, DynInstKind, DynTask, Trace};
+
+use crate::cache::{Cache, Hierarchy};
+use crate::config::SimConfig;
+use crate::predictor::{Gshare, TaskPredictor};
+use crate::stats::{CycleBreakdown, SimStats};
+
+/// Maximum squash-and-re-execute attempts per task before the engine
+/// forces full memory synchronisation (livelock guard).
+const MAX_ATTEMPTS: u32 = 8;
+
+/// The life of one dynamic task on the machine — the raw material of the
+/// paper's Figure 2 execution time line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskTiming {
+    /// Processing unit the task ran on.
+    pub pu: usize,
+    /// Cycle the sequencer dispatched the task (final attempt).
+    pub dispatch: u64,
+    /// Cycle the task's last instruction completed.
+    pub complete: u64,
+    /// Cycle the task retired (committed architecturally).
+    pub retire: u64,
+    /// Dynamic instructions retired by the task.
+    pub insts: u64,
+    /// Squash-and-re-execute attempts the task needed (1 = clean).
+    pub attempts: u32,
+}
+
+/// A configured Multiscalar timing simulator.
+///
+/// # Example
+///
+/// ```
+/// use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
+/// use ms_sim::{SimConfig, Simulator};
+/// use ms_tasksel::TaskSelector;
+/// use ms_trace::TraceGenerator;
+///
+/// let mut fb = FunctionBuilder::new("main");
+/// let entry = fb.add_block();
+/// let body = fb.add_block();
+/// let exit = fb.add_block();
+/// fb.push_inst(body, Opcode::IAdd.inst().dst(Reg::int(1)).src(Reg::int(1)));
+/// fb.set_terminator(entry, Terminator::Jump { target: body });
+/// fb.set_terminator(body, Terminator::Branch {
+///     taken: body, fall: exit, cond: vec![Reg::int(1)],
+///     behavior: BranchBehavior::exact_loop(32),
+/// });
+/// fb.set_terminator(exit, Terminator::Halt);
+/// let mut pb = ProgramBuilder::new();
+/// let m = pb.declare_function("main");
+/// pb.define_function(m, fb.finish(entry)?);
+/// let program = pb.finish(m)?;
+///
+/// let sel = TaskSelector::control_flow(4).select(&program);
+/// let trace = TraceGenerator::new(&sel.program, 1).generate(5_000);
+/// let stats = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);
+/// assert!(stats.ipc() > 0.0);
+/// # Ok::<(), ms_ir::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    config: SimConfig,
+    program: &'a Program,
+    partition: &'a TaskPartition,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for a partitioned program.
+    pub fn new(config: SimConfig, program: &'a Program, partition: &'a TaskPartition) -> Self {
+        Simulator { config, program, partition }
+    }
+
+    /// Runs the trace to completion and returns the statistics.
+    pub fn run(&self, trace: &Trace) -> SimStats {
+        let tasks = split_tasks(trace, self.program, self.partition);
+        Engine::new(&self.config, self.program, self.partition, trace).run(&tasks)
+    }
+
+    /// Runs a pre-split dynamic task sequence (lets callers reuse a
+    /// split across configurations).
+    pub fn run_tasks(&self, trace: &Trace, tasks: &[DynTask]) -> SimStats {
+        Engine::new(&self.config, self.program, self.partition, trace).run(tasks)
+    }
+
+    /// Runs the trace and additionally returns the per-task time line
+    /// (dispatch / complete / retire per dynamic task) — the data behind
+    /// the paper's Figure 2 narrative.
+    pub fn run_with_timeline(&self, trace: &Trace) -> (SimStats, Vec<TaskTiming>) {
+        let tasks = split_tasks(trace, self.program, self.partition);
+        let mut engine = Engine::new(&self.config, self.program, self.partition, trace);
+        let mut timeline = Vec::with_capacity(tasks.len());
+        let stats = engine.run_collecting(&tasks, Some(&mut timeline));
+        (stats, timeline)
+    }
+}
+
+/// The most recent writer of an architectural register.
+#[derive(Debug, Clone, Copy)]
+struct RegSrc {
+    task: usize,
+    /// Cycle the value enters the ring (post bandwidth scheduling).
+    send: u64,
+}
+
+/// The most recent store to an address.
+#[derive(Debug, Clone, Copy)]
+struct StoreSrc {
+    task: usize,
+    complete: u64,
+}
+
+/// Result of executing one task attempt.
+#[derive(Debug)]
+struct Attempt {
+    complete: u64,
+    resolve: u64,
+    insts: u64,
+    ct_insts: u64,
+    br_preds: u64,
+    br_hits: u64,
+    arb_overflow: bool,
+    /// Earliest violation: (cycle the store completed, load PC).
+    violation: Option<(u64, u64)>,
+    /// Completion of the dynamically-last write per register.
+    reg_writes: HashMap<usize, u64>,
+    /// (addr, complete, pc) per store, program order.
+    stores: Vec<(u64, u64, u64)>,
+    /// Stall blame weights.
+    w_intra: u64,
+    w_inter: u64,
+    w_mem: u64,
+    w_front: u64,
+    w_res: u64,
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    program: &'a Program,
+    partition: &'a TaskPartition,
+    trace: &'a Trace,
+    icache: Hierarchy,
+    dcache: Hierarchy,
+    /// Sequencer-side task descriptor cache (paper §4.2).
+    task_cache: Cache,
+    gshare: Vec<Gshare>,
+    /// Per-PU last-target indirect jump predictor (internal switches).
+    indirect: Vec<HashMap<u64, u16>>,
+    task_pred: TaskPredictor,
+    reg_src: Vec<Option<RegSrc>>,
+    last_store: HashMap<u64, StoreSrc>,
+    /// LRU list of synchronised load PCs.
+    sync_table: Vec<u64>,
+    /// Per-(PU, cycle) outgoing ring slot usage — link bandwidth is a
+    /// property of the PU's ring port, shared by consecutive tasks it
+    /// runs, not per task.
+    ring_slots: HashMap<(usize, u64), u32>,
+    retire: Vec<u64>,
+    /// Cached (targets, entry pc) per static task.
+    target_cache: HashMap<(usize, usize), (Vec<TaskTarget>, u64)>,
+    /// Per-function liveness (dead register analysis), computed lazily.
+    liveness: HashMap<usize, Liveness>,
+    reg_forwards: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        cfg: &'a SimConfig,
+        program: &'a Program,
+        partition: &'a TaskPartition,
+        trace: &'a Trace,
+    ) -> Self {
+        Engine {
+            cfg,
+            program,
+            partition,
+            trace,
+            icache: Hierarchy::new(cfg.l1i, cfg.l2, cfg.mem_latency),
+            dcache: Hierarchy::new(cfg.l1d, cfg.l2, cfg.mem_latency),
+            task_cache: Cache::new(cfg.task_cache),
+            gshare: (0..cfg.num_pus)
+                .map(|_| Gshare::new(cfg.gshare_history_bits, cfg.gshare_table_bits))
+                .collect(),
+            indirect: vec![HashMap::new(); cfg.num_pus],
+            task_pred: TaskPredictor::new(cfg.task_pred_history_bits, cfg.task_pred_table_bits),
+            reg_src: vec![None; NUM_REGS],
+            last_store: HashMap::new(),
+            sync_table: Vec::new(),
+            ring_slots: HashMap::new(),
+            retire: Vec::new(),
+            target_cache: HashMap::new(),
+            liveness: HashMap::new(),
+            reg_forwards: 0,
+        }
+    }
+
+    fn liveness_of(&mut self, func: ms_ir::FuncId) -> &Liveness {
+        self.liveness
+            .entry(func.index())
+            .or_insert_with(|| Liveness::compute(self.program.function(func)))
+    }
+
+    fn run(&mut self, tasks: &[DynTask]) -> SimStats {
+        self.run_collecting(tasks, None)
+    }
+
+    fn run_collecting(
+        &mut self,
+        tasks: &[DynTask],
+        mut timeline: Option<&mut Vec<TaskTiming>>,
+    ) -> SimStats {
+        let p = self.cfg.num_pus;
+        let mut pu_free = vec![0u64; p];
+        let mut stats = SimStats {
+            num_pus: p,
+            total_cycles: 0,
+            total_insts: 0,
+            num_dyn_tasks: tasks.len(),
+            task_preds: 0,
+            task_pred_hits: 0,
+            br_preds: 0,
+            br_pred_hits: 0,
+            ct_insts: 0,
+            violations: 0,
+            squashed_insts: 0,
+            arb_overflows: 0,
+            breakdown: CycleBreakdown::default(),
+            window_span_measured: 0.0,
+            reg_forwards: 0,
+            l1d: (0, 0),
+            l1i: (0, 0),
+        };
+        let mut prev_dispatch = 0u64;
+        let mut prev_resolve = 0u64;
+        let mut prev_mispredicted = false;
+        let mut inflight_span = 0u64; // Σ insts × residency
+
+        for (k, dt) in tasks.iter().enumerate() {
+            let pu = k % p;
+            let natural = pu_free[pu].max(prev_dispatch + 1);
+            let mut dispatch = natural;
+            if prev_mispredicted {
+                let restart = prev_resolve + self.cfg.task_mispredict_restart as u64;
+                if restart > dispatch {
+                    stats.breakdown.ctrl_misspec += restart - dispatch;
+                    dispatch = restart;
+                }
+            }
+
+            // The sequencer reads the task descriptor; a task cache
+            // miss delays dispatch by an L2 access.
+            {
+                let (_, entry_pc) = self.targets_of(dt);
+                if !self.task_cache.access(entry_pc) {
+                    dispatch += self.cfg.l2.hit_latency as u64;
+                }
+            }
+
+            // Execute, re-executing on memory dependence violations.
+            let head_free = if k == 0 { 0 } else { self.retire[k - 1] + 1 };
+            let mut attempts = 0u32;
+            let attempt = loop {
+                attempts += 1;
+                let force_sync = attempts > MAX_ATTEMPTS;
+                let a = self.exec_task(k, dt, dispatch, pu, head_free, force_sync);
+                match a.violation {
+                    Some((cycle, load_pc)) if !force_sync => {
+                        stats.violations += 1;
+                        stats.squashed_insts += a.insts;
+                        let restart = cycle + self.cfg.squash_restart as u64;
+                        stats.breakdown.mem_misspec += restart.saturating_sub(dispatch);
+                        self.sync_insert(load_pc);
+                        dispatch = restart.max(dispatch + 1);
+                    }
+                    _ => break a,
+                }
+            };
+
+            // Retirement: commit work (end overhead) happens on the
+            // task's own PU and overlaps across PUs; the retire token
+            // passes in order at one task per cycle. Waiting for the
+            // predecessor is the paper's load imbalance.
+            let commit_done = attempt.complete + self.cfg.task_end_overhead as u64;
+            let retire = commit_done.max(head_free);
+            let imbalance = retire - commit_done;
+            self.retire.push(retire);
+            pu_free[pu] = retire;
+            if let Some(tl) = timeline.as_deref_mut() {
+                tl.push(TaskTiming {
+                    pu,
+                    dispatch,
+                    complete: attempt.complete,
+                    retire,
+                    insts: attempt.insts,
+                    attempts,
+                });
+            }
+            #[cfg(feature = "trace-debug")]
+            if k < 64 {
+                eprintln!(
+                    "task {k:4} pu {pu} dispatch {dispatch:6} complete {:6} retire {retire:6} insts {:3}",
+                    attempt.complete, attempt.insts
+                );
+            }
+
+            // Commit architectural effects: register forwards (ring send
+            // scheduling, filtered by dead register analysis) and the
+            // store map.
+            let exit_step = &self.trace.steps()[dt.end - 1];
+            self.commit_regs(k, pu, &attempt, exit_step.block);
+            for &(addr, complete, _pc) in &attempt.stores {
+                self.last_store.insert(addr, StoreSrc { task: k, complete });
+            }
+
+            // Inter-task prediction for this task's exit (consulted when
+            // the successor was speculatively dispatched).
+            prev_mispredicted = false;
+            if let DynExit::Target(actual) = dt.exit {
+                let (targets, entry_pc) = self.targets_of(dt);
+                let actual_idx = targets.iter().position(|t| *t == actual);
+                let correct = match actual_idx {
+                    Some(idx) => self.task_pred.predict_and_update(entry_pc, idx, targets.len()),
+                    None => {
+                        self.task_pred.predict_and_update(entry_pc, 0, targets.len().max(2));
+                        false
+                    }
+                };
+                stats.task_preds += 1;
+                if correct {
+                    stats.task_pred_hits += 1;
+                } else {
+                    prev_mispredicted = true;
+                }
+            }
+            prev_resolve = attempt.resolve;
+            prev_dispatch = dispatch;
+
+            // Accounting.
+            stats.total_insts += attempt.insts;
+            stats.ct_insts += attempt.ct_insts;
+            stats.br_preds += attempt.br_preds;
+            stats.br_pred_hits += attempt.br_hits;
+            if attempt.arb_overflow {
+                stats.arb_overflows += 1;
+            }
+            inflight_span += attempt.insts * (retire - dispatch);
+            self.account(&mut stats.breakdown, &attempt, dispatch, imbalance);
+        }
+
+        stats.total_cycles = self.retire.last().copied().unwrap_or(0);
+        stats.reg_forwards = self.reg_forwards;
+        stats.l1d = self.dcache.l1_counters();
+        stats.l1i = self.icache.l1_counters();
+        stats.window_span_measured = if stats.total_cycles == 0 {
+            0.0
+        } else {
+            inflight_span as f64 / stats.total_cycles as f64
+        };
+        stats
+    }
+
+    /// Splits a task's busy span into the §2.3 categories.
+    fn account(&self, b: &mut CycleBreakdown, a: &Attempt, dispatch: u64, imbalance: u64) {
+        b.start_overhead += self.cfg.task_start_overhead as u64;
+        b.load_imbalance += imbalance;
+        b.end_overhead += self.cfg.task_end_overhead as u64;
+        let exec_span = a
+            .complete
+            .saturating_sub(dispatch + self.cfg.task_start_overhead as u64);
+        let ideal = a.insts.div_ceil(self.cfg.issue_width as u64).max(1);
+        let stall = exec_span.saturating_sub(ideal);
+        b.useful += exec_span.min(ideal);
+        let weights =
+            [a.w_intra, a.w_inter, a.w_mem, a.w_front, a.w_res, /* residual → useful */ 0];
+        let wsum: u64 = weights.iter().sum();
+        if wsum == 0 {
+            b.useful += stall;
+        } else {
+            let share = |w: u64| stall * w / wsum;
+            b.intra_dep += share(a.w_intra);
+            b.inter_comm += share(a.w_inter);
+            b.memory += share(a.w_mem);
+            b.frontend += share(a.w_front);
+            b.resource += share(a.w_res);
+            // Rounding residue → useful, keeping the per-task identity.
+            let assigned = share(a.w_intra) + share(a.w_inter) + share(a.w_mem)
+                + share(a.w_front)
+                + share(a.w_res);
+            b.useful += stall - assigned;
+        }
+    }
+
+    fn targets_of(&mut self, dt: &DynTask) -> (Vec<TaskTarget>, u64) {
+        let key = (dt.func.index(), dt.task.index());
+        if let Some(v) = self.target_cache.get(&key) {
+            return v.clone();
+        }
+        let targets = self.partition.targets(self.program, dt.func, dt.task);
+        let entry = self.partition.func(dt.func).task(dt.task).entry();
+        let pc = self.program.block_pc(ms_ir::BlockRef::new(dt.func, entry));
+        self.target_cache.insert(key, (targets.clone(), pc));
+        (targets, pc)
+    }
+
+    fn sync_insert(&mut self, pc: u64) {
+        if self.cfg.sync_table_entries == 0 {
+            // Synchronisation disabled (the ablation machine): the same
+            // load keeps misspeculating, bounded only by MAX_ATTEMPTS.
+            return;
+        }
+        if let Some(pos) = self.sync_table.iter().position(|&x| x == pc) {
+            self.sync_table.remove(pos);
+        } else if self.sync_table.len() >= self.cfg.sync_table_entries as usize {
+            self.sync_table.remove(0);
+        }
+        self.sync_table.push(pc);
+    }
+
+    fn is_synced(&self, pc: u64) -> bool {
+        self.sync_table.contains(&pc)
+    }
+
+    /// Schedules the task's register forwards onto the ring (bandwidth
+    /// limited) and publishes them. With dead register analysis enabled
+    /// (the compiler of \[3\]/\[18\]), only registers live out of the task's
+    /// exit block travel; dead values stay put, saving ring bandwidth.
+    fn commit_regs(&mut self, k: usize, pu: usize, a: &Attempt, exit: ms_ir::BlockRef) {
+        // Liveness is intra-procedural: across calls and returns the
+        // other function's uses are invisible, so those exits forward
+        // everything (conservative).
+        let term = self.program.function(exit.func).block(exit.block).terminator();
+        let filter = self.cfg.dead_reg_analysis && !term.is_call() && !term.is_return();
+        let mut outs: Vec<(usize, u64)> = if filter {
+            let live = self.liveness_of(exit.func).live_out(exit.block).clone();
+            a.reg_writes
+                .iter()
+                .filter(|(&r, _)| live.contains(r))
+                .map(|(&r, &c)| (r, c))
+                .collect()
+        } else {
+            a.reg_writes.iter().map(|(&r, &c)| (r, c)).collect()
+        };
+        self.reg_forwards += outs.len() as u64;
+        outs.sort_by_key(|&(r, c)| (c, r));
+        let bw = self.cfg.ring_bandwidth.max(1);
+        for (r, ready) in outs {
+            let mut cycle = ready;
+            loop {
+                let used = self.ring_slots.entry((pu, cycle)).or_insert(0);
+                if *used < bw {
+                    *used += 1;
+                    break;
+                }
+                cycle += 1;
+            }
+            self.reg_src[r] = Some(RegSrc { task: k, send: cycle });
+        }
+    }
+
+    /// Executes one attempt of task `k` starting at `dispatch`.
+    #[allow(clippy::too_many_lines)]
+    fn exec_task(
+        &mut self,
+        k: usize,
+        dt: &DynTask,
+        dispatch: u64,
+        pu: usize,
+        head_free: u64,
+        force_sync: bool,
+    ) -> Attempt {
+        let cfg = self.cfg;
+        let p = cfg.num_pus;
+        let fetch_base = dispatch + cfg.task_start_overhead as u64;
+        let mut fetch_cycle = fetch_base;
+        let mut fetched = 0u32;
+        let mut cur_line = u64::MAX;
+
+        let mut local_reg: HashMap<usize, u64> = HashMap::new();
+        let mut local_store: HashMap<u64, u64> = HashMap::new(); // addr → complete
+        let mut issue_slots: HashMap<u64, u32> = HashMap::new();
+        let mut fu_free: [Vec<u64>; 4] = [
+            vec![0; cfg.fus.int as usize],
+            vec![0; cfg.fus.fp as usize],
+            vec![0; cfg.fus.branch as usize],
+            vec![0; cfg.fus.mem as usize],
+        ];
+        let mut issues: Vec<u64> = Vec::new();
+        let mut completes_prefix_max: Vec<u64> = Vec::new();
+        let mut last_issue = 0u64;
+        let mut mem_lines: HashSet<u64> = HashSet::new();
+        let mut arb_overflow = false;
+        let mut violation: Option<(u64, u64)> = None;
+        let mut exit_ct_complete: Option<u64> = None;
+
+        let mut a = Attempt {
+            complete: fetch_base,
+            resolve: fetch_base,
+            insts: 0,
+            ct_insts: 0,
+            br_preds: 0,
+            br_hits: 0,
+            arb_overflow: false,
+            violation: None,
+            reg_writes: HashMap::new(),
+            stores: Vec::new(),
+            w_intra: 0,
+            w_inter: 0,
+            w_mem: 0,
+            w_front: 0,
+            w_res: 0,
+        };
+
+        for step_idx in dt.start..dt.end {
+            let step = &self.trace.steps()[step_idx];
+            let is_last_step = step_idx + 1 == dt.end;
+            let insts = self.trace.insts_of_step(step_idx, self.program);
+            let n_insts = insts.len();
+            for (j, di) in insts.into_iter().enumerate() {
+                // ---- Fetch ----
+                let line = di.pc / cfg.l1i.line;
+                if line != cur_line {
+                    cur_line = line;
+                    let lat = self.icache.access(di.pc);
+                    if lat > cfg.l1i.hit_latency {
+                        let stall = (lat - cfg.l1i.hit_latency) as u64;
+                        fetch_cycle += stall;
+                        fetched = 0;
+                        a.w_front += stall;
+                    }
+                }
+                if fetched >= cfg.issue_width {
+                    fetch_cycle += 1;
+                    fetched = 0;
+                }
+                let my_fetch = fetch_cycle;
+                fetched += 1;
+                let decode_ready = my_fetch + 1;
+
+                // ---- Operands ----
+                let mut intra_ready = 0u64;
+                let mut inter_ready = 0u64;
+                for src in &di.srcs {
+                    let d = src.dense();
+                    if let Some(&c) = local_reg.get(&d) {
+                        intra_ready = intra_ready.max(c);
+                    } else if let Some(rs) = self.reg_src[d] {
+                        let retired = self
+                            .retire
+                            .get(rs.task)
+                            .map(|&r| r <= dispatch)
+                            .unwrap_or(true);
+                        if !retired {
+                            let m = (k - rs.task) as u64; // 1..P-1 in flight
+                            let hops = m.min(p as u64);
+                            let arrival = rs.send + (hops - 1) * cfg.ring_hop_latency as u64;
+                            inter_ready = inter_ready.max(arrival);
+                        }
+                    }
+                }
+
+                let mut ready = decode_ready.max(intra_ready).max(inter_ready);
+                a.w_intra += intra_ready.saturating_sub(decode_ready);
+                a.w_inter += inter_ready.saturating_sub(decode_ready);
+
+                // ---- Window constraints ----
+                let i = issues.len();
+                if i >= cfg.rob_size as usize {
+                    ready = ready.max(completes_prefix_max[i - cfg.rob_size as usize]);
+                }
+                if cfg.in_order {
+                    ready = ready.max(last_issue);
+                } else if i >= cfg.issue_list as usize {
+                    ready = ready.max(issues[i - cfg.issue_list as usize]);
+                }
+
+                // ---- Issue slot + FU ----
+                let class_idx = match di.kind {
+                    DynInstKind::Op(op) => match op.fu_class() {
+                        FuClass::Int => 0,
+                        FuClass::Fp => 1,
+                        FuClass::Branch => 2,
+                        FuClass::Mem => 3,
+                    },
+                    DynInstKind::Ct => 2,
+                };
+                let unit = {
+                    let units = &fu_free[class_idx];
+                    (0..units.len()).min_by_key(|&u| units[u]).expect("fu count >= 1")
+                };
+                let mut c = ready.max(fu_free[class_idx][unit]);
+                loop {
+                    let used = issue_slots.entry(c).or_insert(0);
+                    if *used < cfg.issue_width {
+                        *used += 1;
+                        break;
+                    }
+                    c += 1;
+                }
+                a.w_res += c - ready;
+                // Reserve the unit: divides are unpipelined, everything
+                // else accepts a new operation every cycle.
+                let occupancy = match di.kind {
+                    DynInstKind::Op(op @ (Opcode::IDiv | Opcode::FDiv)) => op.latency() as u64,
+                    _ => 1,
+                };
+                fu_free[class_idx][unit] = c + occupancy;
+
+                // ---- Execute / memory ----
+                let complete;
+                match di.kind {
+                    DynInstKind::Op(op) => {
+                        let base_lat = op.latency() as u64;
+                        if op.is_load() {
+                            let addr = di.addr.expect("loads carry addresses");
+                            // ARB capacity.
+                            mem_lines.insert(addr / cfg.l1d.line);
+                            if mem_lines.len() > cfg.arb_entries_per_pu as usize
+                                && c < head_free
+                            {
+                                let stall = head_free - c;
+                                a.w_mem += stall;
+                                c = head_free;
+                                arb_overflow = true;
+                            }
+                            let mut lat;
+                            if let Some(&sc) = local_store.get(&addr) {
+                                // Intra-task store → load forward.
+                                let wait = sc.saturating_sub(c);
+                                a.w_intra += wait;
+                                c += wait;
+                                lat = 1;
+                            } else if let Some(ss) = self.last_store.get(&addr).copied() {
+                                let retired =
+                                    self.retire.get(ss.task).map(|&r| r <= c).unwrap_or(true);
+                                if retired {
+                                    lat = self.dcache.access(addr) as u64;
+                                } else if self.is_synced(di.pc) || force_sync {
+                                    // Synchronised: wait for the store.
+                                    let wait = (ss.complete + 1).saturating_sub(c);
+                                    a.w_mem += wait;
+                                    c += wait;
+                                    lat = cfg.arb_hit_latency as u64;
+                                } else if ss.complete > c {
+                                    // Premature load: violation when the
+                                    // store completes.
+                                    let v = (ss.complete, di.pc);
+                                    if violation.map(|(vc, _)| v.0 < vc).unwrap_or(true) {
+                                        violation = Some(v);
+                                    }
+                                    lat = cfg.arb_hit_latency as u64;
+                                } else {
+                                    // ARB forwards the speculative value.
+                                    lat = cfg.arb_hit_latency as u64;
+                                }
+                            } else {
+                                lat = self.dcache.access(addr) as u64;
+                            }
+                            lat = lat.max(base_lat);
+                            a.w_mem += lat - 1;
+                            complete = c + lat;
+                        } else if op.is_store() {
+                            let addr = di.addr.expect("stores carry addresses");
+                            mem_lines.insert(addr / cfg.l1d.line);
+                            if mem_lines.len() > cfg.arb_entries_per_pu as usize
+                                && c < head_free
+                            {
+                                let stall = head_free - c;
+                                a.w_mem += stall;
+                                c = head_free;
+                                arb_overflow = true;
+                            }
+                            complete = c + base_lat;
+                            local_store.insert(addr, complete);
+                            a.stores.push((addr, complete, di.pc));
+                        } else {
+                            complete = c + base_lat;
+                            // Blame long latencies on intra-task deps
+                            // only when someone waits; handled via
+                            // operand waits of consumers.
+                        }
+                    }
+                    DynInstKind::Ct => {
+                        complete = c + 1;
+                        a.ct_insts += 1;
+                        // Intra-task control transfers run through the
+                        // PU's predictors (gshare for conditionals, a
+                        // last-target table for switches; jumps, inlined
+                        // calls and returns are statically/RAS
+                        // predictable). The exit CT is the task
+                        // predictor's job.
+                        if !is_last_step {
+                            let correct = match step.outcome {
+                                CtOutcome::Branch(taken) => {
+                                    self.gshare[pu].predict_and_update(di.pc, taken)
+                                }
+                                CtOutcome::Switch(arm) => {
+                                    let slot = self.indirect[pu].entry(di.pc).or_insert(arm);
+                                    let ok = *slot == arm;
+                                    *slot = arm;
+                                    ok
+                                }
+                                _ => true,
+                            };
+                            a.br_preds += 1;
+                            if correct {
+                                a.br_hits += 1;
+                            } else {
+                                let redirect = complete + cfg.branch_mispredict_penalty as u64;
+                                if redirect > fetch_cycle {
+                                    a.w_front += redirect - fetch_cycle;
+                                    fetch_cycle = redirect;
+                                    fetched = 0;
+                                }
+                            }
+                        }
+                    }
+                }
+
+                #[cfg(feature = "trace-debug")]
+                if std::env::var("MS_DBG_TASK").ok().and_then(|v| v.parse::<usize>().ok()) == Some(k) {
+                    eprintln!(
+                        "  inst {:3} {:?} fetch {} intra {} inter {} ready {} issue {} complete {}",
+                        issues.len(), di.kind, my_fetch, intra_ready, inter_ready, ready, c, complete
+                    );
+                }
+                if let Some(dst) = di.dst {
+                    local_reg.insert(dst.dense(), complete);
+                }
+                issues.push(c);
+                let pmax = completes_prefix_max.last().copied().unwrap_or(0).max(complete);
+                completes_prefix_max.push(pmax);
+                last_issue = c;
+                a.insts += 1;
+                a.complete = a.complete.max(complete);
+                if di.is_ct() && is_last_step && j + 1 == n_insts {
+                    exit_ct_complete = Some(complete);
+                }
+            }
+        }
+        // The exit resolves when the final control transfer completes;
+        // a task ending without one (halt) resolves at completion.
+        a.resolve = exit_ct_complete.unwrap_or(a.complete);
+        a.reg_writes = local_reg;
+        a.arb_overflow = arb_overflow;
+        a.violation = violation;
+        a
+    }
+}

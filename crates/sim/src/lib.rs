@@ -1,0 +1,37 @@
+//! Cycle-level Multiscalar processor timing simulator.
+//!
+//! Models the machine of *Task Selection for a Multiscalar Processor*
+//! (MICRO-31, 1998), §4.2: a ring of narrow processing units (2-way
+//! issue, 16-entry ROB, 8-entry issue list, 2 int / 1 fp / 1 branch /
+//! 1 mem units), a sequencer with a path-based inter-task target
+//! predictor (16-bit history, 64K entries) and per-PU gshare intra-task
+//! predictors, a register communication ring (2 values/cycle, same-cycle
+//! adjacent bypass), an Address Resolution Buffer with a 256-entry memory
+//! dependence synchronisation table, and an L1/L2/memory hierarchy.
+//!
+//! The simulator is trace-driven: it consumes the correct-path dynamic
+//! task sequence (from [`ms_trace`]) and models control misspeculation as
+//! wrong-path occupancy + restart, and memory dependence misspeculation
+//! as squash-and-re-execute of correct-path work — the two scenarios of
+//! the paper's §2.3 time line. Cycle accounting follows the same
+//! categories (task start/end overhead, useful, intra-task dependence,
+//! inter-task communication, load imbalance, misspeculation penalties).
+//!
+//! Entry points: [`SimConfig`] (presets [`SimConfig::four_pu`],
+//! [`SimConfig::eight_pu`], [`SimConfig::single_pu`]), [`Simulator`],
+//! [`SimStats`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod engine;
+mod predictor;
+mod stats;
+
+pub use cache::{Cache, Hierarchy};
+pub use config::{CacheParams, FuCounts, SimConfig};
+pub use engine::{Simulator, TaskTiming};
+pub use predictor::{Gshare, ReturnStack, TaskPredictor};
+pub use stats::{CycleBreakdown, SimStats};

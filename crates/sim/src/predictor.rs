@@ -1,0 +1,290 @@
+//! Control flow predictors: intra-task gshare and the inter-task
+//! path-based task predictor (Jacobson et al., cited as \[9\]).
+
+/// A 2-bit saturating counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Counter2(u8);
+
+impl Counter2 {
+    fn new() -> Self {
+        Counter2(1) // weakly not-taken
+    }
+    fn taken(&self) -> bool {
+        self.0 >= 2
+    }
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Gshare direction predictor: global history XOR branch PC indexing a
+/// table of 2-bit counters. Used for intra-task conditional branches
+/// (paper: 16-bit history, 64K entries).
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<Counter2>,
+    history: u64,
+    history_mask: u64,
+    index_mask: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `history_bits` of global history and a
+    /// `2^table_bits`-entry counter table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits` is 0 or greater than 28.
+    pub fn new(history_bits: u32, table_bits: u32) -> Self {
+        assert!(table_bits > 0 && table_bits <= 28, "unreasonable gshare table size");
+        Gshare {
+            table: vec![Counter2::new(); 1 << table_bits],
+            history: 0,
+            history_mask: (1u64 << history_bits.min(63)) - 1,
+            index_mask: (1u64 << table_bits) - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.index_mask) as usize
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    /// Predicts, updates with the actual outcome, and reports whether the
+    /// prediction was correct.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let idx = self.index(pc);
+        let correct = self.table[idx].taken() == taken;
+        self.table[idx].update(taken);
+        self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+        correct
+    }
+}
+
+/// One task predictor entry: a predicted target index with a 2-bit
+/// confidence counter (the paper's "2-bit counters and 2-bit target
+/// numbers").
+#[derive(Debug, Clone, Copy)]
+struct TaskEntry {
+    target: u8,
+    conf: Counter2,
+}
+
+/// Path-based inter-task target predictor: a hash of the recent task
+/// entry-PC path indexes a table of (confidence, target-number) pairs.
+/// The target number selects among a task's ≤ N static successor
+/// targets.
+#[derive(Debug, Clone)]
+pub struct TaskPredictor {
+    table: Vec<TaskEntry>,
+    /// Folded path history of task entry PCs.
+    path: u64,
+    history_mask: u64,
+    index_mask: u64,
+}
+
+impl TaskPredictor {
+    /// Creates a predictor with `history_bits` of folded path history and
+    /// a `2^table_bits`-entry table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits` is 0 or greater than 28.
+    pub fn new(history_bits: u32, table_bits: u32) -> Self {
+        assert!(table_bits > 0 && table_bits <= 28, "unreasonable task predictor size");
+        TaskPredictor {
+            table: vec![TaskEntry { target: 0, conf: Counter2::new() }; 1 << table_bits],
+            path: 0,
+            history_mask: (1u64 << history_bits.min(63)) - 1,
+            index_mask: (1u64 << table_bits) - 1,
+        }
+    }
+
+    fn index(&self, task_pc: u64) -> usize {
+        (((task_pc >> 2) ^ self.path) & self.index_mask) as usize
+    }
+
+    /// Predicts the target index (0-based, into the task's target list)
+    /// the task at `task_pc` will exit to.
+    pub fn predict(&self, task_pc: u64) -> usize {
+        self.table[self.index(task_pc)].target as usize
+    }
+
+    /// Predicts, updates with the actual target index, folds the task
+    /// into the path history, and reports whether the prediction was
+    /// correct. `num_targets == 1` is trivially correct (nothing to
+    /// predict).
+    ///
+    /// The table stores the paper's **2-bit target numbers**: targets
+    /// beyond index 3 cannot be represented, so tasks selected with more
+    /// successors than the hardware tracks are systematically
+    /// mispredicted when they exit through the extra targets (§2.4.2).
+    pub fn predict_and_update(&mut self, task_pc: u64, actual: usize, num_targets: usize) -> bool {
+        const HW_TARGETS: usize = 4; // 2-bit target number
+        let idx = self.index(task_pc);
+        let entry = &mut self.table[idx];
+        let predicted = entry.target as usize;
+        let correct = num_targets <= 1 || (actual < HW_TARGETS && predicted == actual);
+        if correct {
+            entry.conf.update(true);
+        } else {
+            entry.conf.update(false);
+            if !entry.conf.taken() && actual < HW_TARGETS {
+                entry.target = actual as u8;
+            }
+        }
+        // Fold (path << 3) ^ pc, as in path-based next-trace predictors.
+        self.path = (((self.path << 3) ^ (task_pc >> 2)) ^ actual as u64) & self.history_mask;
+        correct
+    }
+}
+
+/// A return address stack for the sequencer. The paper predicts
+/// call/return task targets accurately; we model an ideal stack that only
+/// fails on overflow (deep recursion).
+#[derive(Debug, Clone)]
+pub struct ReturnStack<T> {
+    stack: Vec<T>,
+    capacity: usize,
+    overflowed: bool,
+}
+
+impl<T> ReturnStack<T> {
+    /// Creates a stack with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        ReturnStack { stack: Vec::new(), capacity, overflowed: false }
+    }
+
+    /// Pushes a return target (dropping the oldest on overflow).
+    pub fn push(&mut self, v: T) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+            self.overflowed = true;
+        }
+        self.stack.push(v);
+    }
+
+    /// Pops the predicted return target.
+    pub fn pop(&mut self) -> Option<T> {
+        self.stack.pop()
+    }
+
+    /// Whether the stack ever overflowed (predictions after an overflow
+    /// may be wrong).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gshare_learns_a_bias() {
+        let mut g = Gshare::new(16, 16);
+        // Warmup: the global history must saturate before the index
+        // stabilises.
+        for _ in 0..50 {
+            g.predict_and_update(0x1000, true);
+        }
+        let mut correct = 0;
+        for _ in 0..100 {
+            if g.predict_and_update(0x1000, true) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 95, "biased branch should be learned, got {correct}");
+    }
+
+    #[test]
+    fn gshare_learns_an_alternating_pattern() {
+        let mut g = Gshare::new(16, 16);
+        let mut correct = 0;
+        for i in 0..400 {
+            if g.predict_and_update(0x2000, i % 2 == 0) {
+                correct += 1;
+            }
+        }
+        // After warmup the history disambiguates the two phases.
+        assert!(correct > 300, "alternating pattern learned, got {correct}");
+    }
+
+    #[test]
+    fn gshare_distinguishes_branches_by_pc() {
+        let mut g = Gshare::new(4, 16);
+        for _ in 0..64 {
+            g.predict_and_update(0x1000, true);
+            g.predict_and_update(0x2000, false);
+        }
+        // Steady state: both biased branches predicted correctly.
+        assert!(g.predict(0x1000) || !g.predict(0x2000));
+    }
+
+    #[test]
+    fn task_predictor_learns_a_dominant_target() {
+        let mut t = TaskPredictor::new(16, 16);
+        let mut correct = 0;
+        for _ in 0..100 {
+            if t.predict_and_update(0x4000, 2, 4) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 90, "dominant target learned, got {correct}");
+    }
+
+    #[test]
+    fn task_predictor_single_target_is_free() {
+        let mut t = TaskPredictor::new(16, 16);
+        for _ in 0..10 {
+            assert!(t.predict_and_update(0x4000, 0, 1));
+        }
+    }
+
+    #[test]
+    fn task_predictor_uses_path_history() {
+        // Target of task B depends on the preceding task (A1 vs A2):
+        // unlearnable without path history.
+        let mut t = TaskPredictor::new(16, 16);
+        let mut correct = 0;
+        let total = 600;
+        for i in 0..total {
+            if i % 2 == 0 {
+                t.predict_and_update(0xa000, 0, 4);
+                if t.predict_and_update(0xb000, 1, 4) && i > 100 {
+                    correct += 1;
+                }
+            } else {
+                t.predict_and_update(0xa004, 0, 4);
+                if t.predict_and_update(0xb000, 3, 4) && i > 100 {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct > 400, "path-correlated targets learned, got {correct}");
+    }
+
+    #[test]
+    fn return_stack_is_lifo_and_tracks_overflow() {
+        let mut r = ReturnStack::new(2);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+        assert!(!r.overflowed());
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert!(r.overflowed());
+        assert_eq!(r.pop(), Some(3));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: simulator invariants over the whole workload suite
+//! and randomised configurations.
+
+use proptest::prelude::*;
+
+use ms_sim::{SimConfig, Simulator};
+use ms_tasksel::TaskSelector;
+use ms_trace::TraceGenerator;
+use ms_workloads::suite;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any workload, seed and machine: the simulator retires exactly
+    /// the trace, IPC is bounded by aggregate issue width, the cycle
+    /// count is positive, and the run is deterministic.
+    #[test]
+    fn simulator_invariants_hold(
+        bench in 0usize..18,
+        seed in 0u64..64,
+        pus in prop::sample::select(vec![1usize, 2, 4, 8]),
+        in_order in any::<bool>(),
+        cf in any::<bool>(),
+    ) {
+        let w = &suite()[bench];
+        let program = w.build();
+        let sel = if cf {
+            TaskSelector::control_flow(4).select(&program)
+        } else {
+            TaskSelector::basic_block().select(&program)
+        };
+        let trace = TraceGenerator::new(&sel.program, seed).generate(3_000);
+        let mut cfg = SimConfig::with_pus(pus);
+        if in_order {
+            cfg = cfg.in_order();
+        }
+        let s1 = Simulator::new(cfg.clone(), &sel.program, &sel.partition).run(&trace);
+        let s2 = Simulator::new(cfg, &sel.program, &sel.partition).run(&trace);
+        prop_assert_eq!(&s1, &s2, "simulation must be deterministic");
+        prop_assert_eq!(s1.total_insts, trace.num_insts() as u64);
+        prop_assert!(s1.total_cycles > 0);
+        let ceiling = (pus as f64) * 2.0;
+        prop_assert!(s1.ipc() <= ceiling, "IPC {} exceeds {}", s1.ipc(), ceiling);
+        prop_assert!(s1.task_pred_hits <= s1.task_preds);
+        prop_assert!(s1.br_pred_hits <= s1.br_preds);
+        // Busy accounting can never exceed the machine's PU-cycles.
+        prop_assert!(
+            s1.breakdown.total() <= s1.total_cycles * pus as u64 + s1.breakdown.ctrl_misspec,
+            "breakdown {} vs {} PU-cycles",
+            s1.breakdown.total(),
+            s1.total_cycles * pus as u64
+        );
+    }
+
+    /// Longer traces never finish in fewer cycles (monotonicity of the
+    /// retire chain).
+    #[test]
+    fn cycles_grow_with_trace_length(bench in 0usize..18, seed in 0u64..32) {
+        let w = &suite()[bench];
+        let program = w.build();
+        let sel = TaskSelector::control_flow(4).select(&program);
+        let short = TraceGenerator::new(&sel.program, seed).generate(1_000);
+        let long = TraceGenerator::new(&sel.program, seed).generate(4_000);
+        let cfg = SimConfig::four_pu();
+        let s_short = Simulator::new(cfg.clone(), &sel.program, &sel.partition).run(&short);
+        let s_long = Simulator::new(cfg, &sel.program, &sel.partition).run(&long);
+        prop_assert!(s_long.total_cycles >= s_short.total_cycles);
+        prop_assert!(s_long.num_dyn_tasks >= s_short.num_dyn_tasks);
+    }
+}

@@ -1,0 +1,228 @@
+//! Dynamic traces: the correct-path execution record a timing simulator
+//! consumes.
+
+use ms_ir::{BlockRef, Opcode, Program, Reg, Terminator};
+
+/// The outcome of one block's terminator in a dynamic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtOutcome {
+    /// A conditional branch resolved taken (`true`) or not (`false`).
+    Branch(bool),
+    /// A switch selected target index `i`.
+    Switch(u16),
+    /// An unconditional jump.
+    Jump,
+    /// A call was performed.
+    Call,
+    /// A call was *skipped* by the recursion guard (control went straight
+    /// to the return block).
+    SkippedCall,
+    /// A return to the caller.
+    Return,
+    /// Program end.
+    Halt,
+}
+
+/// One dynamic basic-block execution: the block, the concrete addresses
+/// its memory instructions touched (in order), and its control transfer
+/// outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    /// The executed block.
+    pub block: BlockRef,
+    /// One byte address per memory instruction of the block, in program
+    /// order.
+    pub mem_addrs: Vec<u64>,
+    /// How the block's terminator resolved.
+    pub outcome: CtOutcome,
+    /// Call nesting depth at which the block ran (0 = program entry
+    /// function).
+    pub depth: u32,
+}
+
+impl TraceStep {
+    /// Number of dynamic instructions this step contributes (straight-line
+    /// instructions plus the control transfer, if it emits one).
+    pub fn num_insts(&self, program: &Program) -> usize {
+        let blk = program.function(self.block.func).block(self.block.block);
+        blk.insts().len() + usize::from(blk.terminator().emits_ct_inst())
+    }
+}
+
+/// What a dynamic instruction is, from the simulator's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynInstKind {
+    /// A straight-line operation.
+    Op(Opcode),
+    /// The block's control transfer.
+    Ct,
+}
+
+/// A materialised dynamic instruction (operands resolved against the
+/// program and copied out).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynInst {
+    /// Instruction address.
+    pub pc: u64,
+    /// Operation kind.
+    pub kind: DynInstKind,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Source registers.
+    pub srcs: Vec<Reg>,
+    /// Concrete memory address for loads/stores.
+    pub addr: Option<u64>,
+}
+
+impl DynInst {
+    /// Whether this is a load.
+    pub fn is_load(&self) -> bool {
+        matches!(self.kind, DynInstKind::Op(op) if op.is_load())
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, DynInstKind::Op(op) if op.is_store())
+    }
+
+    /// Whether this is a control transfer.
+    pub fn is_ct(&self) -> bool {
+        matches!(self.kind, DynInstKind::Ct)
+    }
+}
+
+/// A correct-path dynamic instruction stream, stored as a sequence of
+/// block executions.
+///
+/// Produced by [`TraceGenerator`](crate::TraceGenerator); consumed by the
+/// dynamic-task splitter and the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    steps: Vec<TraceStep>,
+    num_insts: usize,
+}
+
+impl Trace {
+    /// Wraps a step sequence, counting instructions against `program`.
+    pub fn new(steps: Vec<TraceStep>, program: &Program) -> Self {
+        let num_insts = steps.iter().map(|s| s.num_insts(program)).sum();
+        Trace { steps, num_insts }
+    }
+
+    /// The block-execution steps.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Total dynamic instructions (control transfers included).
+    pub fn num_insts(&self) -> usize {
+        self.num_insts
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Materialises the dynamic instructions of step `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn insts_of_step(&self, idx: usize, program: &Program) -> Vec<DynInst> {
+        let step = &self.steps[idx];
+        let blk = program.function(step.block.func).block(step.block.block);
+        let pc0 = program.block_pc(step.block);
+        let mut out = Vec::with_capacity(blk.insts().len() + 1);
+        let mut mem_i = 0usize;
+        for (i, inst) in blk.insts().iter().enumerate() {
+            let addr = if inst.opcode().is_mem() {
+                let a = step.mem_addrs.get(mem_i).copied();
+                mem_i += 1;
+                a
+            } else {
+                None
+            };
+            out.push(DynInst {
+                pc: pc0 + 4 * i as u64,
+                kind: DynInstKind::Op(inst.opcode()),
+                dst: inst.dst_reg(),
+                srcs: inst.srcs().to_vec(),
+                addr,
+            });
+        }
+        if blk.terminator().emits_ct_inst() {
+            out.push(DynInst {
+                pc: pc0 + 4 * blk.insts().len() as u64,
+                kind: DynInstKind::Ct,
+                dst: None,
+                srcs: blk.terminator().cond_regs().to_vec(),
+                addr: None,
+            });
+        }
+        out
+    }
+}
+
+/// Whether a step's terminator ends the enclosing function.
+pub fn step_is_return(program: &Program, step: &TraceStep) -> bool {
+    matches!(
+        program.function(step.block.func).block(step.block.block).terminator(),
+        Terminator::Return
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_ir::{AddrSpec, BlockId, FuncId, FunctionBuilder, Opcode, ProgramBuilder, Reg};
+
+    fn program_with_mem() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.add_addr_gen(AddrSpec::Global { addr: 0x100 });
+        let m = pb.declare_function("main");
+        let mut fb = FunctionBuilder::new("main");
+        let b = fb.add_block();
+        fb.push_inst(b, Opcode::IMov.inst().dst(Reg::int(1)));
+        fb.push_inst(b, Opcode::Load.inst().dst(Reg::int(2)).src(Reg::int(1)).mem(g));
+        fb.push_inst(b, Opcode::Store.inst().src(Reg::int(2)).mem(g));
+        fb.set_terminator(b, Terminator::Return);
+        pb.define_function(m, fb.finish(b).unwrap());
+        pb.finish(m).unwrap()
+    }
+
+    #[test]
+    fn insts_of_step_assigns_addresses_in_order() {
+        let p = program_with_mem();
+        let step = TraceStep {
+            block: BlockRef::new(FuncId::new(0), BlockId::new(0)),
+            mem_addrs: vec![0x100, 0x108],
+            outcome: CtOutcome::Return,
+            depth: 0,
+        };
+        let trace = Trace::new(vec![step], &p);
+        assert_eq!(trace.num_insts(), 4); // 3 ops + return
+        let insts = trace.insts_of_step(0, &p);
+        assert_eq!(insts.len(), 4);
+        assert_eq!(insts[0].addr, None);
+        assert_eq!(insts[1].addr, Some(0x100));
+        assert!(insts[1].is_load());
+        assert_eq!(insts[2].addr, Some(0x108));
+        assert!(insts[2].is_store());
+        assert!(insts[3].is_ct());
+        // PCs advance by 4.
+        assert_eq!(insts[3].pc, insts[0].pc + 12);
+    }
+
+    #[test]
+    fn step_is_return_matches_terminator() {
+        let p = program_with_mem();
+        let step = TraceStep {
+            block: BlockRef::new(FuncId::new(0), BlockId::new(0)),
+            mem_addrs: vec![],
+            outcome: CtOutcome::Return,
+            depth: 0,
+        };
+        assert!(step_is_return(&p, &step));
+    }
+}

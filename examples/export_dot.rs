@@ -1,0 +1,27 @@
+//! Export a benchmark's partitioned CFG as Graphviz DOT — one cluster
+//! per task, dashed edges where the sequencer crosses task boundaries.
+//!
+//! ```text
+//! cargo run --release --example export_dot compress dd > compress.dot
+//! dot -Tsvg compress.dot -o compress.svg
+//! ```
+
+use multiscalar::prelude::*;
+use multiscalar::tasksel::to_dot;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_string());
+    let strategy = std::env::args().nth(2).unwrap_or_else(|| "cf".to_string());
+    let workload = multiscalar::workloads::by_name(&name).expect("known benchmark name");
+    let program = workload.build();
+    let sel = match strategy.as_str() {
+        "bb" => TaskSelector::basic_block().select(&program),
+        "cf" => TaskSelector::control_flow(4).select(&program),
+        "dd" => TaskSelector::data_dependence(4).select(&program),
+        "ts" => TaskSelector::data_dependence(4)
+            .with_task_size(TaskSizeParams::default())
+            .select(&program),
+        other => panic!("unknown strategy `{other}` (bb|cf|dd|ts)"),
+    };
+    print!("{}", to_dot(&sel.program, &sel.partition, sel.program.entry()));
+}

@@ -1,0 +1,55 @@
+//! Compare the paper's four partitioning strategies on one benchmark
+//! across machine sizes — a single-benchmark slice of Figure 5.
+//!
+//! ```text
+//! cargo run --release --example heuristic_comparison [benchmark]
+//! ```
+
+use multiscalar::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "perl".to_string());
+    let workload = multiscalar::workloads::by_name(&name).expect("known benchmark name");
+    let program = workload.build();
+
+    let strategies: Vec<(&str, Selection)> = vec![
+        ("basic block", TaskSelector::basic_block().select(&program)),
+        ("control flow", TaskSelector::control_flow(4).select(&program)),
+        ("data dependence", TaskSelector::data_dependence(4).select(&program)),
+        (
+            "dd + task size",
+            TaskSelector::data_dependence(4)
+                .with_task_size(TaskSizeParams::default())
+                .select(&program),
+        ),
+    ];
+
+    println!("{name}: IPC by heuristic and machine");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8}",
+        "strategy", "1 PU", "4 PU", "8 PU", "8 in-ord", "size", "mispred"
+    );
+    for (label, sel) in &strategies {
+        let trace = TraceGenerator::new(&sel.program, 0x5eed).generate(80_000);
+        let mut row = format!("{label:<16}");
+        let mut last = None;
+        for cfg in [
+            SimConfig::single_pu(),
+            SimConfig::four_pu(),
+            SimConfig::eight_pu(),
+            SimConfig::eight_pu().in_order(),
+        ] {
+            let stats = Simulator::new(cfg, &sel.program, &sel.partition).run(&trace);
+            row.push_str(&format!(" {:>9.3}", stats.ipc()));
+            last = Some(stats);
+        }
+        let stats = last.expect("at least one configuration ran");
+        row.push_str(&format!(
+            " | {:>8.1} {:>7.2}%",
+            stats.avg_task_size(),
+            stats.task_mispred_pct()
+        ));
+        println!("{row}");
+    }
+    println!("\n(task size and misprediction measured on the 8-PU in-order run)");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: the full Multiscalar pipeline on one synthetic benchmark.
+//!
+//! Build a workload → select tasks → trace → simulate → report.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark]
+//! ```
+
+use multiscalar::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "m88ksim".to_string());
+    let workload = multiscalar::workloads::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; available:");
+        for w in multiscalar::workloads::suite() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(1);
+    });
+
+    // 1. Build the program (a seeded, SPEC95-shaped synthetic CFG).
+    let program = workload.build();
+    println!(
+        "{name}: {} functions, {} static instructions",
+        program.num_functions(),
+        program.static_size()
+    );
+
+    // 2. Partition it into Multiscalar tasks with the control flow
+    //    heuristic (the paper's N = 4 target limit).
+    let sel = TaskSelector::control_flow(4).select(&program);
+    sel.partition.validate(&sel.program).expect("partition invariants hold");
+    println!("tasks: {} ({} strategy)", sel.partition.num_tasks(), sel.partition.strategy());
+
+    // 3. Generate a 100k-instruction dynamic trace.
+    let trace = TraceGenerator::new(&sel.program, 0x5eed).generate(100_000);
+    println!("trace: {} dynamic instructions", trace.num_insts());
+
+    // 4. Simulate the paper's 4-PU machine and print the §2.3 breakdown.
+    let stats = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);
+    println!("\n{stats}");
+}

@@ -1,0 +1,172 @@
+//! Qualitative claims of the paper's evaluation, asserted against the
+//! reproduction (shape, not absolute numbers). Each test names the
+//! paper section it checks.
+
+use multiscalar::prelude::*;
+
+fn ipc(sel: &Selection, cfg: SimConfig, insts: usize) -> f64 {
+    let trace = TraceGenerator::new(&sel.program, 0x5eed).generate(insts);
+    Simulator::new(cfg, &sel.program, &sel.partition).run(&trace).ipc()
+}
+
+fn stats(sel: &Selection, cfg: SimConfig, insts: usize) -> SimStats {
+    let trace = TraceGenerator::new(&sel.program, 0x5eed).generate(insts);
+    Simulator::new(cfg, &sel.program, &sel.partition).run(&trace)
+}
+
+/// §4.3.1 / Figure 5: the heuristics beat basic block tasks on the
+/// floating point suite (the paper's strongest, most uniform result).
+#[test]
+fn fp_suite_heuristics_beat_basic_blocks_on_4_pus() {
+    let mut wins = 0;
+    let mut total = 0;
+    for w in multiscalar::workloads::fp_suite() {
+        let program = w.build();
+        let bb = TaskSelector::basic_block().select(&program);
+        let cf = TaskSelector::control_flow(4).select(&program);
+        let ts = TaskSelector::data_dependence(4)
+            .with_task_size(TaskSizeParams::default())
+            .select(&program);
+        let bb_ipc = ipc(&bb, SimConfig::four_pu(), 40_000);
+        let best = ipc(&cf, SimConfig::four_pu(), 40_000)
+            .max(ipc(&ts, SimConfig::four_pu(), 40_000));
+        total += 1;
+        if best > bb_ipc {
+            wins += 1;
+        }
+    }
+    assert!(wins >= total - 1, "heuristics won only {wins}/{total} fp benchmarks");
+}
+
+/// §4.3.2 / Table 1: basic block tasks are small for the integer suite
+/// (< 10 dynamic instructions) and larger for the floating point suite;
+/// heuristic tasks are bigger than basic block tasks.
+#[test]
+fn task_size_shapes_match_table1() {
+    let mut int_sizes = Vec::new();
+    let mut fp_sizes = Vec::new();
+    for w in multiscalar::workloads::suite() {
+        let program = w.build();
+        let bb = TaskSelector::basic_block().select(&program);
+        let cf = TaskSelector::control_flow(4).select(&program);
+        let s_bb = stats(&bb, SimConfig::eight_pu(), 30_000);
+        let s_cf = stats(&cf, SimConfig::eight_pu(), 30_000);
+        assert!(
+            s_cf.avg_task_size() >= 0.95 * s_bb.avg_task_size(),
+            "{}: cf tasks ({:.1}) smaller than bb tasks ({:.1})",
+            w.name,
+            s_cf.avg_task_size(),
+            s_bb.avg_task_size()
+        );
+        match w.class {
+            multiscalar::workloads::BenchClass::Integer => int_sizes.push(s_bb.avg_task_size()),
+            multiscalar::workloads::BenchClass::FloatingPoint => {
+                fp_sizes.push(s_bb.avg_task_size())
+            }
+        }
+    }
+    let int_avg: f64 = int_sizes.iter().sum::<f64>() / int_sizes.len() as f64;
+    let fp_avg: f64 = fp_sizes.iter().sum::<f64>() / fp_sizes.len() as f64;
+    assert!(int_avg < 10.0, "integer bb tasks should be < 10 insts, got {int_avg:.1}");
+    assert!(fp_avg > 1.5 * int_avg, "fp bb tasks ({fp_avg:.1}) should dwarf integer ({int_avg:.1})");
+}
+
+/// §4.3.3: the effective per-branch misprediction rate (task rate
+/// normalised to branches per task) is no worse than the raw task rate.
+#[test]
+fn normalized_branch_misprediction_is_bounded_by_task_misprediction() {
+    for name in ["go", "gcc", "li", "perl"] {
+        let program = multiscalar::workloads::by_name(name).unwrap().build();
+        let cf = TaskSelector::control_flow(4).select(&program);
+        let s = stats(&cf, SimConfig::eight_pu(), 40_000);
+        assert!(
+            s.br_mispred_pct_normalized() <= s.task_mispred_pct() + 1e-9,
+            "{name}: br% {:.2} > task% {:.2}",
+            s.br_mispred_pct_normalized(),
+            s.task_mispred_pct()
+        );
+    }
+}
+
+/// §4.3.4 / Table 1: heuristic tasks widen the window span, and the
+/// floating point suite's spans dwarf the integer suite's.
+#[test]
+fn window_spans_match_table1_shape() {
+    let mut int_spans = Vec::new();
+    let mut fp_spans = Vec::new();
+    for w in multiscalar::workloads::suite() {
+        let program = w.build();
+        let bb = TaskSelector::basic_block().select(&program);
+        let dd = TaskSelector::data_dependence(4).select(&program);
+        let s_bb = stats(&bb, SimConfig::eight_pu(), 30_000);
+        let s_dd = stats(&dd, SimConfig::eight_pu(), 30_000);
+        assert!(
+            s_dd.window_span_formula() >= 0.9 * s_bb.window_span_formula(),
+            "{}: dd span ({:.0}) below bb span ({:.0})",
+            w.name,
+            s_dd.window_span_formula(),
+            s_bb.window_span_formula()
+        );
+        match w.class {
+            multiscalar::workloads::BenchClass::Integer => {
+                int_spans.push(s_dd.window_span_formula())
+            }
+            multiscalar::workloads::BenchClass::FloatingPoint => {
+                fp_spans.push(s_dd.window_span_formula())
+            }
+        }
+    }
+    let int_avg: f64 = int_spans.iter().sum::<f64>() / int_spans.len() as f64;
+    let fp_avg: f64 = fp_spans.iter().sum::<f64>() / fp_spans.len() as f64;
+    assert!(
+        fp_avg > 2.0 * int_avg,
+        "fp window spans ({fp_avg:.0}) should dwarf integer spans ({int_avg:.0})"
+    );
+}
+
+/// §3.2: only 129.compress and 145.fpppp respond to the task-size
+/// heuristic — it must actually transform them (and at 4 PUs, improve
+/// them over the plain dd partition).
+#[test]
+fn task_size_transforms_its_responders() {
+    for name in ["compress", "fpppp"] {
+        let program = multiscalar::workloads::by_name(name).unwrap().build();
+        let plain = TaskSelector::data_dependence(4).select(&program);
+        let ts = TaskSelector::data_dependence(4)
+            .with_task_size(TaskSizeParams::default())
+            .select(&program);
+        let plain_stats = stats(&plain, SimConfig::four_pu(), 40_000);
+        let ts_stats = stats(&ts, SimConfig::four_pu(), 40_000);
+        assert!(
+            ts_stats.avg_task_size() > 1.5 * plain_stats.avg_task_size(),
+            "{name}: task size heuristic should grow tasks ({:.1} vs {:.1})",
+            ts_stats.avg_task_size(),
+            plain_stats.avg_task_size()
+        );
+        assert!(
+            ts_stats.ipc() > plain_stats.ipc(),
+            "{name}: task size heuristic should pay off at 4 PUs ({:.3} vs {:.3})",
+            ts_stats.ipc(),
+            plain_stats.ipc()
+        );
+    }
+}
+
+/// §2.3: misspeculated memory dependences squash and re-execute; the
+/// synchronisation table then contains the damage.
+#[test]
+fn memory_speculation_squashes_and_synchronises() {
+    // compress's hash table and global counters produce genuine
+    // cross-task memory dependences.
+    let program = multiscalar::workloads::by_name("compress").unwrap().build();
+    let sel = TaskSelector::basic_block().select(&program);
+    let trace = TraceGenerator::new(&sel.program, 0x5eed).generate(60_000);
+    let s = Simulator::new(SimConfig::eight_pu(), &sel.program, &sel.partition).run(&trace);
+    assert!(s.violations > 0, "compress must violate at least once");
+    assert!(
+        (s.violations as usize) < s.num_dyn_tasks / 4,
+        "sync table failed to contain violations: {} / {} tasks",
+        s.violations,
+        s.num_dyn_tasks
+    );
+}

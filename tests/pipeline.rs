@@ -1,0 +1,126 @@
+//! Whole-system integration: every workload runs the complete pipeline
+//! (build → select → trace → split → simulate) under every strategy.
+
+use multiscalar::prelude::*;
+use multiscalar::tasksel::TaskSelector as Sel;
+
+#[test]
+fn every_workload_runs_end_to_end_under_every_strategy() {
+    for w in multiscalar::workloads::suite() {
+        let program = w.build();
+        for sel in [
+            Sel::basic_block().select(&program),
+            Sel::control_flow(4).select(&program),
+            Sel::data_dependence(4).select(&program),
+            Sel::data_dependence(4).with_task_size(TaskSizeParams::default()).select(&program),
+        ] {
+            sel.partition
+                .validate(&sel.program)
+                .unwrap_or_else(|e| panic!("{} / {}: {e}", w.name, sel.partition.strategy()));
+            let trace = TraceGenerator::new(&sel.program, 11).generate(4_000);
+            let tasks = split_tasks(&trace, &sel.program, &sel.partition);
+            assert!(!tasks.is_empty(), "{}: no dynamic tasks", w.name);
+            let stats =
+                Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);
+            assert_eq!(
+                stats.total_insts,
+                trace.num_insts() as u64,
+                "{} / {}: retired instruction mismatch",
+                w.name,
+                sel.partition.strategy()
+            );
+            assert!(stats.ipc() > 0.05, "{}: implausibly low IPC", w.name);
+        }
+    }
+}
+
+#[test]
+fn estimated_and_measured_profiles_agree_on_hot_blocks() {
+    // Only benchmarks whose full program run fits in the trace budget:
+    // the estimator predicts per-*complete*-invocation frequencies.
+    for name in ["m88ksim", "li", "go"] {
+        let program = multiscalar::workloads::by_name(name).unwrap().build();
+        let estimated = Profile::estimate(&program);
+        let trace = TraceGenerator::new(&program, 3).generate(120_000);
+        assert!(
+            trace
+                .steps()
+                .iter()
+                .any(|st| matches!(st.outcome, multiscalar::trace::CtOutcome::Halt)),
+            "{name}: trace must contain at least one complete run"
+        );
+        let measured = multiscalar::trace::measure_profile(&trace, &program);
+        // Compare per-invocation frequency of every block of main that
+        // the trace visited at least 50 times.
+        let main = program.entry();
+        let func = program.function(main);
+        for b in func.block_ids() {
+            let blk = multiscalar::ir::BlockRef::new(main, b);
+            let m = measured.block_freq(blk);
+            let e = estimated.block_freq(blk);
+            if m * measured.func_invocations(main) < 50.0 {
+                continue;
+            }
+            let ratio = if e > 0.0 { m / e } else { f64::INFINITY };
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "{name}: block {b} estimated {e:.2} vs measured {m:.2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn window_span_formula_tracks_measurement() {
+    // The paper's closed-form window span should land in the same
+    // ballpark as the time-averaged measurement.
+    for name in ["applu", "go", "perl"] {
+        let program = multiscalar::workloads::by_name(name).unwrap().build();
+        let sel = TaskSelector::control_flow(4).select(&program);
+        let trace = TraceGenerator::new(&sel.program, 9).generate(40_000);
+        let stats = Simulator::new(SimConfig::eight_pu(), &sel.program, &sel.partition).run(&trace);
+        let formula = stats.window_span_formula();
+        let measured = stats.window_span_measured;
+        assert!(
+            measured > 0.2 * formula && measured < 5.0 * formula,
+            "{name}: formula {formula:.0} vs measured {measured:.0}"
+        );
+    }
+}
+
+#[test]
+fn transformed_programs_stay_traceable() {
+    // Loop unrolling + call inclusion must leave a program the trace
+    // generator and splitter still agree on.
+    for name in ["compress", "fpppp", "li"] {
+        let program = multiscalar::workloads::by_name(name).unwrap().build();
+        let sel =
+            TaskSelector::control_flow(4).with_task_size(TaskSizeParams::default()).select(&program);
+        assert!(sel.program.validate().is_ok());
+        let trace = TraceGenerator::new(&sel.program, 5).generate(10_000);
+        let tasks = split_tasks(&trace, &sel.program, &sel.partition);
+        let total: usize = tasks
+            .iter()
+            .map(|t| t.num_insts(&trace, &sel.program))
+            .sum();
+        assert_eq!(total, trace.num_insts(), "{name}: dynamic tasks must cover the trace");
+    }
+}
+
+#[test]
+fn single_pu_is_a_lower_bound_for_loop_parallel_codes() {
+    for name in ["swim", "mgrid", "wave5"] {
+        let program = multiscalar::workloads::by_name(name).unwrap().build();
+        let sel = TaskSelector::control_flow(4).select(&program);
+        let trace = TraceGenerator::new(&sel.program, 21).generate(30_000);
+        let one = Simulator::new(SimConfig::single_pu(), &sel.program, &sel.partition).run(&trace);
+        let eight =
+            Simulator::new(SimConfig::eight_pu(), &sel.program, &sel.partition).run(&trace);
+        assert!(
+            eight.ipc() > 1.5 * one.ipc(),
+            "{name}: 8 PUs ({:.2}) should clearly beat 1 PU ({:.2})",
+            eight.ipc(),
+            one.ipc()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Golden-file test: a committed `.msir` program parses, validates, and
+//! runs through the whole pipeline — guarding the textual format against
+//! accidental syntax changes.
+
+use multiscalar::ir::parse_program;
+use multiscalar::prelude::*;
+
+const GOLDEN: &str = include_str!("data/compress.msir");
+
+#[test]
+fn golden_msir_parses_and_runs() {
+    let program = parse_program(GOLDEN).expect("golden file parses");
+    assert!(program.validate().is_ok());
+    assert_eq!(program.num_functions(), 1);
+    assert_eq!(program.addr_gens().len(), 4);
+
+    let sel = TaskSelector::data_dependence(4).select(&program);
+    sel.partition.validate(&sel.program).expect("partition invariants");
+    let trace = TraceGenerator::new(&sel.program, 1).generate(5_000);
+    let stats = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);
+    assert!(stats.ipc() > 0.1);
+}
+
+#[test]
+fn golden_msir_round_trips() {
+    let program = parse_program(GOLDEN).expect("golden file parses");
+    let rewritten = multiscalar::ir::write_program(&program);
+    let reparsed = parse_program(&rewritten).expect("rewrite parses");
+    assert_eq!(program, reparsed);
+}
+
+#[test]
+fn if_converted_programs_execute_fewer_control_transfers() {
+    let program = parse_program(GOLDEN).expect("golden file parses");
+    let converted = multiscalar::tasksel::if_convert(&program, 8);
+    let sel_a = TaskSelector::control_flow(4).select(&program);
+    let sel_b = TaskSelector::control_flow(4).select(&converted);
+    let t_a = TraceGenerator::new(&sel_a.program, 3).generate(20_000);
+    let t_b = TraceGenerator::new(&sel_b.program, 3).generate(20_000);
+    let s_a = Simulator::new(SimConfig::four_pu(), &sel_a.program, &sel_a.partition).run(&t_a);
+    let s_b = Simulator::new(SimConfig::four_pu(), &sel_b.program, &sel_b.partition).run(&t_b);
+    let ct_rate_a = s_a.ct_insts as f64 / s_a.total_insts as f64;
+    let ct_rate_b = s_b.ct_insts as f64 / s_b.total_insts as f64;
+    assert!(
+        ct_rate_b <= ct_rate_a,
+        "if-conversion must not increase the control transfer rate ({ct_rate_b:.3} vs {ct_rate_a:.3})"
+    );
+}
