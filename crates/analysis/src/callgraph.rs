@@ -113,8 +113,7 @@ impl CallGraph {
     /// Whether `a` and `b` are mutually recursive (same non-trivial
     /// component).
     pub fn in_same_cycle(&self, a: FuncId, b: FuncId) -> bool {
-        self.scc[a.index()] == self.scc[b.index()]
-            && (a != b || self.is_recursive(a))
+        self.scc[a.index()] == self.scc[b.index()] && (a != b || self.is_recursive(a))
     }
 }
 

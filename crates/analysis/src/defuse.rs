@@ -132,10 +132,10 @@ impl DefUseChains {
             let blk = func.block(b);
             let mut local: HashMap<Reg, usize> = HashMap::new();
             let link = |reg: Reg,
-                            pos: UsePos,
-                            local: &HashMap<Reg, usize>,
-                            edges: &mut Vec<DepEdge>,
-                            upward: &mut Vec<Reg>| {
+                        pos: UsePos,
+                        local: &HashMap<Reg, usize>,
+                        edges: &mut Vec<DepEdge>,
+                        upward: &mut Vec<Reg>| {
                 if local.contains_key(&reg) {
                     return; // intra-block dependence
                 }
@@ -220,7 +220,12 @@ mod tests {
         fb.push_inst(b3, Opcode::IAdd.inst().dst(r(3)).src(r(1)));
         fb.set_terminator(
             b0,
-            Terminator::Branch { taken: b1, fall: b2, cond: vec![], behavior: BranchBehavior::Taken(0.5) },
+            Terminator::Branch {
+                taken: b1,
+                fall: b2,
+                cond: vec![],
+                behavior: BranchBehavior::Taken(0.5),
+            },
         );
         fb.set_terminator(b1, Terminator::Jump { target: b3 });
         fb.set_terminator(b2, Terminator::Jump { target: b3 });
@@ -231,12 +236,8 @@ mod tests {
         // b1's use of r1 comes from b0's def.
         assert!(du.edges().iter().any(|e| e.def.block == b0 && e.use_site.block == b1));
         // b3's use of r1 can come from b0 (via b2) or b1's redefinition.
-        let b3_defs: Vec<BlockId> = du
-            .edges()
-            .iter()
-            .filter(|e| e.use_site.block == b3)
-            .map(|e| e.def.block)
-            .collect();
+        let b3_defs: Vec<BlockId> =
+            du.edges().iter().filter(|e| e.use_site.block == b3).map(|e| e.def.block).collect();
         assert!(b3_defs.contains(&b0));
         assert!(b3_defs.contains(&b1));
         assert_eq!(b3_defs.len(), 2);
@@ -265,15 +266,19 @@ mod tests {
         fb.set_terminator(b0, Terminator::Jump { target: b1 });
         fb.set_terminator(
             b1,
-            Terminator::Branch { taken: b2, fall: b2, cond: vec![r(5)], behavior: BranchBehavior::Taken(0.9) },
+            Terminator::Branch {
+                taken: b2,
+                fall: b2,
+                cond: vec![r(5)],
+                behavior: BranchBehavior::Taken(0.9),
+            },
         );
         fb.set_terminator(b2, Terminator::Return);
         let f = fb.finish(b0).unwrap();
         let du = DefUseChains::compute(&f);
-        assert!(du
-            .edges()
-            .iter()
-            .any(|e| e.use_site.block == b1 && e.use_site.pos == UsePos::Term && e.def.block == b0));
+        assert!(du.edges().iter().any(|e| e.use_site.block == b1
+            && e.use_site.pos == UsePos::Term
+            && e.def.block == b0));
         assert_eq!(du.upward_exposed(b1), &[r(5)]);
     }
 
@@ -291,7 +296,12 @@ mod tests {
         fb.set_terminator(b0, Terminator::Jump { target: head });
         fb.set_terminator(
             head,
-            Terminator::Branch { taken: head, fall: exit, cond: vec![r(1)], behavior: BranchBehavior::exact_loop(4) },
+            Terminator::Branch {
+                taken: head,
+                fall: exit,
+                cond: vec![r(1)],
+                behavior: BranchBehavior::exact_loop(4),
+            },
         );
         fb.set_terminator(exit, Terminator::Return);
         let f = fb.finish(b0).unwrap();

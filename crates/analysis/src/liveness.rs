@@ -193,7 +193,12 @@ mod tests {
         fb.push_inst(b3, Opcode::IAdd.inst().dst(r(8)).src(r(7)));
         fb.set_terminator(
             b0,
-            Terminator::Branch { taken: b1, fall: b2, cond: vec![], behavior: BranchBehavior::Taken(0.5) },
+            Terminator::Branch {
+                taken: b1,
+                fall: b2,
+                cond: vec![],
+                behavior: BranchBehavior::Taken(0.5),
+            },
         );
         fb.set_terminator(b1, Terminator::Jump { target: b3 });
         fb.set_terminator(b2, Terminator::Jump { target: b3 });

@@ -97,8 +97,7 @@ impl LoopForest {
                     }
                 }
             }
-            let body: Vec<BlockId> =
-                func.block_ids().filter(|b| in_body[b.index()]).collect();
+            let body: Vec<BlockId> = func.block_ids().filter(|b| in_body[b.index()]).collect();
             let static_size = body.iter().map(|&b| func.block(b).len_with_ct()).sum();
             loops.push(Loop { header: h, body, latches, static_size });
         }
@@ -239,7 +238,12 @@ mod tests {
         fb.set_terminator(b0, Terminator::Jump { target: head });
         fb.set_terminator(
             head,
-            Terminator::Branch { taken: a, fall: b, cond: vec![], behavior: BranchBehavior::Taken(0.5) },
+            Terminator::Branch {
+                taken: a,
+                fall: b,
+                cond: vec![],
+                behavior: BranchBehavior::Taken(0.5),
+            },
         );
         fb.set_terminator(a, loop_branch(head, exit));
         fb.set_terminator(b, loop_branch(head, exit));

@@ -115,7 +115,12 @@ mod tests {
         fb.set_terminator(head, Terminator::Jump { target: body });
         fb.set_terminator(
             body,
-            Terminator::Branch { taken: head, fall: exit, cond: vec![], behavior: BranchBehavior::exact_loop(10) },
+            Terminator::Branch {
+                taken: head,
+                fall: exit,
+                cond: vec![],
+                behavior: BranchBehavior::exact_loop(10),
+            },
         );
         fb.set_terminator(exit, Terminator::Return);
         fb.finish(entry).unwrap()
@@ -170,7 +175,12 @@ mod tests {
         let b3 = fb.add_block();
         fb.set_terminator(
             b0,
-            Terminator::Branch { taken: b1, fall: b3, cond: vec![], behavior: BranchBehavior::Taken(0.5) },
+            Terminator::Branch {
+                taken: b1,
+                fall: b3,
+                cond: vec![],
+                behavior: BranchBehavior::Taken(0.5),
+            },
         );
         fb.set_terminator(b1, Terminator::Jump { target: b2 });
         fb.set_terminator(b2, Terminator::Return);
@@ -189,7 +199,12 @@ mod tests {
         let b = fb.add_block();
         fb.set_terminator(
             a,
-            Terminator::Branch { taken: a, fall: b, cond: vec![], behavior: BranchBehavior::exact_loop(3) },
+            Terminator::Branch {
+                taken: a,
+                fall: b,
+                cond: vec![],
+                behavior: BranchBehavior::exact_loop(3),
+            },
         );
         fb.set_terminator(b, Terminator::Return);
         let f = fb.finish(a).unwrap();

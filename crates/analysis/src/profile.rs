@@ -102,10 +102,8 @@ impl Profile {
                     }
                 }
             }
-            let done = next
-                .iter()
-                .zip(&func_calls)
-                .all(|(a, b)| (a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+            let done =
+                next.iter().zip(&func_calls).all(|(a, b)| (a - b).abs() <= 1e-9 * (1.0 + b.abs()));
             func_calls = next;
             if done {
                 break;
@@ -134,10 +132,8 @@ impl Profile {
                     }
                 }
             }
-            let done = next
-                .iter()
-                .zip(&dyn_size)
-                .all(|(a, b)| (a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+            let done =
+                next.iter().zip(&dyn_size).all(|(a, b)| (a - b).abs() <= 1e-9 * (1.0 + b.abs()));
             dyn_size = next;
             if done {
                 break;
@@ -297,7 +293,12 @@ mod tests {
         let b2 = fb.add_block();
         fb.set_terminator(
             b0,
-            Terminator::Branch { taken: b1, fall: b2, cond: vec![], behavior: BranchBehavior::Taken(0.25) },
+            Terminator::Branch {
+                taken: b1,
+                fall: b2,
+                cond: vec![],
+                behavior: BranchBehavior::Taken(0.25),
+            },
         );
         fb.set_terminator(b1, Terminator::Halt);
         fb.set_terminator(b2, Terminator::Halt);

@@ -1,43 +1,37 @@
-//! Criterion micro-benchmarks: predictor update throughput.
+//! Micro-benchmarks: predictor update throughput.
 //!
 //! The predictors sit on the simulator's hot path — every control
 //! transfer touches gshare, every dynamic task the path-based predictor.
+//!
+//! ```text
+//! cargo bench -p ms-bench --bench predictors
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ms_bench::microbench::bench;
 use ms_sim::{Gshare, TaskPredictor};
 
-fn bench_gshare(c: &mut Criterion) {
-    let mut group = c.benchmark_group("predictors");
+fn main() {
     const N: u64 = 10_000;
-    group.throughput(Throughput::Elements(N));
-    group.bench_function("gshare_update", |b| {
-        b.iter(|| {
-            let mut g = Gshare::new(16, 16);
-            let mut hits = 0u64;
-            for i in 0..N {
-                let pc = 0x1000 + (i % 64) * 4;
-                if g.predict_and_update(pc, i % 3 != 0) {
-                    hits += 1;
-                }
+    bench("predictors/gshare_update", Some(N), || {
+        let mut g = Gshare::new(16, 16);
+        let mut hits = 0u64;
+        for i in 0..N {
+            let pc = 0x1000 + (i % 64) * 4;
+            if g.predict_and_update(pc, i % 3 != 0) {
+                hits += 1;
             }
-            hits
-        })
+        }
+        hits
     });
-    group.bench_function("task_pred_update", |b| {
-        b.iter(|| {
-            let mut t = TaskPredictor::new(16, 16);
-            let mut hits = 0u64;
-            for i in 0..N {
-                let pc = 0x8000 + (i % 32) * 16;
-                if t.predict_and_update(pc, (i % 4) as usize, 4) {
-                    hits += 1;
-                }
+    bench("predictors/task_pred_update", Some(N), || {
+        let mut t = TaskPredictor::new(16, 16);
+        let mut hits = 0u64;
+        for i in 0..N {
+            let pc = 0x8000 + (i % 32) * 16;
+            if t.predict_and_update(pc, (i % 4) as usize, 4) {
+                hits += 1;
             }
-            hits
-        })
+        }
+        hits
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_gshare);
-criterion_main!(benches);

@@ -1,35 +1,32 @@
-//! Criterion micro-benchmarks: task selection throughput.
+//! Micro-benchmarks: task selection throughput.
 //!
 //! Measures the compiler-side cost of the paper's heuristics — how fast
 //! each strategy partitions a realistic program.
+//!
+//! ```text
+//! cargo bench -p ms-bench --bench selection
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ms_bench::microbench::bench;
 use ms_tasksel::{TaskSelector, TaskSizeParams};
 use ms_workloads::by_name;
 
-fn bench_selection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("task_selection");
+fn main() {
     for name in ["gcc", "tomcatv"] {
         let program = by_name(name).expect("known benchmark").build();
-        group.bench_with_input(BenchmarkId::new("basic_block", name), &program, |b, p| {
-            b.iter(|| TaskSelector::basic_block().select(p))
+        bench(&format!("task_selection/basic_block/{name}"), None, || {
+            TaskSelector::basic_block().select(&program)
         });
-        group.bench_with_input(BenchmarkId::new("control_flow", name), &program, |b, p| {
-            b.iter(|| TaskSelector::control_flow(4).select(p))
+        bench(&format!("task_selection/control_flow/{name}"), None, || {
+            TaskSelector::control_flow(4).select(&program)
         });
-        group.bench_with_input(BenchmarkId::new("data_dependence", name), &program, |b, p| {
-            b.iter(|| TaskSelector::data_dependence(4).select(p))
+        bench(&format!("task_selection/data_dependence/{name}"), None, || {
+            TaskSelector::data_dependence(4).select(&program)
         });
-        group.bench_with_input(BenchmarkId::new("dd_task_size", name), &program, |b, p| {
-            b.iter(|| {
-                TaskSelector::data_dependence(4)
-                    .with_task_size(TaskSizeParams::default())
-                    .select(p)
-            })
+        bench(&format!("task_selection/dd_task_size/{name}"), None, || {
+            TaskSelector::data_dependence(4)
+                .with_task_size(TaskSizeParams::default())
+                .select(&program)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_selection);
-criterion_main!(benches);

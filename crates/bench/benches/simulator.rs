@@ -1,47 +1,33 @@
-//! Criterion micro-benchmarks: simulator throughput.
+//! Micro-benchmarks: simulator throughput.
 //!
 //! Measures how many dynamic instructions per second the cycle-level
 //! engine retires — the cost of one Figure 5 cell.
+//!
+//! ```text
+//! cargo bench -p ms-bench --bench simulator
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ms_bench::microbench::bench;
 use ms_sim::{SimConfig, Simulator};
 use ms_tasksel::TaskSelector;
 use ms_trace::TraceGenerator;
 use ms_workloads::by_name;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
+fn main() {
     const INSTS: usize = 20_000;
     for name in ["perl", "applu"] {
         let program = by_name(name).expect("known benchmark").build();
         let sel = TaskSelector::control_flow(4).select(&program);
         let trace = TraceGenerator::new(&sel.program, 1).generate(INSTS);
-        group.throughput(Throughput::Elements(trace.num_insts() as u64));
         for pus in [4usize, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{pus}pu"), name),
-                &trace,
-                |b, t| {
-                    b.iter(|| {
-                        Simulator::new(SimConfig::with_pus(pus), &sel.program, &sel.partition)
-                            .run(t)
-                    })
-                },
-            );
+            bench(&format!("simulator/{pus}pu/{name}"), Some(trace.num_insts() as u64), || {
+                Simulator::new(SimConfig::with_pus(pus), &sel.program, &sel.partition).run(&trace)
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
     let program = by_name("gcc").expect("known benchmark").build();
-    group.throughput(Throughput::Elements(50_000));
-    group.bench_function("gcc_50k", |b| {
-        b.iter(|| TraceGenerator::new(&program, 1).generate(50_000))
+    bench("trace_generation/gcc_50k", Some(50_000), || {
+        TraceGenerator::new(&program, 1).generate(50_000)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulator, bench_trace_generation);
-criterion_main!(benches);

@@ -1,5 +1,22 @@
-//! General-purpose experiment runner: any benchmark × heuristic ×
-//! machine from the command line.
+//! The experiment driver: every sweep behind the paper's figures and
+//! tables, plus ad-hoc single runs, from one binary.
+//!
+//! Sweep mode (parallel, writes JSON metrics artifacts — see
+//! `EXPERIMENTS.md` for the schema):
+//!
+//! ```text
+//! cargo run -p ms-bench --release --bin run -- sweeps --jobs 8
+//! cargo run -p ms-bench --release --bin run -- figure5
+//! cargo run -p ms-bench --release --bin run -- hardware --jobs 4 --out /tmp/exp
+//! ```
+//!
+//! Sweep names: `figure5`, `table1`, `targets`, `thresholds`, `pus`,
+//! `forwarding`, `predication`, `hardware`, or `sweeps` for all eight.
+//! `--jobs N` sets the worker-thread count (default: available cores;
+//! results are bit-identical for every N), `--out DIR` the artifact root
+//! (default `target/experiments`).
+//!
+//! Single-run mode (any benchmark × heuristic × machine):
 //!
 //! ```text
 //! cargo run -p ms-bench --release --bin run -- compress --strategy ts --pus 8
@@ -13,6 +30,9 @@
 //! in the textual IR format instead of a named workload), `--dump-ir`
 //! (print the selected program in the textual IR format and exit).
 
+use std::path::PathBuf;
+
+use ms_bench::sweeps::{run_sweep, SWEEP_NAMES};
 use ms_bench::{run_selection, Heuristic};
 use ms_ir::Program;
 use ms_sim::SimConfig;
@@ -30,6 +50,8 @@ struct Args {
     json: bool,
     file: Option<String>,
     dump_ir: bool,
+    jobs: usize,
+    out: PathBuf,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,13 +67,13 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         file: None,
         dump_ir: false,
+        jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        out: PathBuf::from("target/experiments"),
     };
     let mut it = std::env::args().skip(1);
     let mut positional_seen = false;
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match arg.as_str() {
             "--strategy" => {
                 args.strategy = match value("--strategy")?.as_str() {
@@ -75,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--file" => args.file = Some(value("--file")?),
             "--dump-ir" => args.dump_ir = true,
+            "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--out" => args.out = PathBuf::from(value("--out")?),
             other if !other.starts_with("--") && !positional_seen => {
                 args.bench = other.to_string();
                 positional_seen = true;
@@ -116,12 +140,40 @@ fn run_one(name: &str, program: &Program, args: &Args) {
     println!("{stats}");
 }
 
+/// Runs the named sweeps, printing each report and noting its artifacts.
+fn run_sweeps(names: &[&str], args: &Args) {
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        match run_sweep(name, args.jobs, &args.out) {
+            Ok(Some(report)) => {
+                print!("{}", report.text);
+                println!(
+                    "[{} cells -> {}/{}/*.json]",
+                    report.cells,
+                    args.out.display(),
+                    report.name
+                );
+            }
+            Ok(None) => unreachable!("sweep names are validated before dispatch"),
+            Err(e) => {
+                eprintln!("error: sweep {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: run [benchmark|all] [--strategy bb|cf|dd|ts] [--pus N] [--in-order] [--insts N] [--seed N] [--targets N] [--no-dead-reg] [--json]");
+            eprintln!("usage: run [sweeps|<sweep>|benchmark|all] [--jobs N] [--out DIR]");
+            eprintln!("           [--strategy bb|cf|dd|ts] [--pus N] [--in-order] [--insts N]");
+            eprintln!("           [--seed N] [--targets N] [--no-dead-reg] [--json]");
+            eprintln!("sweeps: {}", SWEEP_NAMES.join(", "));
             std::process::exit(2);
         }
     };
@@ -141,6 +193,10 @@ fn main() {
             }
         };
         run_one(path, &program, &args);
+    } else if args.bench == "sweeps" {
+        run_sweeps(&SWEEP_NAMES, &args);
+    } else if SWEEP_NAMES.contains(&args.bench.as_str()) {
+        run_sweeps(&[args.bench.as_str()], &args);
     } else if args.bench == "all" {
         for w in suite() {
             run_one(w.name, &w.build(), &args);
@@ -148,10 +204,11 @@ fn main() {
     } else if let Some(w) = by_name(&args.bench) {
         run_one(w.name, &w.build(), &args);
     } else {
-        eprintln!("unknown benchmark `{}`; available:", args.bench);
+        eprintln!("unknown benchmark or sweep `{}`; benchmarks:", args.bench);
         for w in suite() {
             eprintln!("  {}", w.name);
         }
+        eprintln!("sweeps: {}", SWEEP_NAMES.join(", "));
         std::process::exit(2);
     }
 }

@@ -1,0 +1,125 @@
+//! A hand-rolled JSON writer for the experiment artifacts.
+//!
+//! The repository builds offline, so there is no serde; this module
+//! provides the few pieces the metrics pipeline needs: string escaping
+//! and an ordered object builder. Field order is insertion order, which
+//! keeps artifacts byte-stable across runs — the golden tests rely on
+//! that.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for use inside a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An ordered, single-line JSON object builder.
+///
+/// ```
+/// use ms_bench::json::JsonObj;
+///
+/// let mut o = JsonObj::new();
+/// o.str("name", "fpppp").num_u64("seed", 7).raw("stats", "{\"ipc\":2}");
+/// assert_eq!(o.finish(), "{\"name\":\"fpppp\",\"seed\":7,\"stats\":{\"ipc\":2}}");
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObj::default()
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+        &mut self.buf
+    }
+
+    /// Appends a string field (escaped).
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        let _ = write!(self.key(k), "\"{}\"", escape(v));
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn num_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Appends a float field (shortest round-trip formatting; non-finite
+    /// values become `null`).
+    pub fn num_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        if v.is_finite() {
+            let _ = write!(self.key(k), "{v}");
+        } else {
+            self.key(k).push_str("null");
+        }
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Appends a field whose value is already-serialised JSON.
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).push_str(v);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn builds_ordered_objects() {
+        let mut o = JsonObj::new();
+        o.str("a", "x").num_u64("b", 3).num_f64("c", 1.5).bool("d", true).raw("e", "[1,2]");
+        assert_eq!(o.finish(), "{\"a\":\"x\",\"b\":3,\"c\":1.5,\"d\":true,\"e\":[1,2]}");
+    }
+
+    #[test]
+    fn empty_object_and_nan() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+        let mut o = JsonObj::new();
+        o.num_f64("x", f64::NAN);
+        assert_eq!(o.finish(), "{\"x\":null}");
+    }
+}

@@ -5,19 +5,20 @@
 //! workload, select tasks with one of the paper's heuristics, generate a
 //! trace of the (possibly transformed) program, split it into dynamic
 //! tasks, and run the cycle-level simulator. [`run_one`] packages that
-//! pipeline; the binaries sweep it over benchmarks, heuristics and
-//! machine configurations:
-//!
-//! * `figure5` — IPC of bb / cf / dd (+ task-size) tasks on 4 and 8 PUs,
-//!   out-of-order and in-order (the paper's Figure 5),
-//! * `table1` — dynamic task size, control transfers per task, task and
-//!   per-branch misprediction, window span (the paper's Table 1),
-//! * `sweep_targets`, `sweep_thresholds`, `sweep_pus` — ablations over
-//!   the predictor target limit `N`, the task-size thresholds, and the
-//!   PU count.
+//! pipeline; [`sweeps`] describes every figure/table/ablation grid as
+//! data; the single `run` binary fans the grids out over worker threads
+//! ([`harness`]), prints the tables, and writes one schema-versioned
+//! JSON metrics artifact per cell ([`json`]) under `target/experiments/`.
+//! See `EXPERIMENTS.md` for the one-command regeneration pipeline and
+//! the artifact schema.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
+pub mod json;
+pub mod microbench;
+pub mod sweeps;
 
 use ms_sim::{SimConfig, SimStats, Simulator};
 use ms_tasksel::{TaskSelector, TaskSizeParams};
@@ -49,7 +50,12 @@ pub enum Heuristic {
 impl Heuristic {
     /// All four, in Figure 5 bar order.
     pub fn all() -> [Heuristic; 4] {
-        [Heuristic::BasicBlock, Heuristic::ControlFlow, Heuristic::DataDependence, Heuristic::TaskSize]
+        [
+            Heuristic::BasicBlock,
+            Heuristic::ControlFlow,
+            Heuristic::DataDependence,
+            Heuristic::TaskSize,
+        ]
     }
 
     /// Short label ("bb", "cf", "dd", "ts").

@@ -1,0 +1,68 @@
+//! A minimal, dependency-free micro-benchmark timer.
+//!
+//! The repository builds with no registry access, so the `benches/`
+//! targets use this instead of criterion: warm up, run timed batches,
+//! report the median per-iteration time. Invoke with `cargo bench -p
+//! ms-bench`. The numbers are for relative comparisons on one machine,
+//! not statistically rigorous estimation.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of timed batches per measurement (the median is reported).
+const BATCHES: usize = 15;
+
+/// Target wall-clock per batch.
+const BATCH_BUDGET: Duration = Duration::from_millis(120);
+
+/// Times `f`, printing `name`, median per-iteration time, and an
+/// optional throughput in elements/second.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// work is not optimised away.
+pub fn bench<T>(name: &str, elements: Option<u64>, mut f: impl FnMut() -> T) {
+    // Warm-up and batch sizing: find an iteration count that fills the
+    // batch budget.
+    let start = Instant::now();
+    black_box(f());
+    let once = start.elapsed().max(Duration::from_nanos(50));
+    let iters = (BATCH_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+
+    let time = if median >= 1e-3 {
+        format!("{:.3} ms", median * 1e3)
+    } else if median >= 1e-6 {
+        format!("{:.3} us", median * 1e6)
+    } else {
+        format!("{:.1} ns", median * 1e9)
+    };
+    match elements {
+        Some(n) => {
+            let rate = n as f64 / median;
+            println!("{name:<40} {time:>12}/iter {:>14.2} Melem/s", rate / 1e6);
+        }
+        None => println!("{name:<40} {time:>12}/iter"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_returns() {
+        // Smoke test: must terminate quickly on a trivial closure.
+        bench("noop", Some(1), || 1 + 1);
+    }
+}

@@ -1,0 +1,800 @@
+//! The experiment sweeps behind the paper's figures and tables, as data.
+//!
+//! Every sweep is a grid of independent **cells** — one (workload,
+//! heuristic, machine configuration) simulation each, fully described by
+//! a [`CellJob`]. The single `run` driver binary turns a sweep name into
+//! its grid, fans the cells out with [`crate::harness::run_parallel`],
+//! renders the same tables the former dedicated binaries printed, and
+//! writes one schema-versioned JSON metrics artifact per cell to
+//! `target/experiments/<sweep>/<cell>.json` (schema documented in
+//! `EXPERIMENTS.md`).
+//!
+//! Determinism: a cell's result depends only on the cell description
+//! (the per-cell seed included), tables and artifacts are rendered from
+//! the grid-ordered result vector, and artifacts are written serially
+//! after the parallel phase — so `--jobs 1` and `--jobs N` produce
+//! byte-identical output.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use ms_analysis::Profile;
+use ms_sim::{SimConfig, SimStats, Simulator};
+use ms_tasksel::{if_convert, PartitionStats, TaskSelector, TaskSizeParams};
+use ms_trace::TraceGenerator;
+use ms_workloads::{by_name, fp_suite, integer_suite};
+
+use crate::harness::run_parallel;
+use crate::json::JsonObj;
+use crate::{pct_change, Heuristic, DEFAULT_SEED, DEFAULT_TRACE_INSTS};
+
+/// Version of the per-cell metrics JSON schema (bump on any field
+/// change; documented field-by-field in `EXPERIMENTS.md`).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Dynamic instruction budget the ablation sweeps use (the figure/table
+/// grids use [`DEFAULT_TRACE_INSTS`]).
+pub const SWEEP_TRACE_INSTS: usize = 60_000;
+
+/// All sweep names the driver accepts, in `all` execution order.
+pub const SWEEP_NAMES: [&str; 8] =
+    ["figure5", "table1", "targets", "thresholds", "pus", "forwarding", "predication", "hardware"];
+
+/// A complete description of one experiment cell. Running the same
+/// `CellJob` twice produces identical statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellJob {
+    /// Workload name (see `ms_workloads::suite`).
+    pub bench: &'static str,
+    /// Task selection strategy.
+    pub heuristic: Heuristic,
+    /// Heuristic target limit `N`.
+    pub targets: usize,
+    /// Override for the task-size heuristic's thresholds (`CALL_THRESH`
+    /// = value, `LOOP_THRESH` = value as usize); `None` uses defaults.
+    pub ts_thresh: Option<f64>,
+    /// If-convert diamonds of up to this many instructions per arm
+    /// before selection.
+    pub if_convert_arms: Option<usize>,
+    /// Number of processing units.
+    pub pus: usize,
+    /// In-order PU pipelines (default out-of-order).
+    pub in_order: bool,
+    /// Dead register analysis for ring forwards (default on).
+    pub dead_reg: bool,
+    /// Ring bandwidth override (values/cycle/link).
+    pub ring_bandwidth: Option<u32>,
+    /// ARB entries per PU override.
+    pub arb_entries_per_pu: Option<u32>,
+    /// Memory dependence synchronisation table size override (0 = off).
+    pub sync_table_entries: Option<u32>,
+    /// Dynamic instruction budget.
+    pub insts: usize,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl CellJob {
+    /// A cell with the defaults the ablation sweeps share: `N` = 4,
+    /// 4 PUs, out-of-order, dead register analysis on,
+    /// [`SWEEP_TRACE_INSTS`] instructions, [`DEFAULT_SEED`].
+    pub fn new(bench: &'static str, heuristic: Heuristic) -> Self {
+        CellJob {
+            bench,
+            heuristic,
+            targets: 4,
+            ts_thresh: None,
+            if_convert_arms: None,
+            pus: 4,
+            in_order: false,
+            dead_reg: true,
+            ring_bandwidth: None,
+            arb_entries_per_pu: None,
+            sync_table_entries: None,
+            insts: SWEEP_TRACE_INSTS,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Runs the cell: build → (if-convert) → select → trace → simulate,
+    /// returning the dynamic statistics and the static partition
+    /// statistics.
+    pub fn run(&self) -> CellOutput {
+        let w = by_name(self.bench).expect("sweeps reference known benchmarks");
+        let mut program = w.build();
+        if let Some(arms) = self.if_convert_arms {
+            program = if_convert(&program, arms);
+        }
+        let selector = match self.ts_thresh {
+            Some(t) => TaskSelector::data_dependence(self.targets)
+                .with_task_size(TaskSizeParams { call_thresh: t, loop_thresh: t as usize }),
+            None => self.heuristic.selector(self.targets),
+        };
+        let sel = selector.select(&program);
+        let profile = Profile::estimate(&sel.program);
+        let partition =
+            PartitionStats::compute(&sel.program, &sel.partition, &profile, self.targets);
+        let mut cfg = SimConfig::with_pus(self.pus);
+        if self.in_order {
+            cfg = cfg.in_order();
+        }
+        if !self.dead_reg {
+            cfg = cfg.without_dead_reg_analysis();
+        }
+        if let Some(bw) = self.ring_bandwidth {
+            cfg.ring_bandwidth = bw;
+        }
+        if let Some(entries) = self.arb_entries_per_pu {
+            cfg.arb_entries_per_pu = entries;
+        }
+        if let Some(entries) = self.sync_table_entries {
+            cfg.sync_table_entries = entries;
+        }
+        let trace = TraceGenerator::new(&sel.program, self.seed).generate(self.insts);
+        let sim = Simulator::new(cfg, &sel.program, &sel.partition).run(&trace);
+        CellOutput { sim, partition }
+    }
+
+    /// The cell's parameters as a JSON object (stable key order).
+    fn params_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.num_u64("targets", self.targets as u64)
+            .num_u64("pus", self.pus as u64)
+            .bool("in_order", self.in_order)
+            .bool("dead_reg", self.dead_reg)
+            .num_u64("insts", self.insts as u64)
+            .num_u64("seed", self.seed);
+        if let Some(t) = self.ts_thresh {
+            o.num_f64("ts_thresh", t);
+        }
+        if let Some(a) = self.if_convert_arms {
+            o.num_u64("if_convert_arms", a as u64);
+        }
+        if let Some(bw) = self.ring_bandwidth {
+            o.num_u64("ring_bandwidth", bw as u64);
+        }
+        if let Some(e) = self.arb_entries_per_pu {
+            o.num_u64("arb_entries_per_pu", e as u64);
+        }
+        if let Some(e) = self.sync_table_entries {
+            o.num_u64("sync_table_entries", e as u64);
+        }
+        o.finish()
+    }
+}
+
+/// The two halves of a cell's metrics: dynamic (simulator) and static
+/// (partition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutput {
+    /// Cycle-level simulation statistics.
+    pub sim: SimStats,
+    /// Compile-time partition statistics.
+    pub partition: PartitionStats,
+}
+
+/// Serialises one cell as the schema-versioned artifact written to
+/// `target/experiments/<sweep>/<cell>.json`.
+pub fn cell_json(sweep: &str, cell: &str, job: &CellJob, out: &CellOutput) -> String {
+    let mut o = JsonObj::new();
+    o.num_u64("schema_version", SCHEMA_VERSION as u64)
+        .str("sweep", sweep)
+        .str("cell", cell)
+        .str("bench", job.bench)
+        .str("strategy", job.heuristic.label())
+        .raw("params", &job.params_json())
+        .raw("partition", &out.partition.to_json())
+        .raw("sim", &out.sim.to_json());
+    o.finish()
+}
+
+/// One finished sweep: the rendered report and the number of cells run.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Sweep name (also the artifact sub-directory).
+    pub name: &'static str,
+    /// The rendered tables (what the former dedicated binary printed).
+    pub text: String,
+    /// Number of cells simulated.
+    pub cells: usize,
+}
+
+/// Runs the named sweep with `jobs` worker threads, writing artifacts
+/// under `out_root` (one directory per sweep). Returns `Ok(None)` for an
+/// unknown sweep name.
+pub fn run_sweep(name: &str, jobs: usize, out_root: &Path) -> io::Result<Option<SweepReport>> {
+    let report = match name {
+        "figure5" => figure5(jobs, out_root)?,
+        "table1" => table1(jobs, out_root)?,
+        "targets" => targets(jobs, out_root)?,
+        "thresholds" => thresholds(jobs, out_root)?,
+        "pus" => pus(jobs, out_root)?,
+        "forwarding" => forwarding(jobs, out_root)?,
+        "predication" => predication(jobs, out_root)?,
+        "hardware" => hardware(jobs, out_root)?,
+        _ => return Ok(None),
+    };
+    Ok(Some(report))
+}
+
+/// Runs a grid of named cells in parallel and writes the artifacts (one
+/// JSON file per cell) serially, in grid order.
+#[allow(clippy::type_complexity)]
+fn run_cells(
+    sweep: &'static str,
+    jobs: usize,
+    grid: Vec<(String, CellJob)>,
+    out_root: &Path,
+) -> io::Result<Vec<(String, CellJob, CellOutput)>> {
+    let outputs = run_parallel(jobs, grid.clone(), |(_, job), _| job.run());
+    let dir = out_root.join(sweep);
+    fs::create_dir_all(&dir)?;
+    let mut results = Vec::with_capacity(grid.len());
+    for ((id, job), out) in grid.into_iter().zip(outputs) {
+        let json = cell_json(sweep, &id, &job, &out);
+        fs::write(dir.join(format!("{id}.json")), json + "\n")?;
+        results.push((id, job, out));
+    }
+    Ok(results)
+}
+
+/// Writes the rendered report next to the cell artifacts.
+fn write_report(out_root: &Path, report: &SweepReport) -> io::Result<()> {
+    let dir = out_root.join(report.name);
+    fs::create_dir_all(&dir)?;
+    fs::write(dir.join("report.md"), &report.text)
+}
+
+/// Looks a cell's output up by id (grid construction and rendering use
+/// the same id scheme).
+fn get<'a>(results: &'a [(String, CellJob, CellOutput)], id: &str) -> &'a CellOutput {
+    &results
+        .iter()
+        .find(|(rid, _, _)| rid == id)
+        .unwrap_or_else(|| panic!("cell `{id}` missing from grid"))
+        .2
+}
+
+/// The paper applies the task-size bar only to the two responders.
+fn responds_to_task_size(name: &str) -> bool {
+    matches!(name, "compress" | "fpppp")
+}
+
+// ---------------------------------------------------------------- sweeps
+
+fn figure5(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+    use std::fmt::Write as _;
+    let mut grid = Vec::new();
+    for in_order in [false, true] {
+        for pus in [4usize, 8] {
+            for w in integer_suite().iter().chain(fp_suite().iter()) {
+                let mut heuristics =
+                    vec![Heuristic::BasicBlock, Heuristic::ControlFlow, Heuristic::DataDependence];
+                if responds_to_task_size(w.name) {
+                    heuristics.push(Heuristic::TaskSize);
+                }
+                for h in heuristics {
+                    let id = format!(
+                        "{}-{}-{}pu-{}",
+                        w.name,
+                        h.label(),
+                        pus,
+                        if in_order { "io" } else { "ooo" }
+                    );
+                    let job = CellJob {
+                        pus,
+                        in_order,
+                        insts: DEFAULT_TRACE_INSTS,
+                        ..CellJob::new(w.name, h)
+                    };
+                    grid.push((id, job));
+                }
+            }
+        }
+    }
+    let cells = grid.len();
+    let results = run_cells("figure5", jobs, grid, out_root)?;
+
+    let mut text = String::new();
+    writeln!(text, "Figure 5 — impact of the compiler heuristics on the SPEC95-shaped suite")
+        .unwrap();
+    writeln!(text, "(paper shape: heuristics beat bb tasks by 19-38% int / 21-52% fp on 4 PUs,")
+        .unwrap();
+    writeln!(
+        text,
+        " 25-39% int / 25-53% fp on 8 PUs; dd adds <1-15% over cf; in-order gains more)"
+    )
+    .unwrap();
+    for in_order in [false, true] {
+        for pus in [4usize, 8] {
+            for (title, suite) in [("integer", integer_suite()), ("floating point", fp_suite())] {
+                writeln!(
+                    text,
+                    "\n── Figure 5{}: {title}, {pus} PUs, {} PUs ──",
+                    if pus == 4 { "(a)" } else { "(b)" },
+                    if in_order { "in-order" } else { "out-of-order" }
+                )
+                .unwrap();
+                writeln!(
+                    text,
+                    "{:<10} {:>7} {:>7} {:>7} {:>7}   {:>8} {:>8} {:>8}",
+                    "bench", "bb", "cf", "dd", "ts", "cf/bb", "dd/bb", "ts/bb"
+                )
+                .unwrap();
+                let mut improvements: Vec<f64> = Vec::new();
+                for w in &suite {
+                    let suffix = format!("{}pu-{}", pus, if in_order { "io" } else { "ooo" });
+                    let ipc = |h: Heuristic| {
+                        get(&results, &format!("{}-{}-{}", w.name, h.label(), suffix)).sim.ipc()
+                    };
+                    let bb = ipc(Heuristic::BasicBlock);
+                    let cf = ipc(Heuristic::ControlFlow);
+                    let dd = ipc(Heuristic::DataDependence);
+                    let ts = responds_to_task_size(w.name).then(|| ipc(Heuristic::TaskSize));
+                    let best = ts.unwrap_or(dd).max(dd).max(cf);
+                    improvements.push(100.0 * (best - bb) / bb);
+                    writeln!(
+                        text,
+                        "{:<10} {:>7.3} {:>7.3} {:>7.3} {:>7}   {:>8} {:>8} {:>8}",
+                        w.name,
+                        bb,
+                        cf,
+                        dd,
+                        ts.map_or("-".into(), |v| format!("{v:.3}")),
+                        pct_change(bb, cf),
+                        pct_change(bb, dd),
+                        ts.map_or("-".into(), |v| pct_change(bb, v)),
+                    )
+                    .unwrap();
+                }
+                let lo = improvements.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = improvements.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                writeln!(
+                    text,
+                    "best-heuristic improvement over basic block tasks: {lo:.0}%..{hi:.0}%"
+                )
+                .unwrap();
+            }
+        }
+    }
+    let report = SweepReport { name: "figure5", text, cells };
+    write_report(out_root, &report)?;
+    Ok(report)
+}
+
+fn table1(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+    use std::fmt::Write as _;
+    let mut grid = Vec::new();
+    for w in ms_workloads::suite() {
+        for h in [Heuristic::BasicBlock, Heuristic::ControlFlow, Heuristic::DataDependence] {
+            let id = format!("{}-{}", w.name, h.label());
+            let job = CellJob { pus: 8, insts: DEFAULT_TRACE_INSTS, ..CellJob::new(w.name, h) };
+            grid.push((id, job));
+        }
+    }
+    let cells = grid.len();
+    let results = run_cells("table1", jobs, grid, out_root)?;
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "Table 1 — dynamic task size, control flow misspeculation and window span (8 PUs)"
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "{:<10} | {:>6} {:>6} {:>6} | {:>5} {:>6} {:>6} {:>6} | {:>5} {:>6} {:>6} {:>6} {:>6}",
+        "", "Basic", "Block", "", "Control", "Flow", "", "", "Data", "Dep.", "", "", ""
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "{:<10} | {:>6} {:>6} {:>6} | {:>5} {:>6} {:>6} {:>6} | {:>5} {:>6} {:>6} {:>6} {:>6}",
+        "bench",
+        "#dyn",
+        "task%",
+        "wspan",
+        "#ct",
+        "#dyn",
+        "task%",
+        "br%",
+        "#ct",
+        "#dyn",
+        "task%",
+        "br%",
+        "wspan"
+    )
+    .unwrap();
+    for w in ms_workloads::suite() {
+        let s = |h: Heuristic| &get(&results, &format!("{}-{}", w.name, h.label())).sim;
+        let (bb, cf, dd) =
+            (s(Heuristic::BasicBlock), s(Heuristic::ControlFlow), s(Heuristic::DataDependence));
+        let ct = |s: &SimStats| s.ct_insts as f64 / s.num_dyn_tasks.max(1) as f64;
+        writeln!(
+            text,
+            "{:<10} | {:>6.1} {:>6.2} {:>6.0} | {:>5.1} {:>6.1} {:>6.2} {:>6.2} | {:>5.1} {:>6.1} {:>6.2} {:>6.2} {:>6.0}",
+            w.name,
+            bb.avg_task_size(),
+            bb.task_mispred_pct(),
+            bb.window_span_formula(),
+            ct(cf),
+            cf.avg_task_size(),
+            cf.task_mispred_pct(),
+            cf.br_mispred_pct_normalized(),
+            ct(dd),
+            dd.avg_task_size(),
+            dd.task_mispred_pct(),
+            dd.br_mispred_pct_normalized(),
+            dd.window_span_formula(),
+        )
+        .unwrap();
+    }
+    writeln!(text, "\n(paper shape: bb tasks < 10 insts for integer, > 20 for fp except hydro2d;")
+        .unwrap();
+    writeln!(text, " heuristic tasks several times larger; window spans 45-140 int, 250-800 fp;")
+        .unwrap();
+    writeln!(text, " br%-normalised misprediction well below task%)").unwrap();
+    let report = SweepReport { name: "table1", text, cells };
+    write_report(out_root, &report)?;
+    Ok(report)
+}
+
+fn targets(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+    use std::fmt::Write as _;
+    let benches = ["go", "m88ksim", "perl", "hydro2d", "applu"];
+    let ns = [2usize, 4, 6, 8];
+    let mut grid = Vec::new();
+    for name in benches {
+        for n in ns {
+            let id = format!("{name}-n{n}");
+            let job = CellJob { targets: n, ..CellJob::new(name, Heuristic::ControlFlow) };
+            grid.push((id, job));
+        }
+    }
+    let cells = grid.len();
+    let results = run_cells("targets", jobs, grid, out_root)?;
+
+    let mut text = String::new();
+    writeln!(text, "Ablation: control-flow heuristic target limit N (4 PUs, out-of-order)")
+        .unwrap();
+    writeln!(text, "{:<10} {:>8} {:>8} {:>8} {:>8}", "bench", "N=2", "N=4", "N=6", "N=8").unwrap();
+    for name in benches {
+        let mut row = format!("{name:<10}");
+        for n in ns {
+            row.push_str(&format!(" {:>8.3}", get(&results, &format!("{name}-n{n}")).sim.ipc()));
+        }
+        writeln!(text, "{row}").unwrap();
+    }
+    writeln!(text, "\n(the hardware tracks 2-bit target numbers: tasks grown with N > 4 expose")
+        .unwrap();
+    writeln!(text, " targets the predictor cannot represent, so accuracy — and IPC — degrade)")
+        .unwrap();
+    let report = SweepReport { name: "targets", text, cells };
+    write_report(out_root, &report)?;
+    Ok(report)
+}
+
+fn thresholds(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+    use std::fmt::Write as _;
+    let benches = ["compress", "fpppp"];
+    let threshes = [10.0f64, 30.0, 60.0, 120.0];
+    let mut grid = Vec::new();
+    for name in benches {
+        grid.push((
+            format!("{name}-off"),
+            CellJob { pus: 8, ..CellJob::new(name, Heuristic::DataDependence) },
+        ));
+        for t in threshes {
+            grid.push((
+                format!("{name}-t{t:.0}"),
+                CellJob { pus: 8, ts_thresh: Some(t), ..CellJob::new(name, Heuristic::TaskSize) },
+            ));
+        }
+    }
+    let cells = grid.len();
+    let results = run_cells("thresholds", jobs, grid, out_root)?;
+
+    let mut text = String::new();
+    writeln!(text, "Ablation: CALL_THRESH / LOOP_THRESH sweep (dd tasks + task size, 8 PUs)")
+        .unwrap();
+    writeln!(
+        text,
+        "{:<10} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "bench", "off", "thresh=10", "thresh=30", "thresh=60", "thresh=120"
+    )
+    .unwrap();
+    for name in benches {
+        let mut row = format!("{name:<10}");
+        let off = &get(&results, &format!("{name}-off")).sim;
+        row.push_str(&format!(" {:>7.3}/{:>5.1}", off.ipc(), off.avg_task_size()));
+        for t in threshes {
+            let s = &get(&results, &format!("{name}-t{t:.0}")).sim;
+            row.push_str(&format!(" {:>7.3}/{:>5.1}", s.ipc(), s.avg_task_size()));
+        }
+        writeln!(text, "{row}").unwrap();
+    }
+    writeln!(text, "\n(cells are IPC / mean dynamic task size; the paper picked 30 so that the")
+        .unwrap();
+    writeln!(text, " ~2-cycle task overheads stay near 6% of task execution time)").unwrap();
+    let report = SweepReport { name: "thresholds", text, cells };
+    write_report(out_root, &report)?;
+    Ok(report)
+}
+
+fn pus(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+    use std::fmt::Write as _;
+    let benches = ["m88ksim", "perl", "tomcatv", "applu", "wave5"];
+    let counts = [1usize, 2, 4, 8, 16];
+    let mut grid = Vec::new();
+    for name in benches {
+        for p in counts {
+            grid.push((
+                format!("{name}-{p}pu"),
+                CellJob { pus: p, ..CellJob::new(name, Heuristic::DataDependence) },
+            ));
+        }
+    }
+    let cells = grid.len();
+    let results = run_cells("pus", jobs, grid, out_root)?;
+
+    let mut text = String::new();
+    writeln!(text, "Ablation: PU count sweep (data dependence tasks, out-of-order)").unwrap();
+    writeln!(
+        text,
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}   speedup@8",
+        "bench", "1 PU", "2 PU", "4 PU", "8 PU", "16 PU"
+    )
+    .unwrap();
+    for name in benches {
+        let mut row = format!("{name:<10}");
+        let ipc_at = |p: usize| get(&results, &format!("{name}-{p}pu")).sim.ipc();
+        for p in counts {
+            row.push_str(&format!(" {:>8.3}", ipc_at(p)));
+        }
+        writeln!(text, "{row}   {:.2}x", ipc_at(8) / ipc_at(1).max(1e-9)).unwrap();
+    }
+    let report = SweepReport { name: "pus", text, cells };
+    write_report(out_root, &report)?;
+    Ok(report)
+}
+
+fn forwarding(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+    use std::fmt::Write as _;
+    let benches = ["m88ksim", "perl", "tomcatv", "applu", "wave5", "go"];
+    let mut grid = Vec::new();
+    for name in benches {
+        grid.push((
+            format!("{name}-dead"),
+            CellJob { pus: 8, ..CellJob::new(name, Heuristic::DataDependence) },
+        ));
+        grid.push((
+            format!("{name}-naive"),
+            CellJob { pus: 8, dead_reg: false, ..CellJob::new(name, Heuristic::DataDependence) },
+        ));
+    }
+    let cells = grid.len();
+    let results = run_cells("forwarding", jobs, grid, out_root)?;
+
+    let mut text = String::new();
+    writeln!(text, "Ablation: dead register analysis for ring forwards (dd tasks, 8 PUs)").unwrap();
+    writeln!(
+        text,
+        "{:<10} {:>10} {:>10} {:>12} {:>12} {:>9}",
+        "bench", "IPC dead", "IPC naive", "fwd/task d", "fwd/task n", "IPC gain"
+    )
+    .unwrap();
+    for name in benches {
+        let dead = &get(&results, &format!("{name}-dead")).sim;
+        let naive = &get(&results, &format!("{name}-naive")).sim;
+        writeln!(
+            text,
+            "{:<10} {:>10.3} {:>10.3} {:>12.1} {:>12.1} {:>8.1}%",
+            name,
+            dead.ipc(),
+            naive.ipc(),
+            dead.forwards_per_task(),
+            naive.forwards_per_task(),
+            100.0 * (dead.ipc() - naive.ipc()) / naive.ipc(),
+        )
+        .unwrap();
+    }
+    writeln!(text, "\n(dead register analysis must never forward MORE values than naive").unwrap();
+    writeln!(text, " forwarding; the IPC gain comes from freed ring bandwidth)").unwrap();
+    let report = SweepReport { name: "forwarding", text, cells };
+    write_report(out_root, &report)?;
+    Ok(report)
+}
+
+fn predication(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+    use std::fmt::Write as _;
+    let benches = ["go", "gcc", "li", "perl", "vortex", "hydro2d"];
+    let variants: [(&str, Option<usize>); 3] =
+        [("plain", None), ("arms4", Some(4)), ("arms8", Some(8))];
+    let mut grid = Vec::new();
+    for name in benches {
+        for (tag, arms) in variants {
+            grid.push((
+                format!("{name}-{tag}"),
+                CellJob { if_convert_arms: arms, ..CellJob::new(name, Heuristic::ControlFlow) },
+            ));
+        }
+    }
+    let cells = grid.len();
+    let results = run_cells("predication", jobs, grid, out_root)?;
+
+    let mut text = String::new();
+    writeln!(text, "Ablation: if-conversion before task selection (cf tasks, 4 PUs)").unwrap();
+    writeln!(
+        text,
+        "{:<10} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "bench", "plain", "arms<=4", "arms<=8", "mis plain", "mis <=4", "mis <=8"
+    )
+    .unwrap();
+    for name in benches {
+        let s = |tag: &str| &get(&results, &format!("{name}-{tag}")).sim;
+        let (plain, c4, c8) = (s("plain"), s("arms4"), s("arms8"));
+        writeln!(
+            text,
+            "{:<10} {:>9.3} {:>9.3} {:>9.3} | {:>8.2}% {:>8.2}% {:>8.2}%",
+            name,
+            plain.ipc(),
+            c4.ipc(),
+            c8.ipc(),
+            plain.task_mispred_pct(),
+            c4.task_mispred_pct(),
+            c8.task_mispred_pct(),
+        )
+        .unwrap();
+    }
+    writeln!(text, "\n(predication executes both arms — it pays off where diamonds are small")
+        .unwrap();
+    writeln!(text, " and unpredictable, and costs instructions where they were predictable)")
+        .unwrap();
+    let report = SweepReport { name: "predication", text, cells };
+    write_report(out_root, &report)?;
+    Ok(report)
+}
+
+fn hardware(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+    use std::fmt::Write as _;
+    let bw_benches = ["m88ksim", "go", "applu", "wave5"];
+    let bws = [1u32, 2, 4, 8];
+    let arb_benches = ["fpppp", "tomcatv", "compress"];
+    let arbs = [8u32, 16, 32, 64];
+    let sync_benches = ["compress", "go", "li"];
+    let syncs = [0u32, 16, 256];
+
+    let mut grid = Vec::new();
+    for name in bw_benches {
+        for bw in bws {
+            grid.push((
+                format!("{name}-bw{bw}"),
+                CellJob {
+                    pus: 8,
+                    ring_bandwidth: Some(bw),
+                    ..CellJob::new(name, Heuristic::DataDependence)
+                },
+            ));
+        }
+    }
+    for name in arb_benches {
+        for entries in arbs {
+            grid.push((
+                format!("{name}-arb{entries}"),
+                CellJob {
+                    pus: 8,
+                    arb_entries_per_pu: Some(entries),
+                    ..CellJob::new(name, Heuristic::DataDependence)
+                },
+            ));
+        }
+    }
+    for name in sync_benches {
+        for entries in syncs {
+            grid.push((
+                format!("{name}-sync{entries}"),
+                CellJob {
+                    pus: 8,
+                    sync_table_entries: Some(entries),
+                    ..CellJob::new(name, Heuristic::DataDependence)
+                },
+            ));
+        }
+    }
+    let cells = grid.len();
+    let results = run_cells("hardware", jobs, grid, out_root)?;
+
+    let mut text = String::new();
+    writeln!(text, "Ablation: ring bandwidth (values/cycle/link, paper: 2), 8 PUs, IPC").unwrap();
+    writeln!(text, "{:<10} {:>8} {:>8} {:>8} {:>8}", "bench", "bw=1", "bw=2", "bw=4", "bw=8")
+        .unwrap();
+    for name in bw_benches {
+        let mut row = format!("{name:<10}");
+        for bw in bws {
+            row.push_str(&format!(" {:>8.3}", get(&results, &format!("{name}-bw{bw}")).sim.ipc()));
+        }
+        writeln!(text, "{row}").unwrap();
+    }
+
+    writeln!(text, "\nAblation: ARB entries per PU (paper: 32), 8 PUs, IPC / overflows").unwrap();
+    writeln!(
+        text,
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "bench", "arb=8", "arb=16", "arb=32", "arb=64"
+    )
+    .unwrap();
+    for name in arb_benches {
+        let mut row = format!("{name:<10}");
+        for entries in arbs {
+            let s = &get(&results, &format!("{name}-arb{entries}")).sim;
+            row.push_str(&format!(" {:>7.3}/{:<4}", s.ipc(), s.arb_overflows));
+        }
+        writeln!(text, "{row}").unwrap();
+    }
+
+    writeln!(text, "\nAblation: memory dependence synchronisation table (paper: 256 entries)")
+        .unwrap();
+    writeln!(text, "{:<10} {:>14} {:>14} {:>14}", "bench", "off", "16 entries", "256 entries")
+        .unwrap();
+    for name in sync_benches {
+        let mut row = format!("{name:<10}");
+        for entries in syncs {
+            let s = &get(&results, &format!("{name}-sync{entries}")).sim;
+            row.push_str(&format!(" {:>7.3}v{:<6}", s.ipc(), s.violations));
+        }
+        writeln!(text, "{row}").unwrap();
+    }
+    writeln!(text, "\n(cells are IPC / ARB overflows or IPC v violations; without the sync")
+        .unwrap();
+    writeln!(text, " table conflicting loads squash repeatedly, as Moshovos et al. showed)")
+        .unwrap();
+    let report = SweepReport { name: "hardware", text, cells };
+    write_report(out_root, &report)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_sweep_is_none() {
+        let tmp = std::env::temp_dir().join("ms-sweeps-none");
+        assert!(run_sweep("no-such-sweep", 1, &tmp).unwrap().is_none());
+    }
+
+    #[test]
+    fn cell_json_is_schema_versioned_and_complete() {
+        let job = CellJob { insts: 3_000, ..CellJob::new("compress", Heuristic::ControlFlow) };
+        let out = job.run();
+        let j = cell_json("unit", "compress-cf", &job, &out);
+        assert!(j.starts_with("{\"schema_version\":1,"));
+        for key in [
+            "\"sweep\":\"unit\"",
+            "\"cell\":\"compress-cf\"",
+            "\"bench\":\"compress\"",
+            "\"strategy\":\"cf\"",
+            "\"params\":{",
+            "\"partition\":{",
+            "\"sim\":{",
+            "\"ctrl_squashes\":",
+            "\"mem_squashes\":",
+            "\"fwd_stall_cycles\":",
+            "\"pu_idle_cycles\":",
+            "\"task_size_hist\":[",
+            "\"size_hist\":[",
+        ] {
+            assert!(j.contains(key), "cell JSON missing {key}: {j}");
+        }
+    }
+
+    #[test]
+    fn cell_jobs_are_deterministic() {
+        let job = CellJob { insts: 2_000, ..CellJob::new("li", Heuristic::BasicBlock) };
+        let a = job.run();
+        let b = job.run();
+        assert_eq!(a.sim, b.sim);
+        assert_eq!(a.partition, b.partition);
+    }
+}

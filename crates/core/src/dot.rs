@@ -12,9 +12,8 @@ use ms_ir::{FuncId, Program, Terminator};
 use crate::task::TaskPartition;
 
 /// Pastel fill colours cycled across tasks.
-const COLORS: [&str; 8] = [
-    "#cfe8fc", "#ffe2b8", "#d8f0cf", "#f3d1f4", "#fff3b0", "#d9d7f1", "#ffd5cc", "#c8f0ea",
-];
+const COLORS: [&str; 8] =
+    ["#cfe8fc", "#ffe2b8", "#d8f0cf", "#f3d1f4", "#fff3b0", "#d9d7f1", "#ffd5cc", "#c8f0ea"];
 
 /// Renders function `f` of `program`, partitioned by `partition`, as a
 /// Graphviz `digraph` (returns the DOT source).
@@ -91,8 +90,7 @@ pub fn to_dot(program: &Program, partition: &TaskPartition, f: FuncId) -> String
                     } else {
                         "dashed"
                     };
-                    let _ =
-                        writeln!(out, "  b{} -> b{} [style={style}];", b.index(), s.index());
+                    let _ = writeln!(out, "  b{} -> b{} [style={style}];", b.index(), s.index());
                 }
             }
         }

@@ -87,7 +87,11 @@ mod tests {
     fn display_is_nonempty_for_all_variants() {
         let cases = [
             PartitionError::Uncovered { func: FuncId::new(0), block: BlockId::new(1) },
-            PartitionError::Disconnected { func: FuncId::new(0), task: TaskId::new(2), block: BlockId::new(1) },
+            PartitionError::Disconnected {
+                func: FuncId::new(0),
+                task: TaskId::new(2),
+                block: BlockId::new(1),
+            },
             PartitionError::SideEntry {
                 func: FuncId::new(0),
                 task: TaskId::new(2),

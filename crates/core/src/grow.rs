@@ -127,32 +127,31 @@ impl<'a> GrowCtx<'a> {
         let mut in_potential: BTreeSet<BlockId> = BTreeSet::new();
         let mut queue: VecDeque<BlockId> = VecDeque::new();
 
-        let enqueue_children = |blk: BlockId,
-                                    in_potential: &BTreeSet<BlockId>,
-                                    queue: &mut VecDeque<BlockId>| {
-            if self.is_terminal_node(blk, seed) {
-                return;
-            }
-            let succs: Vec<BlockId> = match self.func.block(blk).terminator() {
-                // Included call: growth continues at the return block.
-                Terminator::Call { ret_to, .. } => vec![*ret_to],
-                _ => self.func.successors(blk),
-            };
-            for ch in succs {
-                if in_potential.contains(&ch) || taken(ch) {
-                    continue;
+        let enqueue_children =
+            |blk: BlockId, in_potential: &BTreeSet<BlockId>, queue: &mut VecDeque<BlockId>| {
+                if self.is_terminal_node(blk, seed) {
+                    return;
                 }
-                if self.is_terminal_edge(blk, ch) {
-                    continue;
-                }
-                if let Some(s) = steer {
-                    if !s(ch) {
+                let succs: Vec<BlockId> = match self.func.block(blk).terminator() {
+                    // Included call: growth continues at the return block.
+                    Terminator::Call { ret_to, .. } => vec![*ret_to],
+                    _ => self.func.successors(blk),
+                };
+                for ch in succs {
+                    if in_potential.contains(&ch) || taken(ch) {
                         continue;
                     }
+                    if self.is_terminal_edge(blk, ch) {
+                        continue;
+                    }
+                    if let Some(s) = steer {
+                        if !s(ch) {
+                            continue;
+                        }
+                    }
+                    queue.push_back(ch);
                 }
-                queue.push_back(ch);
-            }
-        };
+            };
 
         // Seed with the initial set (expansion) or the seed block.
         if initial.is_empty() {
@@ -190,10 +189,8 @@ impl<'a> GrowCtx<'a> {
             enqueue_children(blk, &in_potential, &mut queue);
         }
 
-        let blocks: BTreeSet<BlockId> = potential[..feasible_len.max(floor.max(1))]
-            .iter()
-            .copied()
-            .collect();
+        let blocks: BTreeSet<BlockId> =
+            potential[..feasible_len.max(floor.max(1))].iter().copied().collect();
         Task::new(seed, blocks)
     }
 
@@ -209,7 +206,7 @@ impl<'a> GrowCtx<'a> {
 mod tests {
     use super::*;
     use crate::task::TaskTarget;
-    use ms_ir::{BranchBehavior, FunctionBuilder, FuncId, Opcode, Reg, Terminator};
+    use ms_ir::{BranchBehavior, FuncId, FunctionBuilder, Opcode, Reg, Terminator};
 
     fn branch(taken: BlockId, fall: BlockId) -> Terminator {
         Terminator::Branch { taken, fall, cond: vec![], behavior: BranchBehavior::Taken(0.5) }
@@ -256,7 +253,12 @@ mod tests {
         fb.set_terminator(mid, Terminator::Jump { target: latch });
         fb.set_terminator(
             latch,
-            Terminator::Branch { taken: head, fall: exit, cond: vec![], behavior: BranchBehavior::exact_loop(10) },
+            Terminator::Branch {
+                taken: head,
+                fall: exit,
+                cond: vec![],
+                behavior: BranchBehavior::exact_loop(10),
+            },
         );
         fb.set_terminator(exit, Terminator::Return);
         let f = fb.finish(entry).unwrap();
@@ -281,7 +283,12 @@ mod tests {
         fb.set_terminator(pre, Terminator::Jump { target: head });
         fb.set_terminator(
             head,
-            Terminator::Branch { taken: head, fall: exit, cond: vec![], behavior: BranchBehavior::exact_loop(5) },
+            Terminator::Branch {
+                taken: head,
+                fall: exit,
+                cond: vec![],
+                behavior: BranchBehavior::exact_loop(5),
+            },
         );
         fb.set_terminator(exit, Terminator::Return);
         let f = fb.finish(entry).unwrap();
@@ -306,10 +313,7 @@ mod tests {
         let ctx = GrowCtx::new(&f, BTreeSet::new(), 4, 64);
         let task = ctx.grow(b0, &BTreeSet::new(), &no_taken, None);
         assert!(task.contains(call) && !task.contains(after));
-        assert_eq!(
-            task.targets(&f, ctx.included_calls()),
-            vec![TaskTarget::Call(FuncId::new(1))]
-        );
+        assert_eq!(task.targets(&f, ctx.included_calls()), vec![TaskTarget::Call(FuncId::new(1))]);
 
         let ctx = GrowCtx::new(&f, BTreeSet::from([call]), 4, 64);
         let task = ctx.grow(b0, &BTreeSet::new(), &no_taken, None);
@@ -334,11 +338,21 @@ mod tests {
         fb.set_terminator(b3, Terminator::Jump { target: l5 });
         fb.set_terminator(
             l4,
-            Terminator::Branch { taken: l4, fall: b6, cond: vec![], behavior: BranchBehavior::exact_loop(4) },
+            Terminator::Branch {
+                taken: l4,
+                fall: b6,
+                cond: vec![],
+                behavior: BranchBehavior::exact_loop(4),
+            },
         );
         fb.set_terminator(
             l5,
-            Terminator::Branch { taken: l5, fall: b6, cond: vec![], behavior: BranchBehavior::exact_loop(4) },
+            Terminator::Branch {
+                taken: l5,
+                fall: b6,
+                cond: vec![],
+                behavior: BranchBehavior::exact_loop(4),
+            },
         );
         fb.set_terminator(b6, Terminator::Return);
         let f = fb.finish(b0).unwrap();

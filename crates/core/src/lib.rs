@@ -76,6 +76,6 @@ pub use error::PartitionError;
 pub use grow::GrowCtx;
 pub use predicate::if_convert;
 pub use selector::{Selection, Strategy, TaskSelector};
-pub use stats::PartitionStats;
+pub use stats::{PartitionStats, SIZE_HIST_BUCKETS};
 pub use task::{FuncPartition, Task, TaskId, TaskPartition, TaskTarget};
 pub use transform::{apply_task_size, unroll_small_loops, TaskSizeParams};

@@ -9,9 +9,7 @@
 //! task selection it trades dynamic instructions for control flow — the
 //! ablation `sweep_predication` measures when that wins.
 
-use ms_ir::{
-    BlockId, Function, FunctionBuilder, Opcode, Program, ProgramBuilder, Terminator,
-};
+use ms_ir::{BlockId, Function, FunctionBuilder, Opcode, Program, ProgramBuilder, Terminator};
 
 /// Applies if-conversion to every function of `program`: any diamond
 /// whose arms have at most `max_arm` instructions (and no calls or
@@ -198,10 +196,7 @@ mod tests {
         let p = diamond_program(6);
         let q = if_convert(&p, 4);
         let func = q.function(q.entry());
-        assert!(matches!(
-            func.block(BlockId::new(0)).terminator(),
-            Terminator::Branch { .. }
-        ));
+        assert!(matches!(func.block(BlockId::new(0)).terminator(), Terminator::Branch { .. }));
     }
 
     #[test]

@@ -171,11 +171,8 @@ impl TaskSelector {
         let mut funcs = Vec::with_capacity(program.num_functions());
         for fid in program.func_ids() {
             let func = program.function(fid);
-            let included: BTreeSet<BlockId> = included_calls
-                .iter()
-                .filter(|(f, _)| *f == fid)
-                .map(|(_, b)| *b)
-                .collect();
+            let included: BTreeSet<BlockId> =
+                included_calls.iter().filter(|(f, _)| *f == fid).map(|(_, b)| *b).collect();
             let tasks = self.partition_function(fid, func, included, &profile);
             funcs.push(FuncPartition::new(fid, tasks, func.num_blocks()));
         }
@@ -225,19 +222,16 @@ impl TaskSelector {
         // tied dependences; ties then break deterministically by ids,
         // which puts dominating producers (lower block ids in builder
         // order) first.
-        let qfreq = |b: BlockId| {
-            (profile.block_freq(BlockRef::new(fid, b)) * 1024.0).round() as u64
-        };
+        let qfreq =
+            |b: BlockId| (profile.block_freq(BlockRef::new(fid, b)) * 1024.0).round() as u64;
         deps.sort_by(|a, b| qfreq(b.1).cmp(&qfreq(a.1)).then_with(|| a.cmp(b)));
         // The heuristic prioritises by profiled frequency and only acts
         // on the dependences worth acting on: chasing every cold
         // dependence would shred the control-flow tasks that already
         // include most chains (the paper notes the heuristic "has fewer
         // opportunities" beyond the control flow heuristic, §4.3.1).
-        let cutoff = deps
-            .first()
-            .map(|d| profile.block_freq(BlockRef::new(fid, d.1)) * 0.25)
-            .unwrap_or(0.0);
+        let cutoff =
+            deps.first().map(|d| profile.block_freq(BlockRef::new(fid, d.1)) * 0.25).unwrap_or(0.0);
         deps.retain(|d| profile.block_freq(BlockRef::new(fid, d.1)) >= cutoff);
         for (producer, consumer, _reg) in deps {
             #[cfg(feature = "selector-debug")]
@@ -254,8 +248,9 @@ impl TaskSelector {
                     let entry = task.entry();
                     let initial = task.blocks().clone();
                     let taken = |b: BlockId| state.owned_by_other(b, ti);
-                    let steer =
-                        |b: BlockId| reach.is_codependent(b, producer, consumer) && b != func.entry();
+                    let steer = |b: BlockId| {
+                        reach.is_codependent(b, producer, consumer) && b != func.entry()
+                    };
                     let grown = ctx.grow(entry, &initial, &taken, Some(&steer));
                     #[cfg(feature = "selector-debug")]
                     eprintln!("  expanded task {ti} to {:?}", grown.blocks());
@@ -266,8 +261,9 @@ impl TaskSelector {
                         continue;
                     }
                     let taken = |b: BlockId| state.owner(b).is_some();
-                    let steer =
-                        |b: BlockId| reach.is_codependent(b, producer, consumer) && b != func.entry();
+                    let steer = |b: BlockId| {
+                        reach.is_codependent(b, producer, consumer) && b != func.entry()
+                    };
                     let grown = ctx.grow(producer, &BTreeSet::new(), &taken, Some(&steer));
                     #[cfg(feature = "selector-debug")]
                     eprintln!("  new task at {producer}: {:?}", grown.blocks());

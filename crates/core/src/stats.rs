@@ -30,7 +30,16 @@ pub struct PartitionStats {
     pub deps_exposed: usize,
     /// See [`PartitionStats::deps_exposed`].
     pub deps_included: usize,
+    /// Histogram of *static* task sizes in power-of-two buckets:
+    /// `size_hist[k]` counts tasks of `[2^k, 2^(k+1))` static
+    /// instructions (bucket 0 also takes empty tasks; the last bucket
+    /// collects the overflow). The simulator reports the dynamic
+    /// counterpart.
+    pub size_hist: Vec<usize>,
 }
+
+/// Number of buckets in [`PartitionStats::size_hist`].
+pub const SIZE_HIST_BUCKETS: usize = 12;
 
 impl PartitionStats {
     /// Computes statistics for `partition` over `program`, using
@@ -44,6 +53,7 @@ impl PartitionStats {
     ) -> Self {
         let mut num_tasks = 0usize;
         let mut static_size_sum = 0usize;
+        let mut size_hist = vec![0usize; SIZE_HIST_BUCKETS];
         let mut targets_hist = vec![0usize; 10];
         let mut over_limit = 0usize;
         let mut weighted_insts = 0.0f64;
@@ -57,7 +67,10 @@ impl PartitionStats {
             let included = partition.included_in(fid);
             for (ti, task) in fp.tasks().iter().enumerate() {
                 num_tasks += 1;
-                static_size_sum += task.static_size(func);
+                let size = task.static_size(func);
+                static_size_sum += size;
+                let k = (usize::BITS - 1 - size.max(1).leading_zeros()) as usize;
+                size_hist[k.min(SIZE_HIST_BUCKETS - 1)] += 1;
                 let targets = task.targets(func, &included);
                 let k = targets.len().min(targets_hist.len() - 1);
                 targets_hist[k] += 1;
@@ -92,6 +105,7 @@ impl PartitionStats {
             over_limit,
             deps_exposed,
             deps_included,
+            size_hist,
         }
     }
 
@@ -113,6 +127,33 @@ impl PartitionStats {
         } else {
             self.deps_included as f64 / total as f64
         }
+    }
+
+    /// Serialises the statistics as a single-line JSON object (stable
+    /// field names, no external dependencies) — the compile-time half of
+    /// the experiment harness's per-cell metrics artifact.
+    pub fn to_json(&self) -> String {
+        let list = |v: &[usize]| {
+            let cells: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", cells.join(","))
+        };
+        format!(
+            concat!(
+                "{{\"num_tasks\":{},\"avg_static_size\":{},",
+                "\"expected_dynamic_size\":{},\"avg_targets\":{},",
+                "\"over_limit\":{},\"deps_exposed\":{},\"deps_included\":{},",
+                "\"targets_hist\":{},\"size_hist\":{}}}"
+            ),
+            self.num_tasks,
+            self.avg_static_size,
+            self.expected_dynamic_size,
+            self.avg_targets(),
+            self.over_limit,
+            self.deps_exposed,
+            self.deps_included,
+            list(&self.targets_hist),
+            list(&self.size_hist),
+        )
     }
 }
 
@@ -148,7 +189,12 @@ mod tests {
         fb.push_inst(b3, Opcode::IAdd.inst().dst(Reg::int(2)).src(Reg::int(1)));
         fb.set_terminator(
             b0,
-            Terminator::Branch { taken: b1, fall: b2, cond: vec![], behavior: BranchBehavior::Taken(0.5) },
+            Terminator::Branch {
+                taken: b1,
+                fall: b2,
+                cond: vec![],
+                behavior: BranchBehavior::Taken(0.5),
+            },
         );
         fb.set_terminator(b1, Terminator::Jump { target: b3 });
         fb.set_terminator(b2, Terminator::Jump { target: b3 });
@@ -185,6 +231,19 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("tasks:"));
         assert!(text.contains("avg targets"));
+    }
+
+    #[test]
+    fn size_hist_counts_every_task_and_serialises() {
+        let p = sample_program();
+        let profile = Profile::estimate(&p);
+        let sel = TaskSelector::basic_block().select(&p);
+        let s = PartitionStats::compute(&p, &sel.partition, &profile, 4);
+        assert_eq!(s.size_hist.iter().sum::<usize>(), s.num_tasks);
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"size_hist\":["));
+        assert!(j.contains("\"num_tasks\":"));
     }
 
     #[test]

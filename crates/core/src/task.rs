@@ -167,10 +167,7 @@ impl FuncPartition {
         let mut task_of = vec![None; num_blocks];
         for (i, t) in tasks.iter().enumerate() {
             for &b in t.blocks() {
-                assert!(
-                    task_of[b.index()].is_none(),
-                    "block {b} claimed by two tasks in {func}"
-                );
+                assert!(task_of[b.index()].is_none(), "block {b} claimed by two tasks in {func}");
                 task_of[b.index()] = Some(TaskId::new(i as u32));
             }
         }
@@ -269,11 +266,7 @@ impl TaskPartition {
 
     /// Included call blocks of `f` (helper for [`Task::targets`]).
     pub fn included_in(&self, f: FuncId) -> BTreeSet<BlockId> {
-        self.included_calls
-            .iter()
-            .filter(|(ff, _)| *ff == f)
-            .map(|(_, b)| *b)
-            .collect()
+        self.included_calls.iter().filter(|(ff, _)| *ff == f).map(|(_, b)| *b).collect()
     }
 
     /// The targets of task `t` of function `f`.
@@ -337,7 +330,11 @@ impl TaskPartition {
                 }
                 for &b in task.blocks() {
                     if !seen.contains(&b) {
-                        return Err(PartitionError::Disconnected { func: fid, task: tid, block: b });
+                        return Err(PartitionError::Disconnected {
+                            func: fid,
+                            task: tid,
+                            block: b,
+                        });
                     }
                 }
                 // 3. Single entry: internal blocks may not be targeted
@@ -434,18 +431,20 @@ mod tests {
         let b3 = fb.add_block();
         fb.set_terminator(
             b0,
-            Terminator::Branch { taken: b1, fall: b2, cond: vec![], behavior: BranchBehavior::Taken(0.5) },
+            Terminator::Branch {
+                taken: b1,
+                fall: b2,
+                cond: vec![],
+                behavior: BranchBehavior::Taken(0.5),
+            },
         );
         fb.set_terminator(b1, Terminator::Jump { target: b3 });
         fb.set_terminator(b2, Terminator::Jump { target: b3 });
         fb.set_terminator(b3, Terminator::Halt);
         pb.define_function(m, fb.finish(b0).unwrap());
         let p = pb.finish(m).unwrap();
-        let tasks = vec![
-            Task::singleton(b0),
-            Task::new(b1, BTreeSet::from([b1, b3])),
-            Task::singleton(b2),
-        ];
+        let tasks =
+            vec![Task::singleton(b0), Task::new(b1, BTreeSet::from([b1, b3])), Task::singleton(b2)];
         let fp = FuncPartition::new(m, tasks, 4);
         let part = TaskPartition::new(vec![fp], BTreeSet::new(), "x");
         assert!(matches!(part.validate(&p), Err(PartitionError::SideEntry { .. })));
@@ -464,7 +463,12 @@ mod tests {
         fb.set_terminator(entry, Terminator::Jump { target: head });
         fb.set_terminator(
             head,
-            Terminator::Branch { taken: head, fall: exit, cond: vec![], behavior: BranchBehavior::exact_loop(9) },
+            Terminator::Branch {
+                taken: head,
+                fall: exit,
+                cond: vec![],
+                behavior: BranchBehavior::exact_loop(9),
+            },
         );
         fb.set_terminator(exit, Terminator::Halt);
         pb.define_function(m, fb.finish(entry).unwrap());
@@ -526,10 +530,7 @@ mod tests {
         // re-enter. (This also violates connectivity for non-included
         // calls, but the return-entry check fires first via coverage of
         // b1 through the side-entry rule; assert it errors at all.)
-        let tasks = vec![
-            Task::new(b0, BTreeSet::from([b0, b1])),
-            Task::singleton(b2),
-        ];
+        let tasks = vec![Task::new(b0, BTreeSet::from([b0, b1])), Task::singleton(b2)];
         let fp = FuncPartition::new(m, tasks, 3);
         let lp = FuncPartition::new(leaf, vec![Task::singleton(l0)], 1);
         let part = TaskPartition::new(vec![fp, lp], BTreeSet::new(), "x");

@@ -14,8 +14,7 @@ use std::collections::BTreeSet;
 
 use ms_analysis::{Dominators, Loop, LoopForest, Profile};
 use ms_ir::{
-    BlockId, BranchBehavior, FuncId, Function, FunctionBuilder, Program, ProgramBuilder,
-    Terminator,
+    BlockId, BranchBehavior, FuncId, Function, FunctionBuilder, Program, ProgramBuilder, Terminator,
 };
 
 /// Thresholds for the task-size heuristic.
@@ -129,9 +128,12 @@ fn is_simple_unrollable(func: &Function, forest: &LoopForest, l: &Loop) -> bool 
 fn unroll_once(func: &Function, l: &Loop, factor: usize) -> Function {
     let latch = l.latches[0];
     let (orig_trips, orig_jitter, exit_fall, cond) = match func.block(latch).terminator() {
-        Terminator::Branch { fall, cond, behavior: BranchBehavior::Loop { avg_trips, jitter }, .. } => {
-            (*avg_trips, *jitter, *fall, cond.clone())
-        }
+        Terminator::Branch {
+            fall,
+            cond,
+            behavior: BranchBehavior::Loop { avg_trips, jitter },
+            ..
+        } => (*avg_trips, *jitter, *fall, cond.clone()),
         _ => unreachable!("checked by is_simple_unrollable"),
     };
 
@@ -183,7 +185,8 @@ fn unroll_once(func: &Function, l: &Loop, factor: usize) -> Function {
 
     // Emit copy `c` of block `b` (c = 0 is the original id).
     let emit = |fb: &mut FunctionBuilder, c: usize, b: BlockId| {
-        let new_id = if c == 0 { orig_ids[b.index()] } else { copy_ids[c - 1][body_pos(b).unwrap()] };
+        let new_id =
+            if c == 0 { orig_ids[b.index()] } else { copy_ids[c - 1][body_pos(b).unwrap()] };
         for inst in func.block(b).insts() {
             let mut ni = inst.opcode().inst();
             if let Some(d) = inst.dst_reg() {

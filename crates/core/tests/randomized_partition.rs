@@ -1,67 +1,56 @@
-//! Property tests: every selection strategy produces a valid Multiscalar
-//! partition (exact cover, connected, single-entry tasks) on arbitrary
-//! CFGs, not just the hand-built ones.
-
-use proptest::prelude::*;
+//! Randomised property tests: every selection strategy produces a valid
+//! Multiscalar partition (exact cover, connected, single-entry tasks) on
+//! arbitrary CFGs, not just the hand-built ones.
+//!
+//! The programs are generated from a seeded [`SplitMix64`] stream, so
+//! every run explores the same cases and a failure reproduces from the
+//! seed printed in its message. Build with `--features heavy-tests` for
+//! a deeper sweep.
 
 use ms_ir::{
     BlockId, BranchBehavior, FuncId, FunctionBuilder, Opcode, Program, ProgramBuilder, Reg,
-    Terminator,
+    SplitMix64, Terminator,
 };
 use ms_tasksel::{if_convert, TaskSelector, TaskSizeParams, TaskTarget};
 
-/// A compact description of one random block's contents/terminator.
-#[derive(Debug, Clone)]
-struct BlockSpec {
-    insts: usize,
-    /// Terminator selector plus raw operands; resolved modulo the block
-    /// count at build time.
-    kind: u8,
-    a: usize,
-    b: usize,
-    prob: f64,
-    trips: u32,
-}
+/// Cases per property (deterministic; the seed is the case index).
+const CASES: u64 = if cfg!(feature = "heavy-tests") { 384 } else { 96 };
 
-fn block_spec() -> impl Strategy<Value = BlockSpec> {
-    (0usize..6, 0u8..10, any::<usize>(), any::<usize>(), 0.0f64..1.0, 1u32..12).prop_map(
-        |(insts, kind, a, b, prob, trips)| BlockSpec { insts, kind, a, b, prob, trips },
-    )
-}
-
-/// Builds a syntactically valid single-function program from specs.
-/// Every block gets a terminator; targets wrap modulo the block count,
-/// so arbitrary loops, diamonds, unreachable blocks and self-loops all
-/// occur.
-fn build_program(specs: Vec<BlockSpec>) -> Program {
-    let n = specs.len().max(1);
+/// Builds a syntactically valid single-function program of up to
+/// `max_blocks` random blocks. Every block gets a terminator; targets
+/// wrap modulo the block count, so arbitrary loops, diamonds,
+/// unreachable blocks and self-loops all occur.
+fn random_program(seed: u64, max_blocks: usize) -> Program {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x7a5c_e5ed);
+    let n = rng.gen_range(1usize..=max_blocks.max(1));
     let mut fb = FunctionBuilder::new("random");
     let ids: Vec<BlockId> = (0..n).map(|_| fb.add_block()).collect();
-    for (i, spec) in specs.iter().enumerate() {
+    for i in 0..n {
         let blk = ids[i];
-        for j in 0..spec.insts {
+        let insts = rng.gen_range(0usize..6);
+        for j in 0..insts {
             let dst = Reg::int(2 + (j as u8 + i as u8) % 12);
             let src = Reg::int(2 + (j as u8) % 12);
             fb.push_inst(blk, Opcode::IAdd.inst().dst(dst).src(src));
         }
-        let ta = ids[spec.a % n];
-        let tb = ids[spec.b % n];
-        let term = match spec.kind {
+        let ta = ids[rng.gen_range(0usize..n)];
+        let tb = ids[rng.gen_range(0usize..n)];
+        let term = match rng.gen_range(0u32..10) {
             0 | 1 => Terminator::Jump { target: ta },
             2..=4 => Terminator::Branch {
                 taken: ta,
                 fall: tb,
                 cond: vec![Reg::int(1)],
-                behavior: BranchBehavior::Taken(spec.prob),
+                behavior: BranchBehavior::Taken(rng.next_f64()),
             },
             5 => Terminator::Branch {
                 taken: ta,
                 fall: tb,
                 cond: vec![Reg::int(1)],
-                behavior: BranchBehavior::Loop { avg_trips: spec.trips, jitter: 0 },
+                behavior: BranchBehavior::Loop { avg_trips: rng.gen_range(1u32..12), jitter: 0 },
             },
             6 => Terminator::Switch {
-                targets: vec![ta, tb, ids[(spec.a / 7) % n]],
+                targets: vec![ta, tb, ids[rng.gen_range(0usize..n)]],
                 weights: vec![3, 2, 1],
                 cond: vec![Reg::int(1)],
             },
@@ -82,14 +71,12 @@ fn build_program(specs: Vec<BlockSpec>) -> Program {
     pb.finish(main).expect("random program is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Every strategy yields a partition satisfying the Multiscalar
-    /// invariants on arbitrary CFGs.
-    #[test]
-    fn partitions_are_always_valid(specs in prop::collection::vec(block_spec(), 1..24)) {
-        let program = build_program(specs);
+/// Every strategy yields a partition satisfying the Multiscalar
+/// invariants on arbitrary CFGs.
+#[test]
+fn partitions_are_always_valid() {
+    for seed in 0..CASES {
+        let program = random_program(seed, 24);
         for sel in [
             TaskSelector::basic_block().select(&program),
             TaskSelector::control_flow(4).select(&program),
@@ -99,34 +86,38 @@ proptest! {
                 .with_task_size(TaskSizeParams::default())
                 .select(&program),
         ] {
-            prop_assert!(
+            assert!(
                 sel.partition.validate(&sel.program).is_ok(),
-                "strategy {} violated invariants: {:?}",
+                "seed {seed}: strategy {} violated invariants: {:?}",
                 sel.partition.strategy(),
                 sel.partition.validate(&sel.program)
             );
         }
     }
+}
 
-    /// Selection is deterministic: same program, same partition.
-    #[test]
-    fn selection_is_deterministic(specs in prop::collection::vec(block_spec(), 1..16)) {
-        let program = build_program(specs);
+/// Selection is deterministic: same program, same partition.
+#[test]
+fn selection_is_deterministic() {
+    for seed in 0..CASES / 2 {
+        let program = random_program(seed, 16);
         let a = TaskSelector::data_dependence(4).select(&program);
         let b = TaskSelector::data_dependence(4).select(&program);
         let fa = &a.partition.funcs()[0];
         let fb = &b.partition.funcs()[0];
-        prop_assert_eq!(fa.tasks().len(), fb.tasks().len());
+        assert_eq!(fa.tasks().len(), fb.tasks().len(), "seed {seed}");
         for (x, y) in fa.tasks().iter().zip(fb.tasks()) {
-            prop_assert_eq!(x, y);
+            assert_eq!(x, y, "seed {seed}");
         }
     }
+}
 
-    /// Every internal task target names another task's entry (the
-    /// sequencer must always land on a task head).
-    #[test]
-    fn targets_are_task_entries(specs in prop::collection::vec(block_spec(), 1..20)) {
-        let program = build_program(specs);
+/// Every internal task target names another task's entry (the sequencer
+/// must always land on a task head).
+#[test]
+fn targets_are_task_entries() {
+    for seed in 0..CASES {
+        let program = random_program(seed ^ 0x1000, 20);
         let sel = TaskSelector::control_flow(4).select(&program);
         let fid = FuncId::new(0);
         let fp = sel.partition.func(fid);
@@ -135,40 +126,42 @@ proptest! {
                 sel.partition.targets(&sel.program, fid, ms_tasksel::TaskId::new(ti as u32));
             for t in targets {
                 if let TaskTarget::Block(b) = t {
-                    prop_assert!(
+                    assert!(
                         fp.task_at_entry(b).is_some(),
-                        "target {b} of task {ti} is not a task entry"
+                        "seed {seed}: target {b} of task {ti} is not a task entry"
                     );
                 }
             }
         }
     }
+}
 
-    /// If-conversion preserves validity: the converted program still
-    /// builds, validates, and partitions under every strategy.
-    #[test]
-    fn if_conversion_preserves_validity(
-        specs in prop::collection::vec(block_spec(), 1..20),
-        max_arm in 1usize..8,
-    ) {
-        let program = build_program(specs);
+/// If-conversion preserves validity: the converted program still builds,
+/// validates, and partitions.
+#[test]
+fn if_conversion_preserves_validity() {
+    for seed in 0..CASES {
+        let program = random_program(seed ^ 0x2000, 20);
+        let max_arm = 1 + (seed as usize % 7);
         let converted = if_convert(&program, max_arm);
-        prop_assert!(converted.validate().is_ok());
+        assert!(converted.validate().is_ok(), "seed {seed}");
         let sel = TaskSelector::control_flow(4).select(&converted);
-        prop_assert!(sel.partition.validate(&sel.program).is_ok());
+        assert!(sel.partition.validate(&sel.program).is_ok(), "seed {seed}");
     }
+}
 
-    /// Basic block partitions have exactly one task per reachable block.
-    #[test]
-    fn basic_block_partition_is_singleton_cover(specs in prop::collection::vec(block_spec(), 1..20)) {
-        let program = build_program(specs);
+/// Basic block partitions have exactly one task per reachable block.
+#[test]
+fn basic_block_partition_is_singleton_cover() {
+    for seed in 0..CASES {
+        let program = random_program(seed ^ 0x3000, 20);
         let sel = TaskSelector::basic_block().select(&program);
         let func = sel.program.function(FuncId::new(0));
         let reachable = func.reachable_blocks().len();
         let fp = &sel.partition.funcs()[0];
-        prop_assert_eq!(fp.tasks().len(), reachable);
+        assert_eq!(fp.tasks().len(), reachable, "seed {seed}");
         for t in fp.tasks() {
-            prop_assert_eq!(t.len(), 1);
+            assert_eq!(t.len(), 1, "seed {seed}");
         }
     }
 }

@@ -217,7 +217,11 @@ mod tests {
 
     #[test]
     fn switch_successors_deduplicate() {
-        let t = Terminator::Switch { targets: vec![b(1), b(2), b(1)], weights: vec![1, 1, 1], cond: vec![] };
+        let t = Terminator::Switch {
+            targets: vec![b(1), b(2), b(1)],
+            weights: vec![1, 1, 1],
+            cond: vec![],
+        };
         assert_eq!(t.successors(), vec![b(1), b(2)]);
     }
 

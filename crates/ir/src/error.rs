@@ -110,7 +110,11 @@ mod tests {
             BuildError::BadSwitch { func: "f".into(), block: BlockId::new(1) },
             BuildError::BadProbability { func: "f".into(), block: BlockId::new(1) },
             BuildError::MissingTerminator { func: "f".into(), block: BlockId::new(1) },
-            BuildError::BadAddrGen { func: FuncId::new(0), block: BlockId::new(1), gen: AddrGenId::new(3) },
+            BuildError::BadAddrGen {
+                func: FuncId::new(0),
+                block: BlockId::new(1),
+                gen: AddrGenId::new(3),
+            },
             BuildError::MissingAddrGen { func: FuncId::new(0), block: BlockId::new(1) },
             BuildError::UndefinedFunction { func: FuncId::new(4) },
         ];

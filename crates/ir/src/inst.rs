@@ -255,7 +255,10 @@ mod tests {
     #[test]
     fn every_opcode_has_consistent_fu_and_latency() {
         use Opcode::*;
-        for op in [IAdd, ILogic, IShift, IMul, IDiv, IMov, Load, Store, FAdd, FMul, FDiv, FMov, FLoad, FStore] {
+        for op in [
+            IAdd, ILogic, IShift, IMul, IDiv, IMov, Load, Store, FAdd, FMul, FDiv, FMov, FLoad,
+            FStore,
+        ] {
             assert!(op.latency() >= 1, "{op} must take at least one cycle");
             if op.is_mem() {
                 assert_eq!(op.fu_class(), FuClass::Mem);
@@ -273,12 +276,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at most three")]
     fn source_count_is_limited() {
-        let _ = Opcode::IAdd
-            .inst()
-            .src(Reg::int(1))
-            .src(Reg::int(2))
-            .src(Reg::int(3))
-            .src(Reg::int(4));
+        let _ =
+            Opcode::IAdd.inst().src(Reg::int(1)).src(Reg::int(2)).src(Reg::int(3)).src(Reg::int(4));
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod inst;
 mod mem;
 mod program;
 mod reg;
+pub mod rng;
 pub mod text;
 
 pub use block::{BasicBlock, BranchBehavior, Terminator};
@@ -59,4 +60,5 @@ pub use inst::{FuClass, Inst, Opcode};
 pub use mem::{AddrGenId, AddrSpec};
 pub use program::{BlockId, BlockRef, FuncId, Function, Program};
 pub use reg::{Reg, RegClass, NUM_FP_REGS, NUM_INT_REGS, NUM_REGS};
+pub use rng::SplitMix64;
 pub use text::{parse_program, write_program, ParseError};

@@ -106,12 +106,19 @@ impl Function {
         for (i, blk) in blocks.iter().enumerate() {
             if let Terminator::Switch { targets, weights, .. } = blk.terminator() {
                 if targets.is_empty() || targets.len() != weights.len() {
-                    return Err(BuildError::BadSwitch { func: name, block: BlockId::new(i as u32) });
+                    return Err(BuildError::BadSwitch {
+                        func: name,
+                        block: BlockId::new(i as u32),
+                    });
                 }
             }
-            if let Terminator::Branch { behavior: BranchBehavior::Taken(p), .. } = blk.terminator() {
+            if let Terminator::Branch { behavior: BranchBehavior::Taken(p), .. } = blk.terminator()
+            {
                 if !(0.0..=1.0).contains(p) {
-                    return Err(BuildError::BadProbability { func: name, block: BlockId::new(i as u32) });
+                    return Err(BuildError::BadProbability {
+                        func: name,
+                        block: BlockId::new(i as u32),
+                    });
                 }
             }
             for s in blk.successors() {
@@ -332,7 +339,12 @@ mod tests {
         fb.push_inst(b0, Opcode::IAdd.inst().dst(Reg::int(1)));
         fb.set_terminator(
             b0,
-            Terminator::Branch { taken: b1, fall: b2, cond: vec![Reg::int(1)], behavior: BranchBehavior::Taken(0.5) },
+            Terminator::Branch {
+                taken: b1,
+                fall: b2,
+                cond: vec![Reg::int(1)],
+                behavior: BranchBehavior::Taken(0.5),
+            },
         );
         fb.set_terminator(b1, Terminator::Jump { target: b3 });
         fb.set_terminator(b2, Terminator::Jump { target: b3 });

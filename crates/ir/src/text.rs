@@ -188,10 +188,9 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
         Some(b'f') => (RegClass::Fp, &tok[1..]),
         _ => return err(line, format!("expected register, got `{tok}`")),
     };
-    let idx: u8 = rest.parse().map_err(|_| ParseError {
-        line,
-        message: format!("bad register index in `{tok}`"),
-    })?;
+    let idx: u8 = rest
+        .parse()
+        .map_err(|_| ParseError { line, message: format!("bad register index in `{tok}`") })?;
     Ok(match class {
         RegClass::Int => Reg::int(idx),
         RegClass::Fp => Reg::fp(idx),
@@ -280,8 +279,18 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     // Pass 2: generators and function bodies.
     enum St {
         Top,
-        InFn { name: String, fb: FunctionBuilder, entry: Option<BlockId> },
-        InBlock { name: String, fb: FunctionBuilder, entry: Option<BlockId>, blk: BlockId, terminated: bool },
+        InFn {
+            name: String,
+            fb: FunctionBuilder,
+            entry: Option<BlockId>,
+        },
+        InBlock {
+            name: String,
+            fb: FunctionBuilder,
+            entry: Option<BlockId>,
+            blk: BlockId,
+            terminated: bool,
+        },
     }
     let mut st = St::Top;
     let mut gen_count = 0usize;
@@ -291,7 +300,8 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let toks: Vec<&str> = line.split(|c: char| c.is_whitespace() || c == ',').filter(|t| !t.is_empty()).collect();
+        let toks: Vec<&str> =
+            line.split(|c: char| c.is_whitespace() || c == ',').filter(|t| !t.is_empty()).collect();
         match st {
             St::Top => match toks.as_slice() {
                 ["program", "entry", _] => {}
@@ -313,9 +323,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
                             base: parse_u64(base, ln)?,
                             len: parse_u64(len, ln)?,
                         },
-                        ("stack", [slot]) => {
-                            AddrSpec::Stack { slot: parse_u64(slot, ln)? as u32 }
-                        }
+                        ("stack", [slot]) => AddrSpec::Stack { slot: parse_u64(slot, ln)? as u32 },
                         _ => return err(ln, format!("bad generator spec `{line}`")),
                     };
                     pb.add_addr_gen(spec);
@@ -457,10 +465,11 @@ fn parse_block_line(
             i += 1;
             let mut weights = Vec::new();
             while i < toks.len() && toks[i].chars().all(|c| c.is_ascii_digit()) {
-                weights.push(toks[i].parse().map_err(|_| ParseError {
-                    line: ln,
-                    message: "bad weight".into(),
-                })?);
+                weights.push(
+                    toks[i]
+                        .parse()
+                        .map_err(|_| ParseError { line: ln, message: "bad weight".into() })?,
+                );
                 i += 1;
             }
             let mut cond = Vec::new();
@@ -600,7 +609,11 @@ fn leaf {
         fb.push_inst(b0, Opcode::Load.inst().dst(Reg::int(1)).mem(g));
         fb.set_terminator(
             b0,
-            T::Switch { targets: vec![b1, b2, b1], weights: vec![3, 2, 1], cond: vec![Reg::int(1)] },
+            T::Switch {
+                targets: vec![b1, b2, b1],
+                weights: vec![3, 2, 1],
+                cond: vec![Reg::int(1)],
+            },
         );
         fb.set_terminator(
             b1,
@@ -621,7 +634,8 @@ fn leaf {
 
     #[test]
     fn errors_carry_line_numbers() {
-        let bad = "program entry @main\n\nfn main {\n  entry b0\n  block b0 {\n    frob r1\n  }\n}\n";
+        let bad =
+            "program entry @main\n\nfn main {\n  entry b0\n  block b0 {\n    frob r1\n  }\n}\n";
         let e = parse_program(bad).unwrap_err();
         assert_eq!(e.line, 6);
         assert!(e.to_string().contains("frob"));
@@ -629,7 +643,8 @@ fn leaf {
 
     #[test]
     fn missing_terminator_is_reported() {
-        let bad = "program entry @main\n\nfn main {\n  entry b0\n  block b0 {\n    imov r1 <-\n  }\n}\n";
+        let bad =
+            "program entry @main\n\nfn main {\n  entry b0\n  block b0 {\n    imov r1 <-\n  }\n}\n";
         let e = parse_program(bad).unwrap_err();
         assert!(e.message.contains("no terminator"), "{e}");
     }

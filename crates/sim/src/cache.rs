@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn lru_evicts_the_oldest_way() {
         let mut c = Cache::new(tiny()); // 4 sets × 2 ways, 32B lines
-        // Three lines mapping to set 0: 0x000, 0x080(=set0? 0x80>>5=4 → set 0), 0x100.
+                                        // Three lines mapping to set 0: 0x000, 0x080(=set0? 0x80>>5=4 → set 0), 0x100.
         assert!(!c.access(0x000));
         assert!(!c.access(0x080));
         assert!(!c.access(0x100)); // evicts 0x000

@@ -241,35 +241,22 @@ impl<'a> Engine<'a> {
     ) -> SimStats {
         let p = self.cfg.num_pus;
         let mut pu_free = vec![0u64; p];
-        let mut stats = SimStats {
-            num_pus: p,
-            total_cycles: 0,
-            total_insts: 0,
-            num_dyn_tasks: tasks.len(),
-            task_preds: 0,
-            task_pred_hits: 0,
-            br_preds: 0,
-            br_pred_hits: 0,
-            ct_insts: 0,
-            violations: 0,
-            squashed_insts: 0,
-            arb_overflows: 0,
-            breakdown: CycleBreakdown::default(),
-            window_span_measured: 0.0,
-            reg_forwards: 0,
-            l1d: (0, 0),
-            l1i: (0, 0),
-        };
+        let mut stats = SimStats { num_pus: p, num_dyn_tasks: tasks.len(), ..SimStats::default() };
         let mut prev_dispatch = 0u64;
         let mut prev_resolve = 0u64;
         let mut prev_mispredicted = false;
         let mut inflight_span = 0u64; // Σ insts × residency
+        let mut residency = 0u64; // Σ (retire − dispatch), for PU idle
 
         for (k, dt) in tasks.iter().enumerate() {
             let pu = k % p;
             let natural = pu_free[pu].max(prev_dispatch + 1);
             let mut dispatch = natural;
             if prev_mispredicted {
+                // The task speculatively occupying this PU was on the
+                // wrong path: squash it and restart from the resolved
+                // target.
+                stats.ctrl_squashes += 1;
                 let restart = prev_resolve + self.cfg.task_mispredict_restart as u64;
                 if restart > dispatch {
                     stats.breakdown.ctrl_misspec += restart - dispatch;
@@ -370,14 +357,18 @@ impl<'a> Engine<'a> {
             stats.ct_insts += attempt.ct_insts;
             stats.br_preds += attempt.br_preds;
             stats.br_pred_hits += attempt.br_hits;
+            stats.fwd_stall_cycles += attempt.w_inter;
+            stats.task_size_hist.record(attempt.insts);
             if attempt.arb_overflow {
                 stats.arb_overflows += 1;
             }
             inflight_span += attempt.insts * (retire - dispatch);
+            residency += retire - dispatch;
             self.account(&mut stats.breakdown, &attempt, dispatch, imbalance);
         }
 
         stats.total_cycles = self.retire.last().copied().unwrap_or(0);
+        stats.pu_idle_cycles = (stats.total_cycles * p as u64).saturating_sub(residency);
         stats.reg_forwards = self.reg_forwards;
         stats.l1d = self.dcache.l1_counters();
         stats.l1i = self.icache.l1_counters();
@@ -394,9 +385,7 @@ impl<'a> Engine<'a> {
         b.start_overhead += self.cfg.task_start_overhead as u64;
         b.load_imbalance += imbalance;
         b.end_overhead += self.cfg.task_end_overhead as u64;
-        let exec_span = a
-            .complete
-            .saturating_sub(dispatch + self.cfg.task_start_overhead as u64);
+        let exec_span = a.complete.saturating_sub(dispatch + self.cfg.task_start_overhead as u64);
         let ideal = a.insts.div_ceil(self.cfg.issue_width as u64).max(1);
         let stall = exec_span.saturating_sub(ideal);
         b.useful += exec_span.min(ideal);
@@ -413,7 +402,9 @@ impl<'a> Engine<'a> {
             b.frontend += share(a.w_front);
             b.resource += share(a.w_res);
             // Rounding residue → useful, keeping the per-task identity.
-            let assigned = share(a.w_intra) + share(a.w_inter) + share(a.w_mem)
+            let assigned = share(a.w_intra)
+                + share(a.w_inter)
+                + share(a.w_mem)
                 + share(a.w_front)
                 + share(a.w_res);
             b.useful += stall - assigned;
@@ -462,11 +453,7 @@ impl<'a> Engine<'a> {
         let filter = self.cfg.dead_reg_analysis && !term.is_call() && !term.is_return();
         let mut outs: Vec<(usize, u64)> = if filter {
             let live = self.liveness_of(exit.func).live_out(exit.block).clone();
-            a.reg_writes
-                .iter()
-                .filter(|(&r, _)| live.contains(r))
-                .map(|(&r, &c)| (r, c))
-                .collect()
+            a.reg_writes.iter().filter(|(&r, _)| live.contains(r)).map(|(&r, &c)| (r, c)).collect()
         } else {
             a.reg_writes.iter().map(|(&r, &c)| (r, c)).collect()
         };
@@ -574,11 +561,8 @@ impl<'a> Engine<'a> {
                     if let Some(&c) = local_reg.get(&d) {
                         intra_ready = intra_ready.max(c);
                     } else if let Some(rs) = self.reg_src[d] {
-                        let retired = self
-                            .retire
-                            .get(rs.task)
-                            .map(|&r| r <= dispatch)
-                            .unwrap_or(true);
+                        let retired =
+                            self.retire.get(rs.task).map(|&r| r <= dispatch).unwrap_or(true);
                         if !retired {
                             let m = (k - rs.task) as u64; // 1..P-1 in flight
                             let hops = m.min(p as u64);
@@ -644,9 +628,7 @@ impl<'a> Engine<'a> {
                             let addr = di.addr.expect("loads carry addresses");
                             // ARB capacity.
                             mem_lines.insert(addr / cfg.l1d.line);
-                            if mem_lines.len() > cfg.arb_entries_per_pu as usize
-                                && c < head_free
-                            {
+                            if mem_lines.len() > cfg.arb_entries_per_pu as usize && c < head_free {
                                 let stall = head_free - c;
                                 a.w_mem += stall;
                                 c = head_free;
@@ -691,9 +673,7 @@ impl<'a> Engine<'a> {
                         } else if op.is_store() {
                             let addr = di.addr.expect("stores carry addresses");
                             mem_lines.insert(addr / cfg.l1d.line);
-                            if mem_lines.len() > cfg.arb_entries_per_pu as usize
-                                && c < head_free
-                            {
+                            if mem_lines.len() > cfg.arb_entries_per_pu as usize && c < head_free {
                                 let stall = head_free - c;
                                 a.w_mem += stall;
                                 c = head_free;
@@ -747,10 +727,19 @@ impl<'a> Engine<'a> {
                 }
 
                 #[cfg(feature = "trace-debug")]
-                if std::env::var("MS_DBG_TASK").ok().and_then(|v| v.parse::<usize>().ok()) == Some(k) {
+                if std::env::var("MS_DBG_TASK").ok().and_then(|v| v.parse::<usize>().ok())
+                    == Some(k)
+                {
                     eprintln!(
                         "  inst {:3} {:?} fetch {} intra {} inter {} ready {} issue {} complete {}",
-                        issues.len(), di.kind, my_fetch, intra_ready, inter_ready, ready, c, complete
+                        issues.len(),
+                        di.kind,
+                        my_fetch,
+                        intra_ready,
+                        inter_ready,
+                        ready,
+                        c,
+                        complete
                     );
                 }
                 if let Some(dst) = di.dst {

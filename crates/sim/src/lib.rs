@@ -34,4 +34,4 @@ pub use cache::{Cache, Hierarchy};
 pub use config::{CacheParams, FuCounts, SimConfig};
 pub use engine::{Simulator, TaskTiming};
 pub use predictor::{Gshare, ReturnStack, TaskPredictor};
-pub use stats::{CycleBreakdown, SimStats};
+pub use stats::{CycleBreakdown, SimStats, TaskSizeHist};

@@ -77,22 +77,89 @@ impl fmt::Display for CycleBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let t = self.total().max(1) as f64;
         let pct = |v: u64| 100.0 * v as f64 / t;
-        writeln!(f, "  start overhead   {:>10} ({:>5.1}%)", self.start_overhead, pct(self.start_overhead))?;
+        writeln!(
+            f,
+            "  start overhead   {:>10} ({:>5.1}%)",
+            self.start_overhead,
+            pct(self.start_overhead)
+        )?;
         writeln!(f, "  useful           {:>10} ({:>5.1}%)", self.useful, pct(self.useful))?;
         writeln!(f, "  intra-task dep   {:>10} ({:>5.1}%)", self.intra_dep, pct(self.intra_dep))?;
         writeln!(f, "  inter-task comm  {:>10} ({:>5.1}%)", self.inter_comm, pct(self.inter_comm))?;
         writeln!(f, "  memory           {:>10} ({:>5.1}%)", self.memory, pct(self.memory))?;
         writeln!(f, "  frontend         {:>10} ({:>5.1}%)", self.frontend, pct(self.frontend))?;
         writeln!(f, "  resource         {:>10} ({:>5.1}%)", self.resource, pct(self.resource))?;
-        writeln!(f, "  load imbalance   {:>10} ({:>5.1}%)", self.load_imbalance, pct(self.load_imbalance))?;
-        writeln!(f, "  end overhead     {:>10} ({:>5.1}%)", self.end_overhead, pct(self.end_overhead))?;
-        writeln!(f, "  ctrl misspec     {:>10} ({:>5.1}%)", self.ctrl_misspec, pct(self.ctrl_misspec))?;
+        writeln!(
+            f,
+            "  load imbalance   {:>10} ({:>5.1}%)",
+            self.load_imbalance,
+            pct(self.load_imbalance)
+        )?;
+        writeln!(
+            f,
+            "  end overhead     {:>10} ({:>5.1}%)",
+            self.end_overhead,
+            pct(self.end_overhead)
+        )?;
+        writeln!(
+            f,
+            "  ctrl misspec     {:>10} ({:>5.1}%)",
+            self.ctrl_misspec,
+            pct(self.ctrl_misspec)
+        )?;
         writeln!(f, "  mem misspec      {:>10} ({:>5.1}%)", self.mem_misspec, pct(self.mem_misspec))
     }
 }
 
+/// Histogram of dynamic task sizes in power-of-two buckets: bucket `k`
+/// counts tasks that retired `[2^k, 2^(k+1))` instructions (bucket 0 also
+/// takes empty tasks; the last bucket collects the overflow).
+///
+/// The shape of this histogram is the paper's Table 1 "task size" column
+/// with distribution detail: a partition whose mean looks healthy can
+/// still hide a bimodal mix of tiny and huge tasks, which load-balances
+/// badly on the ring.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskSizeHist {
+    /// Bucket counts; `buckets[k]` covers sizes `[2^k, 2^(k+1))`.
+    pub buckets: [u64; TaskSizeHist::NUM_BUCKETS],
+}
+
+impl TaskSizeHist {
+    /// Number of buckets; the last covers sizes `>= 2^(NUM_BUCKETS-1)`.
+    pub const NUM_BUCKETS: usize = 12;
+
+    /// Records one task of `insts` retired instructions.
+    pub fn record(&mut self, insts: u64) {
+        let k = (63 - insts.max(1).leading_zeros()) as usize;
+        self.buckets[k.min(Self::NUM_BUCKETS - 1)] += 1;
+    }
+
+    /// Total tasks recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Human-readable range label for bucket `k` ("1", "2-3", …).
+    pub fn label(k: usize) -> String {
+        if k + 1 >= Self::NUM_BUCKETS {
+            format!(">={}", 1u64 << k)
+        } else if k == 0 {
+            "1".to_string()
+        } else {
+            format!("{}-{}", 1u64 << k, (1u64 << (k + 1)) - 1)
+        }
+    }
+
+    /// Serialises the bucket counts as a JSON array.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.buckets.iter().map(|b| b.to_string()).collect();
+        format!("[{}]", cells.join(","))
+    }
+}
+
 /// The results of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Number of processing units simulated.
     pub num_pus: usize,
@@ -112,10 +179,25 @@ pub struct SimStats {
     pub br_pred_hits: u64,
     /// Dynamic control transfer instructions retired.
     pub ct_insts: u64,
-    /// Memory dependence violations (squashes).
+    /// Memory dependence violations (each one squashes and re-executes
+    /// the violating task — the memory-dependence squash counter).
     pub violations: u64,
     /// Instructions squashed and re-executed after violations.
     pub squashed_insts: u64,
+    /// Control-flow squashes: tasks whose dispatch was rolled forward
+    /// because the predecessor's exit target was mispredicted (the
+    /// wrong-path task occupying the PU is thrown away).
+    pub ctrl_squashes: u64,
+    /// Cycles instructions spent waiting for register values forwarded
+    /// from earlier in-flight tasks on the communication ring, summed
+    /// over all retired instructions.
+    pub fwd_stall_cycles: u64,
+    /// PU-cycles with no task resident: `total_cycles × num_pus` minus
+    /// every task's dispatch→retire residency. High idle means the
+    /// sequencer cannot keep the ring full (small tasks, mispredictions).
+    pub pu_idle_cycles: u64,
+    /// Dynamic task size distribution in power-of-two buckets.
+    pub task_size_hist: TaskSizeHist,
     /// ARB capacity overflows (task footprint exceeded ARB entries).
     pub arb_overflows: u64,
     /// Cycle accounting across all tasks.
@@ -205,12 +287,11 @@ impl SimStats {
     /// experiment binaries.
     ///
     /// ```
-    /// # use ms_sim::{CycleBreakdown, SimStats};
+    /// # use ms_sim::SimStats;
     /// # let stats = SimStats { num_pus: 4, total_cycles: 10, total_insts: 20,
-    /// #     num_dyn_tasks: 2, task_preds: 1, task_pred_hits: 1, br_preds: 0,
-    /// #     br_pred_hits: 0, ct_insts: 2, violations: 0, squashed_insts: 0,
-    /// #     arb_overflows: 0, breakdown: CycleBreakdown::default(),
-    /// #     window_span_measured: 5.0, reg_forwards: 3, l1d: (1, 0), l1i: (1, 0) };
+    /// #     num_dyn_tasks: 2, task_preds: 1, task_pred_hits: 1, ct_insts: 2,
+    /// #     window_span_measured: 5.0, reg_forwards: 3, l1d: (1, 0), l1i: (1, 0),
+    /// #     ..SimStats::default() };
     /// let json = stats.to_json();
     /// assert!(json.starts_with('{') && json.ends_with('}'));
     /// assert!(json.contains("\"ipc\":2"));
@@ -223,9 +304,10 @@ impl SimStats {
                 "\"ipc\":{},\"num_dyn_tasks\":{},\"avg_task_size\":{},",
                 "\"task_mispred_pct\":{},\"br_mispred_pct_normalized\":{},",
                 "\"window_span_measured\":{},\"window_span_formula\":{},",
-                "\"violations\":{},\"squashed_insts\":{},\"arb_overflows\":{},",
+                "\"ctrl_squashes\":{},\"mem_squashes\":{},\"squashed_insts\":{},",
+                "\"fwd_stall_cycles\":{},\"pu_idle_cycles\":{},\"arb_overflows\":{},",
                 "\"reg_forwards\":{},\"l1d_hits\":{},\"l1d_misses\":{},",
-                "\"l1i_hits\":{},\"l1i_misses\":{},",
+                "\"l1i_hits\":{},\"l1i_misses\":{},\"task_size_hist\":{},",
                 "\"breakdown\":{{\"start_overhead\":{},\"useful\":{},\"intra_dep\":{},",
                 "\"inter_comm\":{},\"memory\":{},\"frontend\":{},\"resource\":{},",
                 "\"load_imbalance\":{},\"end_overhead\":{},\"ctrl_misspec\":{},",
@@ -241,14 +323,18 @@ impl SimStats {
             self.br_mispred_pct_normalized(),
             self.window_span_measured,
             self.window_span_formula(),
+            self.ctrl_squashes,
             self.violations,
             self.squashed_insts,
+            self.fwd_stall_cycles,
+            self.pu_idle_cycles,
             self.arb_overflows,
             self.reg_forwards,
             self.l1d.0,
             self.l1d.1,
             self.l1i.0,
             self.l1i.1,
+            self.task_size_hist.to_json(),
             b.start_overhead,
             b.useful,
             b.intra_dep,
@@ -274,7 +360,14 @@ impl SimStats {
 
 impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "PUs: {}  cycles: {}  insts: {}  IPC: {:.3}", self.num_pus, self.total_cycles, self.total_insts, self.ipc())?;
+        writeln!(
+            f,
+            "PUs: {}  cycles: {}  insts: {}  IPC: {:.3}",
+            self.num_pus,
+            self.total_cycles,
+            self.total_insts,
+            self.ipc()
+        )?;
         writeln!(
             f,
             "tasks: {}  avg size: {:.1}  task mispred: {:.2}%  br mispred (norm): {:.2}%",
@@ -290,6 +383,11 @@ impl fmt::Display for SimStats {
             self.window_span_formula(),
             self.violations,
             self.arb_overflows
+        )?;
+        writeln!(
+            f,
+            "ctrl squashes: {}  fwd stall cycles: {}  pu idle cycles: {}",
+            self.ctrl_squashes, self.fwd_stall_cycles, self.pu_idle_cycles
         )?;
         write!(f, "{}", self.breakdown)
     }
@@ -312,12 +410,15 @@ mod tests {
             ct_insts: 300,
             violations: 2,
             squashed_insts: 40,
-            arb_overflows: 0,
+            ctrl_squashes: 10,
+            fwd_stall_cycles: 120,
+            pu_idle_cycles: 60,
             breakdown: CycleBreakdown { useful: 500, ..Default::default() },
             window_span_measured: 70.0,
             reg_forwards: 300,
             l1d: (90, 10),
             l1i: (100, 0),
+            ..SimStats::default()
         }
     }
 
@@ -361,8 +462,29 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert_eq!(j.matches('{').count(), 2, "stats object + breakdown object");
         assert!(j.contains("\"ipc\":2"));
-        assert!(j.contains("\"violations\":2"));
+        assert!(j.contains("\"mem_squashes\":2"));
+        assert!(j.contains("\"ctrl_squashes\":10"));
+        assert!(j.contains("\"fwd_stall_cycles\":120"));
+        assert!(j.contains("\"pu_idle_cycles\":60"));
+        assert!(j.contains("\"task_size_hist\":[0,0,0,0,0,0,0,0,0,0,0,0]"));
         assert!(j.contains("\"useful\":500"));
+    }
+
+    #[test]
+    fn task_size_hist_buckets_by_power_of_two() {
+        let mut h = TaskSizeHist::default();
+        for size in [0u64, 1, 2, 3, 4, 7, 8, 1 << 11, 1 << 20] {
+            h.record(size);
+        }
+        assert_eq!(h.buckets[0], 2, "0 and 1 share the first bucket");
+        assert_eq!(h.buckets[1], 2, "2 and 3");
+        assert_eq!(h.buckets[2], 2, "4 and 7");
+        assert_eq!(h.buckets[3], 1, "8");
+        assert_eq!(h.buckets[TaskSizeHist::NUM_BUCKETS - 1], 2, "overflow bucket");
+        assert_eq!(h.total(), 9);
+        assert_eq!(TaskSizeHist::label(0), "1");
+        assert_eq!(TaskSizeHist::label(2), "4-7");
+        assert_eq!(TaskSizeHist::label(TaskSizeHist::NUM_BUCKETS - 1), ">=2048");
     }
 
     #[test]

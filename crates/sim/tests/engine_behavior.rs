@@ -20,7 +20,10 @@ fn loop_program(body: usize, trips: u32, mem: Option<(u64, u64)>) -> Program {
         if let (Some(g), true) = (gen, i % 2 == 0) {
             fb.push_inst(blk, Opcode::Load.inst().dst(Reg::int(2 + (i % 8) as u8)).mem(g));
         } else {
-            fb.push_inst(blk, Opcode::IAdd.inst().dst(Reg::int(2 + (i % 8) as u8)).src(Reg::int(2)));
+            fb.push_inst(
+                blk,
+                Opcode::IAdd.inst().dst(Reg::int(2 + (i % 8) as u8)).src(Reg::int(2)),
+            );
         }
     }
     fb.set_terminator(entry, Terminator::Jump { target: blk });
@@ -43,8 +46,8 @@ fn timeline_is_well_ordered() {
     let p = loop_program(12, 20, None);
     let sel = TaskSelector::control_flow(4).select(&p);
     let trace = TraceGenerator::new(&sel.program, 5).generate(5_000);
-    let (stats, timeline) =
-        Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run_with_timeline(&trace);
+    let (stats, timeline) = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition)
+        .run_with_timeline(&trace);
 
     assert_eq!(timeline.len(), stats.num_dyn_tasks);
     let mut prev_dispatch = 0;
@@ -154,8 +157,8 @@ fn squashed_work_is_accounted() {
 
     let sel = TaskSelector::basic_block().select(&p);
     let trace = TraceGenerator::new(&sel.program, 2).generate(6_000);
-    let (stats, timeline) =
-        Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run_with_timeline(&trace);
+    let (stats, timeline) = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition)
+        .run_with_timeline(&trace);
     assert!(stats.violations > 0);
     assert!(stats.squashed_insts > 0);
     assert!(stats.breakdown.mem_misspec > 0);

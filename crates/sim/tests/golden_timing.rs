@@ -6,7 +6,9 @@
 //! cancelled by measuring *marginal* cycles: the same loop at two trip
 //! counts, divided by the trip difference.
 
-use ms_ir::{BranchBehavior, FunctionBuilder, Inst, Opcode, Program, ProgramBuilder, Reg, Terminator};
+use ms_ir::{
+    BranchBehavior, FunctionBuilder, Inst, Opcode, Program, ProgramBuilder, Reg, Terminator,
+};
 use ms_sim::{SimConfig, Simulator};
 use ms_tasksel::TaskSelector;
 use ms_trace::TraceGenerator;
@@ -146,15 +148,11 @@ fn ring_forwarding_delays_dependent_consumers() {
         let p = build(dependent, 10);
         let sel = TaskSelector::basic_block().select(&p);
         let trace = TraceGenerator::new(&sel.program, 1).generate_once(10_000);
-        let (stats, timeline) =
-            Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition)
-                .run_with_timeline(&trace);
+        let (stats, timeline) = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition)
+            .run_with_timeline(&trace);
         // Consumer tasks carry 21 instructions (20 muls + branch).
-        let spans: Vec<u64> = timeline
-            .iter()
-            .filter(|t| t.insts == 21)
-            .map(|t| t.complete - t.dispatch)
-            .collect();
+        let spans: Vec<u64> =
+            timeline.iter().filter(|t| t.insts == 21).map(|t| t.complete - t.dispatch).collect();
         assert!(spans.len() >= 8, "expected consumer tasks");
         (stats, spans.iter().sum::<u64>() as f64 / spans.len() as f64)
     };

@@ -1,0 +1,80 @@
+//! Randomised property tests: simulator invariants over the whole
+//! workload suite and randomised configurations.
+//!
+//! Case parameters come from a seeded [`SplitMix64`] stream so the suite
+//! is deterministic and offline; `--features heavy-tests` runs a deeper
+//! sweep.
+
+use ms_ir::SplitMix64;
+use ms_sim::{SimConfig, Simulator};
+use ms_tasksel::TaskSelector;
+use ms_trace::TraceGenerator;
+use ms_workloads::suite;
+
+const CASES: u64 = if cfg!(feature = "heavy-tests") { 128 } else { 32 };
+
+/// For any workload, seed and machine: the simulator retires exactly
+/// the trace, IPC is bounded by aggregate issue width, the cycle count
+/// is positive, and the run is deterministic.
+#[test]
+fn simulator_invariants_hold() {
+    for case in 0..CASES {
+        let mut draw = SplitMix64::seed_from_u64(case ^ 0x51a0_0001);
+        let bench = draw.gen_range(0usize..suite().len());
+        let seed = draw.gen_range(0u64..64);
+        let pus = [1usize, 2, 4, 8][draw.gen_range(0usize..4)];
+        let in_order = draw.gen_bool(0.5);
+        let cf = draw.gen_bool(0.5);
+
+        let w = &suite()[bench];
+        let program = w.build();
+        let sel = if cf {
+            TaskSelector::control_flow(4).select(&program)
+        } else {
+            TaskSelector::basic_block().select(&program)
+        };
+        let trace = TraceGenerator::new(&sel.program, seed).generate(3_000);
+        let mut cfg = SimConfig::with_pus(pus);
+        if in_order {
+            cfg = cfg.in_order();
+        }
+        let s1 = Simulator::new(cfg.clone(), &sel.program, &sel.partition).run(&trace);
+        let s2 = Simulator::new(cfg, &sel.program, &sel.partition).run(&trace);
+        assert_eq!(&s1, &s2, "case {case}: simulation must be deterministic");
+        assert_eq!(s1.total_insts, trace.num_insts() as u64, "case {case}");
+        assert!(s1.total_cycles > 0, "case {case}");
+        let ceiling = (pus as f64) * 2.0;
+        assert!(s1.ipc() <= ceiling, "case {case}: IPC {} exceeds {}", s1.ipc(), ceiling);
+        assert!(s1.task_pred_hits <= s1.task_preds, "case {case}");
+        assert!(s1.br_pred_hits <= s1.br_preds, "case {case}");
+        // Busy accounting can never exceed the machine's PU-cycles.
+        assert!(
+            s1.breakdown.total() <= s1.total_cycles * pus as u64 + s1.breakdown.ctrl_misspec,
+            "case {case}: breakdown {} vs {} PU-cycles",
+            s1.breakdown.total(),
+            s1.total_cycles * pus as u64
+        );
+    }
+}
+
+/// Longer traces never finish in fewer cycles (monotonicity of the
+/// retire chain).
+#[test]
+fn cycles_grow_with_trace_length() {
+    for case in 0..CASES {
+        let mut draw = SplitMix64::seed_from_u64(case ^ 0x51a0_0002);
+        let bench = draw.gen_range(0usize..suite().len());
+        let seed = draw.gen_range(0u64..32);
+
+        let w = &suite()[bench];
+        let program = w.build();
+        let sel = TaskSelector::control_flow(4).select(&program);
+        let short = TraceGenerator::new(&sel.program, seed).generate(1_000);
+        let long = TraceGenerator::new(&sel.program, seed).generate(4_000);
+        let cfg = SimConfig::four_pu();
+        let s_short = Simulator::new(cfg.clone(), &sel.program, &sel.partition).run(&short);
+        let s_long = Simulator::new(cfg, &sel.program, &sel.partition).run(&long);
+        assert!(s_long.total_cycles >= s_short.total_cycles, "case {case}");
+        assert!(s_long.num_dyn_tasks >= s_short.num_dyn_tasks, "case {case}");
+    }
+}

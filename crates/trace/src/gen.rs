@@ -8,10 +8,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-use ms_ir::{AddrSpec, BlockId, BlockRef, BranchBehavior, FuncId, Program, Terminator};
+use ms_ir::{AddrSpec, BlockId, BlockRef, BranchBehavior, FuncId, Program, SplitMix64, Terminator};
 
 use crate::step::{CtOutcome, Trace, TraceStep};
 
@@ -105,7 +102,7 @@ struct Frame {
 #[derive(Debug)]
 struct Walker<'p> {
     program: &'p Program,
-    rng: SmallRng,
+    rng: SplitMix64,
     cur: Option<BlockRef>,
     stack: Vec<Frame>,
     /// Remaining taken-count for active `Loop` branches, keyed by
@@ -122,7 +119,7 @@ impl<'p> Walker<'p> {
     fn new(program: &'p Program, seed: u64) -> Self {
         Walker {
             program,
-            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            rng: SplitMix64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             cur: Some(BlockRef::new(program.entry(), program.function(program.entry()).entry())),
             stack: Vec::new(),
             loop_state: HashMap::new(),
@@ -148,17 +145,11 @@ impl<'p> Walker<'p> {
         let blk = func.block(at.block);
         let depth = self.stack.len() as u32;
 
-        let mem_addrs: Vec<u64> = blk
-            .insts()
-            .iter()
-            .filter_map(|i| i.mem_ref())
-            .map(|g| self.next_addr(g))
-            .collect();
+        let mem_addrs: Vec<u64> =
+            blk.insts().iter().filter_map(|i| i.mem_ref()).map(|g| self.next_addr(g)).collect();
 
         let (outcome, next) = match blk.terminator() {
-            Terminator::Jump { target } => {
-                (CtOutcome::Jump, Some(BlockRef::new(at.func, *target)))
-            }
+            Terminator::Jump { target } => (CtOutcome::Jump, Some(BlockRef::new(at.func, *target))),
             Terminator::Branch { taken, fall, behavior, .. } => {
                 let t = self.sample_branch(at, behavior);
                 let dst = if t { *taken } else { *fall };
@@ -178,7 +169,9 @@ impl<'p> Walker<'p> {
                 }
             }
             Terminator::Return => match self.stack.pop() {
-                Some(frame) => (CtOutcome::Return, Some(BlockRef::new(frame.func, frame.ret_block))),
+                Some(frame) => {
+                    (CtOutcome::Return, Some(BlockRef::new(frame.func, frame.ret_block)))
+                }
                 None => (CtOutcome::Return, None), // return from entry ends the run
             },
             Terminator::Halt => (CtOutcome::Halt, None),
@@ -299,8 +292,7 @@ mod tests {
         let p = loop_program(7);
         let t = TraceGenerator::new(&p, 1).generate_once(30);
         // entry + 7 body executions + exit.
-        let body_steps =
-            t.steps().iter().filter(|s| s.block.block == BlockId::new(1)).count();
+        let body_steps = t.steps().iter().filter(|s| s.block.block == BlockId::new(1)).count();
         assert_eq!(body_steps, 7);
     }
 
@@ -405,12 +397,8 @@ mod tests {
         let p = pb.finish(m).unwrap();
         let t = TraceGenerator::new(&p, 7).generate_once(20);
         let main_addr = t.steps()[0].mem_addrs[0];
-        let leaf_addrs: Vec<u64> = t
-            .steps()
-            .iter()
-            .filter(|s| s.block.func == leaf)
-            .map(|s| s.mem_addrs[0])
-            .collect();
+        let leaf_addrs: Vec<u64> =
+            t.steps().iter().filter(|s| s.block.func == leaf).map(|s| s.mem_addrs[0]).collect();
         assert_eq!(leaf_addrs.len(), 2);
         // Same depth → the two sibling activations reuse the frame.
         assert_eq!(leaf_addrs[0], leaf_addrs[1]);

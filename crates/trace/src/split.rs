@@ -78,7 +78,12 @@ pub fn split_tasks(trace: &Trace, program: &Program, partition: &TaskPartition) 
     let mut cur_task = expect_task(partition, cur_ref);
     let mut inline_floor: Option<u32> = None;
 
-    let flush = |out: &mut Vec<DynTask>, start: usize, end: usize, at: BlockRef, task: TaskId, exit: DynExit| {
+    let flush = |out: &mut Vec<DynTask>,
+                 start: usize,
+                 end: usize,
+                 at: BlockRef,
+                 task: TaskId,
+                 exit: DynExit| {
         out.push(DynTask { func: at.func, task, start, end, exit });
     };
 

@@ -10,10 +10,8 @@ use crate::step::{CtOutcome, Trace};
 /// of [`Profile::estimate`], used to validate the static estimator and to
 /// drive profile-guided selection from real runs.
 pub fn measure_profile(trace: &Trace, program: &Program) -> Profile {
-    let mut block_counts: Vec<Vec<f64>> = program
-        .func_ids()
-        .map(|f| vec![0.0; program.function(f).num_blocks()])
-        .collect();
+    let mut block_counts: Vec<Vec<f64>> =
+        program.func_ids().map(|f| vec![0.0; program.function(f).num_blocks()]).collect();
     let mut invocations: Vec<f64> = vec![0.0; program.num_functions()];
     // Dynamic size per invocation including callees: every instruction
     // counts toward all active frames.
@@ -102,7 +100,9 @@ mod tests {
     use super::*;
     use crate::gen::TraceGenerator;
     use crate::split::split_tasks;
-    use ms_ir::{BlockRef, BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
+    use ms_ir::{
+        BlockRef, BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator,
+    };
     use ms_tasksel::TaskSelector;
 
     fn looped_call_program() -> Program {

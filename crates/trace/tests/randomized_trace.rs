@@ -1,20 +1,25 @@
-//! Property tests: trace generation and dynamic-task splitting uphold
-//! their invariants on arbitrary workload-like programs.
-
-use proptest::prelude::*;
+//! Randomised property tests: trace generation and dynamic-task
+//! splitting uphold their invariants on arbitrary workload-like
+//! programs.
+//!
+//! Case parameters are drawn from a seeded [`SplitMix64`] stream so the
+//! suite is deterministic and offline; `--features heavy-tests` runs a
+//! deeper sweep.
 
 use ms_tasksel::TaskSelector;
 use ms_trace::{split_tasks, CtOutcome, TraceGenerator};
 use ms_workloads::{fill_block, OpMix, RegPool};
 
-use ms_ir::{BranchBehavior, FunctionBuilder, Program, ProgramBuilder, Reg, Terminator};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ms_ir::{
+    BranchBehavior, FunctionBuilder, Program, ProgramBuilder, Reg, SplitMix64, Terminator,
+};
+
+const CASES: u64 = if cfg!(feature = "heavy-tests") { 192 } else { 48 };
 
 /// A small random-but-structured program: a driver loop around a few
-/// diamonds / inner loops, parameterised by proptest.
+/// diamonds / inner loops.
 fn build_program(seed: u64, diamonds: usize, trips: u32, body: usize) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let g = pb.add_addr_gen(ms_ir::AddrSpec::Stride { base: 0x1000, stride: 8, len: 128 });
     let main = pb.declare_function("main");
@@ -51,41 +56,43 @@ fn build_program(seed: u64, diamonds: usize, trips: u32, body: usize) -> Program
     pb.finish(main).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Traces honour the instruction budget (within one block) and are
+/// reproducible per seed.
+#[test]
+fn traces_are_deterministic_and_bounded() {
+    for case in 0..CASES {
+        let mut draw = SplitMix64::seed_from_u64(case ^ 0x7ace_0001);
+        let seed = draw.gen_range(0u64..1000);
+        let diamonds = draw.gen_range(1usize..4);
+        let trips = draw.gen_range(2u32..20);
+        let body = draw.gen_range(1usize..8);
+        let budget = draw.gen_range(50usize..2000);
 
-    /// Traces honour the instruction budget (within one block) and are
-    /// reproducible per seed.
-    #[test]
-    fn traces_are_deterministic_and_bounded(
-        seed in 0u64..1000,
-        diamonds in 1usize..4,
-        trips in 2u32..20,
-        body in 1usize..8,
-        budget in 50usize..2000,
-    ) {
         let p = build_program(seed, diamonds, trips, body);
         let a = TraceGenerator::new(&p, seed).generate(budget);
         let b = TraceGenerator::new(&p, seed).generate(budget);
-        prop_assert_eq!(&a, &b);
-        prop_assert!(a.num_insts() >= budget.min(1));
+        assert_eq!(&a, &b, "case {case}");
+        assert!(a.num_insts() >= budget.min(1), "case {case}");
         // Never overshoots by more than the largest block.
         let max_block: usize = (0..p.function(p.entry()).num_blocks())
             .map(|i| p.function(p.entry()).block(ms_ir::BlockId::new(i as u32)).len_with_ct())
             .max()
             .unwrap_or(1);
-        prop_assert!(a.num_insts() < budget + max_block + 1);
+        assert!(a.num_insts() < budget + max_block + 1, "case {case}");
     }
+}
 
-    /// Dynamic tasks tile the trace exactly and each starts at its
-    /// static task's entry block, for every strategy.
-    #[test]
-    fn dynamic_tasks_tile_and_start_at_entries(
-        seed in 0u64..500,
-        diamonds in 1usize..4,
-        trips in 2u32..16,
-        body in 1usize..6,
-    ) {
+/// Dynamic tasks tile the trace exactly and each starts at its static
+/// task's entry block, for every strategy.
+#[test]
+fn dynamic_tasks_tile_and_start_at_entries() {
+    for case in 0..CASES {
+        let mut draw = SplitMix64::seed_from_u64(case ^ 0x7ace_0002);
+        let seed = draw.gen_range(0u64..500);
+        let diamonds = draw.gen_range(1usize..4);
+        let trips = draw.gen_range(2u32..16);
+        let body = draw.gen_range(1usize..6);
+
         let p = build_program(seed, diamonds, trips, body);
         for sel in [
             TaskSelector::basic_block().select(&p),
@@ -96,20 +103,26 @@ proptest! {
             let tasks = split_tasks(&trace, &sel.program, &sel.partition);
             let mut pos = 0usize;
             for t in &tasks {
-                prop_assert_eq!(t.start, pos);
-                prop_assert!(t.end > t.start);
+                assert_eq!(t.start, pos, "case {case}");
+                assert!(t.end > t.start, "case {case}");
                 pos = t.end;
                 let entry = sel.partition.func(t.func).task(t.task).entry();
-                prop_assert_eq!(trace.steps()[t.start].block.block, entry);
+                assert_eq!(trace.steps()[t.start].block.block, entry, "case {case}");
             }
-            prop_assert_eq!(pos, trace.steps().len());
+            assert_eq!(pos, trace.steps().len(), "case {case}");
         }
     }
+}
 
-    /// Loop behaviours deliver the configured mean trip count within
-    /// tolerance (the predictors rely on these statistics).
-    #[test]
-    fn loop_trip_statistics_hold(seed in 0u64..300, trips in 3u32..24) {
+/// Loop behaviours deliver the configured mean trip count within
+/// tolerance (the predictors rely on these statistics).
+#[test]
+fn loop_trip_statistics_hold() {
+    for case in 0..CASES {
+        let mut draw = SplitMix64::seed_from_u64(case ^ 0x7ace_0003);
+        let seed = draw.gen_range(0u64..300);
+        let trips = draw.gen_range(3u32..24);
+
         let p = build_program(seed, 1, trips, 2);
         let trace = TraceGenerator::new(&p, seed ^ 0xabc).generate(30_000);
         // Count driver-loop header executions and loop exits.
@@ -117,15 +130,16 @@ proptest! {
         let heads = trace.steps().iter().filter(|s| s.block.block == head).count();
         // Each program run executes the driver loop ~`trips` times and
         // then halts (the generator restarts it).
-        let halts =
-            trace.steps().iter().filter(|s| matches!(s.outcome, CtOutcome::Halt)).count();
-        prop_assume!(halts >= 3);
+        let halts = trace.steps().iter().filter(|s| matches!(s.outcome, CtOutcome::Halt)).count();
+        if halts < 3 {
+            continue;
+        }
         let measured = heads as f64 / halts as f64;
         // The final (possibly truncated) run inflates the ratio by at
         // most trips/halts; jitter is trips/4.
-        prop_assert!(
+        assert!(
             (measured - trips as f64).abs() <= 1.0 + trips as f64 * 0.5,
-            "measured {measured:.2} vs configured {trips} over {halts} runs"
+            "case {case}: measured {measured:.2} vs configured {trips} over {halts} runs"
         );
     }
 }

@@ -7,11 +7,9 @@
 //! chains, reconverging diamonds, switch dispatch regions, counted
 //! loops, and call sites.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-
 use ms_ir::{
-    AddrGenId, BlockId, BranchBehavior, FuncId, FunctionBuilder, Opcode, Reg, Terminator,
+    AddrGenId, BlockId, BranchBehavior, FuncId, FunctionBuilder, Opcode, Reg, SplitMix64,
+    Terminator,
 };
 
 /// Instruction mix knobs for [`fill_block`].
@@ -45,13 +43,29 @@ impl OpMix {
     /// A typical integer mix: no FP, some multiplies, ~25% loads, ~10%
     /// stores, moderate cross-block register traffic.
     pub fn int() -> Self {
-        OpMix { fp: 0.0, mul: 0.08, div: 0.01, load: 0.25, store: 0.10, local_src: 0.70, window_read: 0.5 }
+        OpMix {
+            fp: 0.0,
+            mul: 0.08,
+            div: 0.01,
+            load: 0.25,
+            store: 0.10,
+            local_src: 0.70,
+            window_read: 0.5,
+        }
     }
 
     /// A typical FP-kernel mix: mostly FP arithmetic over streamed data,
     /// operands overwhelmingly block-local.
     pub fn fp() -> Self {
-        OpMix { fp: 0.75, mul: 0.35, div: 0.03, load: 0.28, store: 0.12, local_src: 0.92, window_read: 0.15 }
+        OpMix {
+            fp: 0.75,
+            mul: 0.35,
+            div: 0.03,
+            load: 0.28,
+            store: 0.12,
+            local_src: 0.92,
+            window_read: 0.15,
+        }
     }
 }
 
@@ -76,11 +90,11 @@ impl RegPool {
         RegPool { int_lo: 2, int_hi: 14, fp_lo: 2, fp_hi: 14 }
     }
 
-    fn int_reg(&self, rng: &mut SmallRng) -> Reg {
+    fn int_reg(&self, rng: &mut SplitMix64) -> Reg {
         Reg::int(rng.gen_range(self.int_lo..self.int_hi))
     }
 
-    fn fp_reg(&self, rng: &mut SmallRng) -> Reg {
+    fn fp_reg(&self, rng: &mut SplitMix64) -> Reg {
         Reg::fp(rng.gen_range(self.fp_lo..self.fp_hi))
     }
 }
@@ -93,7 +107,7 @@ impl RegPool {
 pub fn fill_block(
     fb: &mut FunctionBuilder,
     blk: BlockId,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
     n: usize,
     mix: OpMix,
     mems: &[AddrGenId],
@@ -112,7 +126,7 @@ pub fn fill_block(
 pub fn fill_block_flow(
     fb: &mut FunctionBuilder,
     blk: BlockId,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
     n: usize,
     mix: OpMix,
     mems: &[AddrGenId],
@@ -131,9 +145,11 @@ pub fn fill_block_flow(
     // Uniform choice over all block-local definitions keeps dependence
     // DAGs shallow (logarithmic depth), modelling the instruction-level
     // parallelism real compiler-scheduled blocks have.
-    let flow_int: Vec<Reg> = flow_in.iter().copied().filter(|r| r.class() == ms_ir::RegClass::Int).collect();
-    let flow_fp: Vec<Reg> = flow_in.iter().copied().filter(|r| r.class() == ms_ir::RegClass::Fp).collect();
-    let src_int = |rng: &mut SmallRng, local: &Vec<Reg>| -> Reg {
+    let flow_int: Vec<Reg> =
+        flow_in.iter().copied().filter(|r| r.class() == ms_ir::RegClass::Int).collect();
+    let flow_fp: Vec<Reg> =
+        flow_in.iter().copied().filter(|r| r.class() == ms_ir::RegClass::Fp).collect();
+    let src_int = |rng: &mut SplitMix64, local: &Vec<Reg>| -> Reg {
         if !local.is_empty() && rng.gen_bool(mix.local_src) {
             local[rng.gen_range(0..local.len())]
         } else if !flow_int.is_empty() && rng.gen_bool(0.75) {
@@ -144,7 +160,7 @@ pub fn fill_block_flow(
             induction
         }
     };
-    let src_fp = |rng: &mut SmallRng, local: &Vec<Reg>| -> Reg {
+    let src_fp = |rng: &mut SplitMix64, local: &Vec<Reg>| -> Reg {
         if !local.is_empty() && rng.gen_bool(mix.local_src) {
             local[rng.gen_range(0..local.len())]
         } else if !flow_fp.is_empty() && rng.gen_bool(0.75) {
@@ -165,7 +181,7 @@ pub fn fill_block_flow(
         let frac = i as f64 / n.max(1) as f64;
         let p_load = (mix.load * (1.8 - 1.6 * frac)).max(0.02);
         let p_store = mix.store * (0.3 + 1.4 * frac);
-        let r: f64 = rng.gen();
+        let r = rng.next_f64();
         if !mems.is_empty() && r < p_load {
             let g = mems[rng.gen_range(0..mems.len())];
             if rng.gen_bool(mix.fp) {
@@ -252,7 +268,7 @@ pub fn push_induction(fb: &mut FunctionBuilder, blk: BlockId) {
 #[allow(clippy::too_many_arguments)]
 pub fn diamond(
     fb: &mut FunctionBuilder,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
     from: BlockId,
     p_taken: f64,
     arm_size: (usize, usize),
@@ -285,7 +301,7 @@ pub fn diamond(
 #[allow(clippy::too_many_arguments)]
 pub fn dispatch(
     fb: &mut FunctionBuilder,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
     from: BlockId,
     arms: usize,
     weights: &[u32],
@@ -304,10 +320,7 @@ pub fn dispatch(
         targets.push(a);
         ws.push(weights[i % weights.len()]);
     }
-    fb.set_terminator(
-        from,
-        Terminator::Switch { targets, weights: ws, cond: vec![Reg::int(1)] },
-    );
+    fb.set_terminator(from, Terminator::Switch { targets, weights: ws, cond: vec![Reg::int(1)] });
     join
 }
 
@@ -318,7 +331,7 @@ pub fn dispatch(
 #[allow(clippy::too_many_arguments)]
 pub fn counted_loop(
     fb: &mut FunctionBuilder,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
     from: BlockId,
     body_size: usize,
     trips: u32,
@@ -350,7 +363,7 @@ pub fn counted_loop(
 #[allow(clippy::too_many_arguments)]
 pub fn branchy_loop(
     fb: &mut FunctionBuilder,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
     from: BlockId,
     head_size: usize,
     arm_size: (usize, usize),
@@ -412,7 +425,7 @@ pub fn branchy_loop(
 #[allow(clippy::too_many_arguments)]
 pub fn tangle(
     fb: &mut FunctionBuilder,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
     from: BlockId,
     n: usize,
     stage_size: (usize, usize),
@@ -433,7 +446,11 @@ pub fn tangle(
         let skip_to = {
             let lo = i + 2;
             let hi = (i + 4).min(n);
-            if lo >= hi { exit } else { stages[rng.gen_range(lo..hi)] }
+            if lo >= hi {
+                exit
+            } else {
+                stages[rng.gen_range(lo..hi)]
+            }
         };
         let p = rng.gen_range(pred.0..pred.1);
         // A third of the skip edges detour through a tiny loop (a scan /
@@ -442,7 +459,7 @@ pub fn tangle(
         // reconvergence cannot hide it.
         let taken_target = if i + 2 < n && rng.gen_bool(0.34) {
             let scan = fb.add_block();
-            let scan_size = rng.gen_range(2..5);
+            let scan_size = rng.gen_range(2usize..5);
             fill_block(fb, scan, rng, scan_size, mix, mems, pool);
             fb.set_terminator(
                 scan,
@@ -450,10 +467,7 @@ pub fn tangle(
                     taken: scan,
                     fall: skip_to,
                     cond: vec![Reg::int(1)],
-                    behavior: BranchBehavior::Loop {
-                        avg_trips: rng.gen_range(2..5),
-                        jitter: 1,
-                    },
+                    behavior: BranchBehavior::Loop { avg_trips: rng.gen_range(2u32..5), jitter: 1 },
                 },
             );
             scan
@@ -489,7 +503,7 @@ pub fn call(fb: &mut FunctionBuilder, from: BlockId, callee: FuncId) -> BlockId 
 /// Builds a straight-line leaf function of `n` instructions.
 pub fn leaf_function(
     name: &str,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
     n: usize,
     mix: OpMix,
     mems: &[AddrGenId],
@@ -506,10 +520,9 @@ pub fn leaf_function(
 mod tests {
     use super::*;
     use ms_ir::ProgramBuilder;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(7)
+    fn rng() -> SplitMix64 {
+        SplitMix64::seed_from_u64(7)
     }
 
     #[test]
@@ -544,7 +557,15 @@ mod tests {
         let entry = fb.add_block();
         let mut r = rng();
         let exit = counted_loop(
-            &mut fb, &mut r, entry, 10, 16, 2, OpMix::fp(), &[], RegPool::default_window(),
+            &mut fb,
+            &mut r,
+            entry,
+            10,
+            16,
+            2,
+            OpMix::fp(),
+            &[],
+            RegPool::default_window(),
         );
         fb.set_terminator(exit, Terminator::Halt);
         let f = fb.finish(entry).unwrap();
@@ -560,7 +581,15 @@ mod tests {
         let b = fb.add_block();
         let mut r = rng();
         let join = dispatch(
-            &mut fb, &mut r, b, 6, &[10, 1], 5, OpMix::int(), &[], RegPool::default_window(),
+            &mut fb,
+            &mut r,
+            b,
+            6,
+            &[10, 1],
+            5,
+            OpMix::int(),
+            &[],
+            RegPool::default_window(),
         );
         fb.set_terminator(join, Terminator::Halt);
         let f = fb.finish(b).unwrap();
@@ -582,7 +611,15 @@ mod tests {
         let mut fb = FunctionBuilder::new("main");
         let entry = fb.add_block();
         let after_loop = counted_loop(
-            &mut fb, &mut r, entry, 12, 20, 4, OpMix::int(), &[g], RegPool::default_window(),
+            &mut fb,
+            &mut r,
+            entry,
+            12,
+            20,
+            4,
+            OpMix::int(),
+            &[g],
+            RegPool::default_window(),
         );
         let after_call = call(&mut fb, after_loop, leaf);
         fb.set_terminator(after_call, Terminator::Halt);

@@ -8,12 +8,9 @@
 //! (Table 1). 145.fpppp is the outlier: enormous straight-line blocks
 //! with tiny utility calls, responding to the task-size heuristic.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use ms_ir::{
     AddrGenId, AddrSpec, BlockId, BranchBehavior, FunctionBuilder, Program, ProgramBuilder, Reg,
-    Terminator,
+    SplitMix64, Terminator,
 };
 
 use crate::build::{branchy_loop, call, diamond, fill_block, leaf_function, OpMix, RegPool};
@@ -73,7 +70,7 @@ fn mesh_kernel(
     outer_trips: u32,
     p_diamond: Option<f64>,
 ) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let mems = streams(&mut pb, n_streams, stream_elems);
     let mix = OpMix::fp();
@@ -126,13 +123,13 @@ pub fn swim(seed: u64) -> Program {
 /// 103.su2cor — quantum physics: stencil loops plus a mid-sized FP
 /// routine called per timestep.
 pub fn su2cor(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let mems = streams(&mut pb, 5, 1 << 9);
     let mix = OpMix::fp();
     let gauge = pb.declare_function("gauge_update");
     {
-        let mut r2 = SmallRng::seed_from_u64(seed ^ 5);
+        let mut r2 = SplitMix64::seed_from_u64(seed ^ 5);
         pb.define_function(
             gauge,
             leaf_function("gauge_update", &mut r2, 48, mix, &[mems[0], mems[1]], pool()),
@@ -142,12 +139,34 @@ pub fn su2cor(seed: u64) -> Program {
     let (mut fb, entry, head) = open_driver();
     fill_block(&mut fb, head, &mut rng, 5, mix, &mems, pool());
     let mut cur = branchy_loop(
-        &mut fb, &mut rng, head, 20, (10, 10), 20, 0.97, 50, 0, mix, &[mems[2], mems[3]], pool(),
+        &mut fb,
+        &mut rng,
+        head,
+        20,
+        (10, 10),
+        20,
+        0.97,
+        50,
+        0,
+        mix,
+        &[mems[2], mems[3]],
+        pool(),
     );
     cur = call(&mut fb, cur, gauge);
     fill_block(&mut fb, cur, &mut rng, 4, mix, &mems, pool());
     cur = branchy_loop(
-        &mut fb, &mut rng, cur, 18, (9, 9), 18, 0.98, 40, 0, mix, &[mems[3], mems[4]], pool(),
+        &mut fb,
+        &mut rng,
+        cur,
+        18,
+        (9, 9),
+        18,
+        0.98,
+        40,
+        0,
+        mix,
+        &[mems[3], mems[4]],
+        pool(),
     );
     close_driver(&mut fb, head, cur, 90);
     pb.define_function(main, fb.finish(entry).unwrap());
@@ -162,7 +181,7 @@ pub fn hydro2d(seed: u64) -> Program {
 
 /// 107.mgrid — multigrid solver: deep loop nest, very regular.
 pub fn mgrid(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let mems = streams(&mut pb, 4, 1 << 9);
     let mix = OpMix::fp();
@@ -174,7 +193,18 @@ pub fn mgrid(seed: u64) -> Program {
     fb.set_terminator(head, Terminator::Jump { target: mid_head });
     fill_block(&mut fb, mid_head, &mut rng, 4, mix, &mems, pool());
     let inner_exit = branchy_loop(
-        &mut fb, &mut rng, mid_head, 22, (10, 10), 22, 0.98, 30, 0, mix, &[mems[0], mems[1]], pool(),
+        &mut fb,
+        &mut rng,
+        mid_head,
+        22,
+        (10, 10),
+        22,
+        0.98,
+        30,
+        0,
+        mix,
+        &[mems[0], mems[1]],
+        pool(),
     );
     fill_block(&mut fb, inner_exit, &mut rng, 3, mix, &[mems[2]], pool());
     let mid_exit = fb.add_block();
@@ -196,13 +226,13 @@ pub fn mgrid(seed: u64) -> Program {
 /// 110.applu — PDE solver: big-bodied loops, a rare boundary condition
 /// branch, and a per-timestep Jacobi block solve.
 pub fn applu(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let mems = streams(&mut pb, 5, 1 << 9);
     let mix = OpMix::fp();
     let jacobi = pb.declare_function("jacobi_sweep");
     {
-        let mut r2 = SmallRng::seed_from_u64(seed ^ 8);
+        let mut r2 = SplitMix64::seed_from_u64(seed ^ 8);
         pb.define_function(
             jacobi,
             leaf_function("jacobi_sweep", &mut r2, 44, mix, &[mems[0], mems[1]], pool()),
@@ -212,12 +242,34 @@ pub fn applu(seed: u64) -> Program {
     let (mut fb, entry, head) = open_driver();
     fill_block(&mut fb, head, &mut rng, 4, mix, &mems, pool());
     let mut cur = branchy_loop(
-        &mut fb, &mut rng, head, 25, (13, 13), 26, 0.98, 35, 0, mix, &[mems[1], mems[2]], pool(),
+        &mut fb,
+        &mut rng,
+        head,
+        25,
+        (13, 13),
+        26,
+        0.98,
+        35,
+        0,
+        mix,
+        &[mems[1], mems[2]],
+        pool(),
     );
     cur = call(&mut fb, cur, jacobi);
     fill_block(&mut fb, cur, &mut rng, 3, mix, &mems, pool());
     cur = branchy_loop(
-        &mut fb, &mut rng, cur, 25, (13, 13), 26, 0.98, 35, 0, mix, &[mems[3], mems[4]], pool(),
+        &mut fb,
+        &mut rng,
+        cur,
+        25,
+        (13, 13),
+        26,
+        0.98,
+        35,
+        0,
+        mix,
+        &[mems[3], mems[4]],
+        pool(),
     );
     cur = diamond(&mut fb, &mut rng, cur, 0.98, (6, 6), mix, &mems, pool());
     close_driver(&mut fb, head, cur, 120);
@@ -228,7 +280,7 @@ pub fn applu(seed: u64) -> Program {
 /// 125.turb3d — turbulence: FFT-like routines called from the timestep
 /// loop.
 pub fn turb3d(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let mems = streams(&mut pb, 4, 1 << 9);
     let mix = OpMix::fp();
@@ -238,7 +290,18 @@ pub fn turb3d(seed: u64) -> Program {
         let entry = fb.add_block();
         fill_block(&mut fb, entry, &mut rng, 6, mix, &[mems[0]], pool());
         let cur = branchy_loop(
-            &mut fb, &mut rng, entry, 16, (8, 8), 16, 0.97, 16, 0, mix, &[mems[0], mems[1]], pool(),
+            &mut fb,
+            &mut rng,
+            entry,
+            16,
+            (8, 8),
+            16,
+            0.97,
+            16,
+            0,
+            mix,
+            &[mems[0], mems[1]],
+            pool(),
         );
         fb.set_terminator(cur, Terminator::Return);
         pb.define_function(fft, fb.finish(entry).unwrap());
@@ -250,7 +313,18 @@ pub fn turb3d(seed: u64) -> Program {
     fill_block(&mut fb, cur, &mut rng, 4, mix, &[mems[2]], pool());
     cur = call(&mut fb, cur, fft);
     cur = branchy_loop(
-        &mut fb, &mut rng, cur, 14, (7, 7), 14, 0.97, 24, 0, mix, &[mems[2], mems[3]], pool(),
+        &mut fb,
+        &mut rng,
+        cur,
+        14,
+        (7, 7),
+        14,
+        0.97,
+        24,
+        0,
+        mix,
+        &[mems[2], mems[3]],
+        pool(),
     );
     close_driver(&mut fb, head, cur, 80);
     pb.define_function(main, fb.finish(entry).unwrap());
@@ -260,7 +334,7 @@ pub fn turb3d(seed: u64) -> Program {
 /// 141.apsi — weather: many sequential moderate loops plus a radiation
 /// routine called per timestep.
 pub fn apsi(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let mems = streams(&mut pb, 6, 1 << 9);
     let mix = OpMix::fp();
@@ -270,7 +344,18 @@ pub fn apsi(seed: u64) -> Program {
         let entry = fb.add_block();
         fill_block(&mut fb, entry, &mut rng, 5, mix, &[mems[0]], pool());
         let cur = branchy_loop(
-            &mut fb, &mut rng, entry, 12, (6, 6), 12, 0.97, 14, 0, mix, &[mems[0], mems[5]], pool(),
+            &mut fb,
+            &mut rng,
+            entry,
+            12,
+            (6, 6),
+            12,
+            0.97,
+            14,
+            0,
+            mix,
+            &[mems[0], mems[5]],
+            pool(),
         );
         fb.set_terminator(cur, Terminator::Return);
         pb.define_function(radiation, fb.finish(entry).unwrap());
@@ -281,9 +366,7 @@ pub fn apsi(seed: u64) -> Program {
     let mut cur = head;
     for i in 0..4 {
         let m = [mems[i % 6], mems[(i + 1) % 6]];
-        cur = branchy_loop(
-            &mut fb, &mut rng, cur, 14, (7, 7), 15, 0.97, 25, 0, mix, &m, pool(),
-        );
+        cur = branchy_loop(&mut fb, &mut rng, cur, 14, (7, 7), 15, 0.97, 25, 0, mix, &m, pool());
         fill_block(&mut fb, cur, &mut rng, 3, mix, &mems, pool());
     }
     cur = call(&mut fb, cur, radiation);
@@ -296,7 +379,7 @@ pub fn apsi(seed: u64) -> Program {
 /// 145.fpppp — quantum chemistry: enormous straight-line blocks with
 /// tiny utility calls; the paper's second task-size-heuristic responder.
 pub fn fpppp(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let mems = streams(&mut pb, 4, 1 << 9);
     let mix = OpMix { load: 0.16, store: 0.06, ..OpMix::fp() };
@@ -307,8 +390,11 @@ pub fn fpppp(seed: u64) -> Program {
     let mut utils = Vec::new();
     for (i, n) in [6usize, 7, 5].iter().enumerate() {
         let f = pb.declare_function(format!("util{i}"));
-        let mut r2 = SmallRng::seed_from_u64(seed ^ (6 + i as u64));
-        pb.define_function(f, leaf_function(&format!("util{i}"), &mut r2, *n, mix, &[mems[0]], pool()));
+        let mut r2 = SplitMix64::seed_from_u64(seed ^ (6 + i as u64));
+        pb.define_function(
+            f,
+            leaf_function(&format!("util{i}"), &mut r2, *n, mix, &[mems[0]], pool()),
+        );
         utils.push(f);
     }
     let main = pb.declare_function("main");
@@ -327,7 +413,7 @@ pub fn fpppp(seed: u64) -> Program {
 /// 146.wave5 — plasma physics: particle loops with a gather/scatter
 /// component (the FP benchmark with real memory dependences).
 pub fn wave5(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let mut mems = streams(&mut pb, 4, 1 << 9);
     let grid = pb.add_addr_gen(AddrSpec::Indexed { base: 0x5000_0000, len: 4096 });
@@ -338,11 +424,33 @@ pub fn wave5(seed: u64) -> Program {
     fill_block(&mut fb, head, &mut rng, 4, mix, &mems, pool());
     // Particle push (streams) then charge deposit (scatter to grid).
     let mut cur = branchy_loop(
-        &mut fb, &mut rng, head, 20, (10, 10), 20, 0.97, 50, 0, mix, &[mems[0], mems[1]], pool(),
+        &mut fb,
+        &mut rng,
+        head,
+        20,
+        (10, 10),
+        20,
+        0.97,
+        50,
+        0,
+        mix,
+        &[mems[0], mems[1]],
+        pool(),
     );
     fill_block(&mut fb, cur, &mut rng, 3, mix, &mems, pool());
     cur = branchy_loop(
-        &mut fb, &mut rng, cur, 16, (8, 8), 16, 0.97, 40, 0, mix, &[mems[2], grid], pool(),
+        &mut fb,
+        &mut rng,
+        cur,
+        16,
+        (8, 8),
+        16,
+        0.97,
+        40,
+        0,
+        mix,
+        &[mems[2], grid],
+        pool(),
     );
     close_driver(&mut fb, head, cur, 90);
     pb.define_function(main, fb.finish(entry).unwrap());

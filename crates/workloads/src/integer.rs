@@ -6,11 +6,9 @@
 //! style. Absolute instruction counts are synthetic; the shapes are what
 //! the task-selection heuristics respond to.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use ms_ir::{
-    AddrSpec, BlockId, BranchBehavior, FunctionBuilder, Program, ProgramBuilder, Reg, Terminator,
+    AddrSpec, BlockId, BranchBehavior, FunctionBuilder, Program, ProgramBuilder, Reg, SplitMix64,
+    Terminator,
 };
 
 use crate::build::{
@@ -34,12 +32,7 @@ fn open_driver() -> (FunctionBuilder, BlockId, BlockId) {
 
 /// Closes the driver loop: `latch` loops back to `head` `trips` times,
 /// then halts.
-fn close_driver(
-    fb: &mut FunctionBuilder,
-    head: BlockId,
-    latch: BlockId,
-    trips: u32,
-) -> BlockId {
+fn close_driver(fb: &mut FunctionBuilder, head: BlockId, latch: BlockId, trips: u32) -> BlockId {
     let exit = fb.add_block();
     fb.set_terminator(
         latch,
@@ -57,7 +50,7 @@ fn close_driver(
 /// 099.go — game tree search: small blocks, hard-to-predict branches,
 /// board state in a shared table, mid-sized evaluation calls.
 pub fn go(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let board = pb.add_addr_gen(AddrSpec::Indexed { base: 0x1_0000, len: 512 });
     let stack0 = pb.add_addr_gen(AddrSpec::Stack { slot: 0 });
@@ -136,7 +129,7 @@ pub fn go(seed: u64) -> Program {
 /// 124.m88ksim — CPU simulator: a fetch/decode/execute loop with a
 /// skewed opcode switch and highly predictable branches.
 pub fn m88ksim(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let imem = pb.add_addr_gen(AddrSpec::Stride { base: 0x2_0000, stride: 8, len: 4096 });
     let regs = pb.add_addr_gen(AddrSpec::Indexed { base: 0x8_0000, len: 32 });
@@ -145,7 +138,7 @@ pub fn m88ksim(seed: u64) -> Program {
 
     let helper = pb.declare_function("update_flags");
     {
-        let mut r2 = SmallRng::seed_from_u64(seed ^ 1);
+        let mut r2 = SplitMix64::seed_from_u64(seed ^ 1);
         pb.define_function(
             helper,
             leaf_function("update_flags", &mut r2, 9, mix, &[state], pool()),
@@ -166,7 +159,7 @@ pub fn m88ksim(seed: u64) -> Program {
     // Tiny interrupt poll — prime call-inclusion material.
     let intr = pb.declare_function("check_interrupts");
     {
-        let mut r2 = SmallRng::seed_from_u64(seed ^ 7);
+        let mut r2 = SplitMix64::seed_from_u64(seed ^ 7);
         pb.define_function(
             intr,
             leaf_function("check_interrupts", &mut r2, 4, mix, &[state], pool()),
@@ -178,17 +171,8 @@ pub fn m88ksim(seed: u64) -> Program {
     // Fetch.
     fill_block(&mut fb, head, &mut rng, 4, mix, &[imem], pool());
     // Decode/execute dispatch: one dominant arm.
-    let mut cur = dispatch(
-        &mut fb,
-        &mut rng,
-        head,
-        8,
-        &[40, 14, 8, 4, 2, 2, 1, 1],
-        5,
-        mix,
-        &[regs],
-        pool(),
-    );
+    let mut cur =
+        dispatch(&mut fb, &mut rng, head, 8, &[40, 14, 8, 4, 2, 2, 1, 1], 5, mix, &[regs], pool());
     fill_block(&mut fb, cur, &mut rng, 3, mix, &[regs, state], pool());
     // Memory instructions (≈ a third of the mix) run the memory stage.
     {
@@ -219,7 +203,7 @@ pub fn m88ksim(seed: u64) -> Program {
 /// 126.gcc — a compiler: many mid-sized pass functions, irregular
 /// control flow of mixed predictability, modest loops.
 pub fn gcc(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let ir = pb.add_addr_gen(AddrSpec::Indexed { base: 0x10_0000, len: 8192 });
     let tbl = pb.add_addr_gen(AddrSpec::Indexed { base: 0x20_0000, len: 1024 });
@@ -229,7 +213,7 @@ pub fn gcc(seed: u64) -> Program {
 
     let util = pb.declare_function("xmalloc");
     {
-        let mut r2 = SmallRng::seed_from_u64(seed ^ 2);
+        let mut r2 = SplitMix64::seed_from_u64(seed ^ 2);
         pb.define_function(util, leaf_function("xmalloc", &mut r2, 7, mix, &[tbl], pool()));
     }
 
@@ -254,7 +238,17 @@ pub fn gcc(seed: u64) -> Program {
         let mut fb = FunctionBuilder::new(format!("pass{i}"));
         let entry = fb.add_block();
         fill_block(&mut fb, entry, &mut rng, 5, mix, &mems, pool());
-        let mut cur = tangle(&mut fb, &mut rng, entry, *blocks + 2, (4, 6), (*p - 0.08, *p), mix, &mems, pool());
+        let mut cur = tangle(
+            &mut fb,
+            &mut rng,
+            entry,
+            *blocks + 2,
+            (4, 6),
+            (*p - 0.08, *p),
+            mix,
+            &mems,
+            pool(),
+        );
         cur = counted_loop(&mut fb, &mut rng, cur, 8, 6, 2, mix, &mems, pool());
         cur = call(&mut fb, cur, util);
         fill_block(&mut fb, cur, &mut rng, 3, mix, &mems, pool());
@@ -282,7 +276,7 @@ pub fn gcc(seed: u64) -> Program {
 /// paper highlights as responding to the task-size heuristic (its short
 /// loop bodies get unrolled).
 pub fn compress(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let input = pb.add_addr_gen(AddrSpec::Stride { base: 0x40_0000, stride: 8, len: 1 << 14 });
     let htab = pb.add_addr_gen(AddrSpec::Indexed { base: 0x50_0000, len: 256 });
@@ -334,7 +328,7 @@ pub fn compress(seed: u64) -> Program {
 /// accessor functions (prime call-inclusion material) and pointer-dense
 /// heap references.
 pub fn li(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let heap = pb.add_addr_gen(AddrSpec::Indexed { base: 0x80_0000, len: 2048 });
     let env = pb.add_addr_gen(AddrSpec::Indexed { base: 0x90_0000, len: 64 });
@@ -343,7 +337,7 @@ pub fn li(seed: u64) -> Program {
     let car = pb.declare_function("car");
     let cdr = pb.declare_function("cdr");
     {
-        let mut r2 = SmallRng::seed_from_u64(seed ^ 3);
+        let mut r2 = SplitMix64::seed_from_u64(seed ^ 3);
         pb.define_function(car, leaf_function("car", &mut r2, 4, mix, &[heap], pool()));
         pb.define_function(cdr, leaf_function("cdr", &mut r2, 4, mix, &[heap], pool()));
     }
@@ -432,7 +426,7 @@ pub fn li(seed: u64) -> Program {
 /// 132.ijpeg — image compression: regular nested loops with multiply-
 /// heavy bodies over pixel streams; predictable control flow.
 pub fn ijpeg(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let pixels = pb.add_addr_gen(AddrSpec::Stride { base: 0xa0_0000, stride: 8, len: 1 << 12 });
     let coeffs = pb.add_addr_gen(AddrSpec::Stride { base: 0xb0_0000, stride: 8, len: 64 });
@@ -470,12 +464,34 @@ pub fn ijpeg(seed: u64) -> Program {
     // The DCT inner loop: a multi-block body (range-check diamond between
     // the two halves), loop-level parallelism.
     let mut cur = crate::build::branchy_loop(
-        &mut fb, &mut rng, head, 8, (4, 4), 7, 0.94, 32, 0, mix, &[pixels, coeffs], pool(),
+        &mut fb,
+        &mut rng,
+        head,
+        8,
+        (4, 4),
+        7,
+        0.94,
+        32,
+        0,
+        mix,
+        &[pixels, coeffs],
+        pool(),
     );
     fill_block(&mut fb, cur, &mut rng, 4, mix, &[out], pool());
     // Quantisation pass.
     cur = crate::build::branchy_loop(
-        &mut fb, &mut rng, cur, 6, (3, 3), 6, 0.95, 32, 0, mix, &[coeffs, out], pool(),
+        &mut fb,
+        &mut rng,
+        cur,
+        6,
+        (3, 3),
+        6,
+        0.95,
+        32,
+        0,
+        mix,
+        &[coeffs, out],
+        pool(),
     );
     cur = call(&mut fb, cur, huff);
     cur = diamond(&mut fb, &mut rng, cur, 0.95, (4, 4), mix, &[out], pool());
@@ -487,7 +503,7 @@ pub fn ijpeg(seed: u64) -> Program {
 /// 134.perl — an interpreter: opcode dispatch over many arms, stack
 /// frame traffic, moderately predictable branches, mid-sized helpers.
 pub fn perl(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let bytecode = pb.add_addr_gen(AddrSpec::Stride { base: 0xd0_0000, stride: 8, len: 4096 });
     let sv = pb.add_addr_gen(AddrSpec::Indexed { base: 0xe0_0000, len: 1024 });
@@ -511,7 +527,18 @@ pub fn perl(seed: u64) -> Program {
         let entry = fb.add_block();
         fill_block(&mut fb, entry, &mut rng, 3, mix, &[sv], pool());
         let cur = crate::build::branchy_loop(
-            &mut fb, &mut rng, entry, 4, (3, 3), 3, 0.78, 8, 3, mix, &[sv], pool(),
+            &mut fb,
+            &mut rng,
+            entry,
+            4,
+            (3, 3),
+            3,
+            0.78,
+            8,
+            3,
+            mix,
+            &[sv],
+            pool(),
         );
         fb.set_terminator(cur, Terminator::Return);
         pb.define_function(regex, fb.finish(entry).unwrap());
@@ -559,7 +586,7 @@ pub fn perl(seed: u64) -> Program {
 /// 147.vortex — an object database: deep call chains into mid-sized,
 /// very predictable functions over large index structures.
 pub fn vortex(seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pb = ProgramBuilder::new();
     let index = pb.add_addr_gen(AddrSpec::Indexed { base: 0x100_0000, len: 1 << 11 });
     let objects = pb.add_addr_gen(AddrSpec::Indexed { base: 0x200_0000, len: 1 << 11 });
@@ -569,7 +596,7 @@ pub fn vortex(seed: u64) -> Program {
 
     let wrap = pb.declare_function("mem_get");
     {
-        let mut r2 = SmallRng::seed_from_u64(seed ^ 4);
+        let mut r2 = SplitMix64::seed_from_u64(seed ^ 4);
         pb.define_function(wrap, leaf_function("mem_get", &mut r2, 6, mix, &[objects], pool()));
     }
 

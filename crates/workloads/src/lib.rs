@@ -91,7 +91,7 @@ pub fn suite() -> Vec<Workload> {
         Workload { name: "applu", class: F, seed: 0xa90e, build: fp::applu },
         Workload { name: "turb3d", class: F, seed: 0x7b0f, build: fp::turb3d },
         Workload { name: "apsi", class: F, seed: 0xa110, build: fp::apsi },
-        Workload { name: "fpppp", class: F, seed: 0xf411, build: fp::fpppp },
+        Workload { name: "fpppp", class: F, seed: 0xf403, build: fp::fpppp },
         Workload { name: "wave5", class: F, seed: 0x3a12, build: fp::wave5 },
     ]
 }

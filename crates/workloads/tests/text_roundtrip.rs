@@ -10,8 +10,7 @@ fn all_workloads_round_trip_through_text() {
     for w in suite() {
         let p = w.build();
         let text = write_program(&p);
-        let q = parse_program(&text)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
+        let q = parse_program(&text).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
         assert_eq!(p, q, "{}: round trip must be lossless", w.name);
     }
 }

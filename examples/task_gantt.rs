@@ -15,9 +15,8 @@ fn main() {
     let program = workload.build();
     let sel = TaskSelector::data_dependence(4).select(&program);
     let trace = TraceGenerator::new(&sel.program, 0x5eed).generate(2_000);
-    let (stats, timeline) =
-        Simulator::new(SimConfig::with_pus(pus), &sel.program, &sel.partition)
-            .run_with_timeline(&trace);
+    let (stats, timeline) = Simulator::new(SimConfig::with_pus(pus), &sel.program, &sel.partition)
+        .run_with_timeline(&trace);
 
     // Render a window of tasks from the steady state.
     let skip = timeline.len().saturating_sub(40).min(20);
@@ -39,12 +38,7 @@ fn main() {
         row.push_str(&"#".repeat(c.saturating_sub(d).max(1)));
         row.push_str(&"·".repeat(r.saturating_sub(c.max(d + 1))));
         row.push('|');
-        println!(
-            "pu{} {:>4}i a{} {row}",
-            t.pu,
-            t.insts,
-            t.attempts,
-        );
+        println!("pu{} {:>4}i a{} {row}", t.pu, t.insts, t.attempts,);
     }
     println!("\n{stats}");
 }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 gate: everything a PR must keep green, in the order a failure
+# is cheapest to notice. Runs fully offline (no network, no extra
+# toolchain components beyond rustfmt).
+#
+#   ./scripts/check.sh
+#
+# 1. release build of every crate (benches included),
+# 2. the full test suite on default features (`heavy-tests` scales the
+#    randomized suites up and is opt-in: cargo test --features heavy-tests),
+# 3. rustdoc with warnings denied (missing docs fail the build),
+# 4. formatting.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release --benches"
+cargo build --workspace --release --benches
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "All checks passed."

@@ -28,8 +28,8 @@ fn fp_suite_heuristics_beat_basic_blocks_on_4_pus() {
             .with_task_size(TaskSizeParams::default())
             .select(&program);
         let bb_ipc = ipc(&bb, SimConfig::four_pu(), 40_000);
-        let best = ipc(&cf, SimConfig::four_pu(), 40_000)
-            .max(ipc(&ts, SimConfig::four_pu(), 40_000));
+        let best =
+            ipc(&cf, SimConfig::four_pu(), 40_000).max(ipc(&ts, SimConfig::four_pu(), 40_000));
         total += 1;
         if best > bb_ipc {
             wins += 1;
@@ -68,7 +68,10 @@ fn task_size_shapes_match_table1() {
     let int_avg: f64 = int_sizes.iter().sum::<f64>() / int_sizes.len() as f64;
     let fp_avg: f64 = fp_sizes.iter().sum::<f64>() / fp_sizes.len() as f64;
     assert!(int_avg < 10.0, "integer bb tasks should be < 10 insts, got {int_avg:.1}");
-    assert!(fp_avg > 1.5 * int_avg, "fp bb tasks ({fp_avg:.1}) should dwarf integer ({int_avg:.1})");
+    assert!(
+        fp_avg > 1.5 * int_avg,
+        "fp bb tasks ({fp_avg:.1}) should dwarf integer ({int_avg:.1})"
+    );
 }
 
 /// §4.3.3: the effective per-branch misprediction rate (task rate

@@ -94,15 +94,13 @@ fn transformed_programs_stay_traceable() {
     // generator and splitter still agree on.
     for name in ["compress", "fpppp", "li"] {
         let program = multiscalar::workloads::by_name(name).unwrap().build();
-        let sel =
-            TaskSelector::control_flow(4).with_task_size(TaskSizeParams::default()).select(&program);
+        let sel = TaskSelector::control_flow(4)
+            .with_task_size(TaskSizeParams::default())
+            .select(&program);
         assert!(sel.program.validate().is_ok());
         let trace = TraceGenerator::new(&sel.program, 5).generate(10_000);
         let tasks = split_tasks(&trace, &sel.program, &sel.partition);
-        let total: usize = tasks
-            .iter()
-            .map(|t| t.num_insts(&trace, &sel.program))
-            .sum();
+        let total: usize = tasks.iter().map(|t| t.num_insts(&trace, &sel.program)).sum();
         assert_eq!(total, trace.num_insts(), "{name}: dynamic tasks must cover the trace");
     }
 }
@@ -114,8 +112,7 @@ fn single_pu_is_a_lower_bound_for_loop_parallel_codes() {
         let sel = TaskSelector::control_flow(4).select(&program);
         let trace = TraceGenerator::new(&sel.program, 21).generate(30_000);
         let one = Simulator::new(SimConfig::single_pu(), &sel.program, &sel.partition).run(&trace);
-        let eight =
-            Simulator::new(SimConfig::eight_pu(), &sel.program, &sel.partition).run(&trace);
+        let eight = Simulator::new(SimConfig::eight_pu(), &sel.program, &sel.partition).run(&trace);
         assert!(
             eight.ipc() > 1.5 * one.ipc(),
             "{name}: 8 PUs ({:.2}) should clearly beat 1 PU ({:.2})",
