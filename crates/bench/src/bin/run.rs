@@ -29,10 +29,23 @@
 //! `--json` (machine-readable output), `--file path.msir` (run a program
 //! in the textual IR format instead of a named workload), `--dump-ir`
 //! (print the selected program in the textual IR format and exit).
+//!
+//! Trace mode (one run with the event trace on — see `docs/TRACING.md`):
+//!
+//! ```text
+//! cargo run -p ms-bench --release --bin run -- trace compress
+//! cargo run -p ms-bench --release --bin run -- trace go --strategy dd --pus 8
+//! ```
+//!
+//! Prints the squash/stall attribution tables and writes
+//! `<out>/trace/<bench>-<strategy>.jsonl` (the schema-versioned JSONL
+//! event trace) and `<out>/trace/<bench>-<strategy>.chrome.json` (load
+//! it in `chrome://tracing` or <https://ui.perfetto.dev>).
 
 use std::path::PathBuf;
 
 use ms_bench::sweeps::{run_sweep, SWEEP_NAMES};
+use ms_bench::tracecmd::trace_selection;
 use ms_bench::{run_selection, Heuristic};
 use ms_ir::Program;
 use ms_sim::SimConfig;
@@ -52,6 +65,7 @@ struct Args {
     dump_ir: bool,
     jobs: usize,
     out: PathBuf,
+    trace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         dump_ir: false,
         jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         out: PathBuf::from("target/experiments"),
+        trace: false,
     };
     let mut it = std::env::args().skip(1);
     let mut positional_seen = false;
@@ -99,6 +114,12 @@ fn parse_args() -> Result<Args, String> {
             "--dump-ir" => args.dump_ir = true,
             "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
             "--out" => args.out = PathBuf::from(value("--out")?),
+            "trace" if !args.trace && !positional_seen => {
+                // `run -- trace <workload>`: the next positional is the
+                // workload to trace (default compress).
+                args.trace = true;
+                args.bench = "compress".to_string();
+            }
             other if !other.starts_with("--") && !positional_seen => {
                 args.bench = other.to_string();
                 positional_seen = true;
@@ -140,6 +161,57 @@ fn run_one(name: &str, program: &Program, args: &Args) {
     println!("{stats}");
 }
 
+/// Runs one traced simulation (`run -- trace <workload>`): prints the
+/// attribution tables and writes the JSONL + Chrome trace artifacts under
+/// `<out>/trace/`.
+fn run_trace(args: &Args) {
+    let w = match by_name(&args.bench) {
+        Some(w) => w,
+        None => {
+            eprintln!("unknown benchmark `{}`; benchmarks:", args.bench);
+            for w in suite() {
+                eprintln!("  {}", w.name);
+            }
+            std::process::exit(2);
+        }
+    };
+    let program = w.build();
+    let sel = args.strategy.selector(args.targets).select(&program);
+    let mut cfg = SimConfig::with_pus(args.pus);
+    if args.in_order {
+        cfg = cfg.in_order();
+    }
+    if !args.dead_reg {
+        cfg = cfg.without_dead_reg_analysis();
+    }
+    let art = trace_selection(&sel, cfg, args.insts, args.seed);
+    let dir = args.out.join("trace");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let stem = format!("{}-{}", w.name, args.strategy.label());
+    let jsonl_path = dir.join(format!("{stem}.jsonl"));
+    let chrome_path = dir.join(format!("{stem}.chrome.json"));
+    for (path, body) in [(&jsonl_path, &art.jsonl), (&chrome_path, &art.chrome)] {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "── trace {} [{}] {} PUs {} ──",
+        w.name,
+        args.strategy.label(),
+        args.pus,
+        if args.in_order { "in-order" } else { "out-of-order" }
+    );
+    println!("{}", art.stats);
+    print!("{}", art.tables);
+    println!("[event trace  -> {}]", jsonl_path.display());
+    println!("[chrome trace -> {}]", chrome_path.display());
+}
+
 /// Runs the named sweeps, printing each report and noting its artifacts.
 fn run_sweeps(names: &[&str], args: &Args) {
     for (i, name) in names.iter().enumerate() {
@@ -170,7 +242,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: run [sweeps|<sweep>|benchmark|all] [--jobs N] [--out DIR]");
+            eprintln!("usage: run [sweeps|<sweep>|trace <benchmark>|benchmark|all] [--jobs N] [--out DIR]");
             eprintln!("           [--strategy bb|cf|dd|ts] [--pus N] [--in-order] [--insts N]");
             eprintln!("           [--seed N] [--targets N] [--no-dead-reg] [--json]");
             eprintln!("sweeps: {}", SWEEP_NAMES.join(", "));
@@ -193,6 +265,8 @@ fn main() {
             }
         };
         run_one(path, &program, &args);
+    } else if args.trace {
+        run_trace(&args);
     } else if args.bench == "sweeps" {
         run_sweeps(&SWEEP_NAMES, &args);
     } else if SWEEP_NAMES.contains(&args.bench.as_str()) {

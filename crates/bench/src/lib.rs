@@ -9,8 +9,16 @@
 //! data; the single `run` binary fans the grids out over worker threads
 //! ([`harness`]), prints the tables, and writes one schema-versioned
 //! JSON metrics artifact per cell ([`json`]) under `target/experiments/`.
-//! See `EXPERIMENTS.md` for the one-command regeneration pipeline and
-//! the artifact schema.
+//! The `run -- trace` subcommand ([`tracecmd`]) runs one cell with the
+//! simulator's event trace on, writing a JSONL event trace plus a Chrome
+//! `trace_event` file and printing squash/stall attribution tables.
+//!
+//! This crate is the *reporting* stage of the data flow — everything
+//! upstream (IR → selection → trace → simulation) stays in the library
+//! crates; everything downstream (tables, JSON artifacts, event traces,
+//! golden tests) lives here. See `EXPERIMENTS.md` for the one-command
+//! regeneration pipeline, `docs/METRICS.md` for the metric glossary and
+//! `docs/TRACING.md` for the event-trace walkthrough.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +27,7 @@ pub mod harness;
 pub mod json;
 pub mod microbench;
 pub mod sweeps;
+pub mod tracecmd;
 
 use ms_sim::{SimConfig, SimStats, Simulator};
 use ms_tasksel::{TaskSelector, TaskSizeParams};

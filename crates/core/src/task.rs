@@ -280,6 +280,20 @@ impl TaskPartition {
         self.funcs.iter().map(|fp| fp.tasks().len()).sum()
     }
 
+    /// A stable, human-readable label for a task boundary:
+    /// `"<function>/t<task>@b<entry>"` (e.g. `"main/t2@b5"`). The label
+    /// depends only on the program and the partition — not on any
+    /// dynamic execution — so attribution tables and traces produced
+    /// from the same selection always agree on names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` or `t` is out of range for this partition.
+    pub fn boundary_label(&self, program: &Program, f: FuncId, t: TaskId) -> String {
+        let entry = self.func(f).task(t).entry();
+        format!("{}/{}@{}", program.function(f).name(), t, entry)
+    }
+
     /// Checks the Multiscalar task invariants against `program`:
     ///
     /// 1. every block reachable from each function's entry belongs to

@@ -31,7 +31,9 @@ use ms_trace::{split_tasks, CtOutcome, DynExit, DynInstKind, DynTask, Trace};
 
 use crate::cache::{Cache, Hierarchy};
 use crate::config::SimConfig;
+use crate::event::{NullSink, SimEvent, SquashCause, TraceSink};
 use crate::predictor::{Gshare, TaskPredictor};
+use crate::sink::TimelineSink;
 use crate::stats::{CycleBreakdown, SimStats};
 
 /// Maximum squash-and-re-execute attempts per task before the engine
@@ -103,25 +105,43 @@ impl<'a> Simulator<'a> {
 
     /// Runs the trace to completion and returns the statistics.
     pub fn run(&self, trace: &Trace) -> SimStats {
-        let tasks = split_tasks(trace, self.program, self.partition);
-        Engine::new(&self.config, self.program, self.partition, trace).run(&tasks)
+        self.run_with_sink(trace, &mut NullSink)
     }
 
     /// Runs a pre-split dynamic task sequence (lets callers reuse a
     /// split across configurations).
     pub fn run_tasks(&self, trace: &Trace, tasks: &[DynTask]) -> SimStats {
-        Engine::new(&self.config, self.program, self.partition, trace).run(tasks)
+        self.run_tasks_with_sink(trace, tasks, &mut NullSink)
+    }
+
+    /// Runs the trace, streaming [`SimEvent`]s into `sink` — the
+    /// observability entry point. With [`NullSink`] this is exactly
+    /// [`Simulator::run`]: no events are constructed and no attribution
+    /// bookkeeping is allocated.
+    pub fn run_with_sink<S: TraceSink>(&self, trace: &Trace, sink: &mut S) -> SimStats {
+        let tasks = split_tasks(trace, self.program, self.partition);
+        Engine::new(&self.config, self.program, self.partition, trace).run(&tasks, sink)
+    }
+
+    /// [`Simulator::run_tasks`] with an event sink.
+    pub fn run_tasks_with_sink<S: TraceSink>(
+        &self,
+        trace: &Trace,
+        tasks: &[DynTask],
+        sink: &mut S,
+    ) -> SimStats {
+        Engine::new(&self.config, self.program, self.partition, trace).run(tasks, sink)
     }
 
     /// Runs the trace and additionally returns the per-task time line
     /// (dispatch / complete / retire per dynamic task) — the data behind
-    /// the paper's Figure 2 narrative.
+    /// the paper's Figure 2 narrative. Implemented as a [`TimelineSink`]
+    /// over [`Simulator::run_with_sink`]; callers that discard the
+    /// timeline should call [`Simulator::run`], which allocates nothing.
     pub fn run_with_timeline(&self, trace: &Trace) -> (SimStats, Vec<TaskTiming>) {
-        let tasks = split_tasks(trace, self.program, self.partition);
-        let mut engine = Engine::new(&self.config, self.program, self.partition, trace);
-        let mut timeline = Vec::with_capacity(tasks.len());
-        let stats = engine.run_collecting(&tasks, Some(&mut timeline));
-        (stats, timeline)
+        let mut sink = TimelineSink::new();
+        let stats = self.run_with_sink(trace, &mut sink);
+        (stats, sink.into_timeline())
     }
 }
 
@@ -138,6 +158,20 @@ struct RegSrc {
 struct StoreSrc {
     task: usize,
     complete: u64,
+    pc: u64,
+}
+
+/// A detected memory dependence violation, with attribution.
+#[derive(Debug, Clone, Copy)]
+struct Violation {
+    /// Cycle the violated store completed (squash detection point).
+    cycle: u64,
+    /// PC of the premature load.
+    load_pc: u64,
+    /// Dynamic task of the violated store.
+    store_task: usize,
+    /// PC of the violated store.
+    store_pc: u64,
 }
 
 /// Result of executing one task attempt.
@@ -150,12 +184,20 @@ struct Attempt {
     br_preds: u64,
     br_hits: u64,
     arb_overflow: bool,
-    /// Earliest violation: (cycle the store completed, load PC).
-    violation: Option<(u64, u64)>,
+    /// First overflowing access cycle and total head-wait stall (event
+    /// detail; only meaningful when `arb_overflow`).
+    arb_cycle: u64,
+    arb_stall: u64,
+    /// Earliest violation.
+    violation: Option<Violation>,
     /// Completion of the dynamically-last write per register.
     reg_writes: HashMap<usize, u64>,
     /// (addr, complete, pc) per store, program order.
     stores: Vec<(u64, u64, u64)>,
+    /// Per-arc ring-wait attribution `(producer task, reg, cycles)`,
+    /// collected only when a trace sink is enabled (stays unallocated
+    /// otherwise).
+    fwd_stalls: Vec<(usize, usize, u64)>,
     /// Stall blame weights.
     w_intra: u64,
     w_inter: u64,
@@ -230,15 +272,7 @@ impl<'a> Engine<'a> {
             .or_insert_with(|| Liveness::compute(self.program.function(func)))
     }
 
-    fn run(&mut self, tasks: &[DynTask]) -> SimStats {
-        self.run_collecting(tasks, None)
-    }
-
-    fn run_collecting(
-        &mut self,
-        tasks: &[DynTask],
-        mut timeline: Option<&mut Vec<TaskTiming>>,
-    ) -> SimStats {
+    fn run<S: TraceSink>(&mut self, tasks: &[DynTask], sink: &mut S) -> SimStats {
         let p = self.cfg.num_pus;
         let mut pu_free = vec![0u64; p];
         let mut stats = SimStats { num_pus: p, num_dyn_tasks: tasks.len(), ..SimStats::default() };
@@ -258,6 +292,16 @@ impl<'a> Engine<'a> {
                 // target.
                 stats.ctrl_squashes += 1;
                 let restart = prev_resolve + self.cfg.task_mispredict_restart as u64;
+                let lost = restart.saturating_sub(dispatch);
+                if sink.enabled() {
+                    sink.event(&SimEvent::TaskSquash {
+                        task: k,
+                        pu,
+                        cycle: prev_resolve,
+                        attempt: 0,
+                        cause: SquashCause::Control { predecessor: k - 1, lost_cycles: lost },
+                    });
+                }
                 if restart > dispatch {
                     stats.breakdown.ctrl_misspec += restart - dispatch;
                     dispatch = restart;
@@ -266,11 +310,21 @@ impl<'a> Engine<'a> {
 
             // The sequencer reads the task descriptor; a task cache
             // miss delays dispatch by an L2 access.
-            {
-                let (_, entry_pc) = self.targets_of(dt);
-                if !self.task_cache.access(entry_pc) {
-                    dispatch += self.cfg.l2.hit_latency as u64;
-                }
+            let (_, entry_pc) = self.targets_of(dt);
+            let desc_miss = !self.task_cache.access(entry_pc);
+            if desc_miss {
+                dispatch += self.cfg.l2.hit_latency as u64;
+            }
+            if sink.enabled() {
+                sink.event(&SimEvent::TaskDispatch {
+                    task: k,
+                    pu,
+                    cycle: dispatch,
+                    func: dt.func.index(),
+                    static_task: dt.task.index(),
+                    entry_pc,
+                    desc_miss,
+                });
             }
 
             // Execute, re-executing on memory dependence violations.
@@ -279,14 +333,42 @@ impl<'a> Engine<'a> {
             let attempt = loop {
                 attempts += 1;
                 let force_sync = attempts > MAX_ATTEMPTS;
-                let a = self.exec_task(k, dt, dispatch, pu, head_free, force_sync);
+                let a = self.exec_task(k, dt, dispatch, pu, head_free, force_sync, sink.enabled());
                 match a.violation {
-                    Some((cycle, load_pc)) if !force_sync => {
+                    Some(v) if !force_sync => {
                         stats.violations += 1;
                         stats.squashed_insts += a.insts;
-                        let restart = cycle + self.cfg.squash_restart as u64;
-                        stats.breakdown.mem_misspec += restart.saturating_sub(dispatch);
-                        self.sync_insert(load_pc);
+                        let restart = v.cycle + self.cfg.squash_restart as u64;
+                        let lost = restart.saturating_sub(dispatch);
+                        stats.breakdown.mem_misspec += lost;
+                        if sink.enabled() {
+                            let detail = (v.store_task, v.store_pc, v.load_pc, a.insts, lost);
+                            let cause = if attempts == 1 {
+                                SquashCause::Memory {
+                                    store_task: detail.0,
+                                    store_pc: detail.1,
+                                    load_pc: detail.2,
+                                    lost_insts: detail.3,
+                                    lost_cycles: detail.4,
+                                }
+                            } else {
+                                SquashCause::Cascade {
+                                    store_task: detail.0,
+                                    store_pc: detail.1,
+                                    load_pc: detail.2,
+                                    lost_insts: detail.3,
+                                    lost_cycles: detail.4,
+                                }
+                            };
+                            sink.event(&SimEvent::TaskSquash {
+                                task: k,
+                                pu,
+                                cycle: v.cycle,
+                                attempt: attempts,
+                                cause,
+                            });
+                        }
+                        self.sync_insert(v.load_pc);
                         dispatch = restart.max(dispatch + 1);
                     }
                     _ => break a,
@@ -300,10 +382,27 @@ impl<'a> Engine<'a> {
             let commit_done = attempt.complete + self.cfg.task_end_overhead as u64;
             let retire = commit_done.max(head_free);
             let imbalance = retire - commit_done;
-            self.retire.push(retire);
-            pu_free[pu] = retire;
-            if let Some(tl) = timeline.as_deref_mut() {
-                tl.push(TaskTiming {
+            if sink.enabled() {
+                // The PU-cycles between the previous occupant's retire
+                // and this task's final dispatch are not residency —
+                // dispatch gaps and squashed-attempt occupancy both land
+                // here, mirroring `pu_idle_cycles`.
+                if dispatch > pu_free[pu] {
+                    sink.event(&SimEvent::PuIdle { pu, from: pu_free[pu], to: dispatch });
+                }
+                for &(producer, reg, cycles) in &attempt.fwd_stalls {
+                    sink.event(&SimEvent::FwdStall { task: k, producer, reg, cycles });
+                }
+                if attempt.arb_overflow {
+                    sink.event(&SimEvent::ArbConflict {
+                        task: k,
+                        pu,
+                        cycle: attempt.arb_cycle,
+                        stall: attempt.arb_stall,
+                    });
+                }
+                sink.event(&SimEvent::TaskCommit {
+                    task: k,
                     pu,
                     dispatch,
                     complete: attempt.complete,
@@ -312,6 +411,8 @@ impl<'a> Engine<'a> {
                     attempts,
                 });
             }
+            self.retire.push(retire);
+            pu_free[pu] = retire;
             #[cfg(feature = "trace-debug")]
             if k < 64 {
                 eprintln!(
@@ -324,9 +425,9 @@ impl<'a> Engine<'a> {
             // scheduling, filtered by dead register analysis) and the
             // store map.
             let exit_step = &self.trace.steps()[dt.end - 1];
-            self.commit_regs(k, pu, &attempt, exit_step.block);
-            for &(addr, complete, _pc) in &attempt.stores {
-                self.last_store.insert(addr, StoreSrc { task: k, complete });
+            self.commit_regs(k, pu, &attempt, exit_step.block, sink);
+            for &(addr, complete, pc) in &attempt.stores {
+                self.last_store.insert(addr, StoreSrc { task: k, complete, pc });
             }
 
             // Inter-task prediction for this task's exit (consulted when
@@ -368,6 +469,15 @@ impl<'a> Engine<'a> {
         }
 
         stats.total_cycles = self.retire.last().copied().unwrap_or(0);
+        if sink.enabled() {
+            // Drain: PUs whose last task retired before the run ended
+            // (and PUs that never ran a task) idle to the final cycle.
+            for (pu, &free) in pu_free.iter().enumerate() {
+                if free < stats.total_cycles {
+                    sink.event(&SimEvent::PuIdle { pu, from: free, to: stats.total_cycles });
+                }
+            }
+        }
         stats.pu_idle_cycles = (stats.total_cycles * p as u64).saturating_sub(residency);
         stats.reg_forwards = self.reg_forwards;
         stats.l1d = self.dcache.l1_counters();
@@ -445,7 +555,14 @@ impl<'a> Engine<'a> {
     /// limited) and publishes them. With dead register analysis enabled
     /// (the compiler of \[3\]/\[18\]), only registers live out of the task's
     /// exit block travel; dead values stay put, saving ring bandwidth.
-    fn commit_regs(&mut self, k: usize, pu: usize, a: &Attempt, exit: ms_ir::BlockRef) {
+    fn commit_regs<S: TraceSink>(
+        &mut self,
+        k: usize,
+        pu: usize,
+        a: &Attempt,
+        exit: ms_ir::BlockRef,
+        sink: &mut S,
+    ) {
         // Liveness is intra-procedural: across calls and returns the
         // other function's uses are invisible, so those exits forward
         // everything (conservative).
@@ -470,11 +587,15 @@ impl<'a> Engine<'a> {
                 }
                 cycle += 1;
             }
+            if sink.enabled() {
+                sink.event(&SimEvent::FwdSend { task: k, pu, reg: r, ready, sent: cycle });
+            }
             self.reg_src[r] = Some(RegSrc { task: k, send: cycle });
         }
     }
 
     /// Executes one attempt of task `k` starting at `dispatch`.
+    /// `collect` enables per-arc stall attribution (trace sink active).
     #[allow(clippy::too_many_lines)]
     fn exec_task(
         &mut self,
@@ -484,6 +605,7 @@ impl<'a> Engine<'a> {
         pu: usize,
         head_free: u64,
         force_sync: bool,
+        collect: bool,
     ) -> Attempt {
         let cfg = self.cfg;
         let p = cfg.num_pus;
@@ -506,7 +628,7 @@ impl<'a> Engine<'a> {
         let mut last_issue = 0u64;
         let mut mem_lines: HashSet<u64> = HashSet::new();
         let mut arb_overflow = false;
-        let mut violation: Option<(u64, u64)> = None;
+        let mut violation: Option<Violation> = None;
         let mut exit_ct_complete: Option<u64> = None;
 
         let mut a = Attempt {
@@ -517,9 +639,12 @@ impl<'a> Engine<'a> {
             br_preds: 0,
             br_hits: 0,
             arb_overflow: false,
+            arb_cycle: 0,
+            arb_stall: 0,
             violation: None,
             reg_writes: HashMap::new(),
             stores: Vec::new(),
+            fwd_stalls: Vec::new(),
             w_intra: 0,
             w_inter: 0,
             w_mem: 0,
@@ -556,6 +681,9 @@ impl<'a> Engine<'a> {
                 // ---- Operands ----
                 let mut intra_ready = 0u64;
                 let mut inter_ready = 0u64;
+                // The producing (task, reg) of the latest-arriving ring
+                // value — the arc the stall is blamed on.
+                let mut inter_src: Option<(usize, usize)> = None;
                 for src in &di.srcs {
                     let d = src.dense();
                     if let Some(&c) = local_reg.get(&d) {
@@ -567,14 +695,23 @@ impl<'a> Engine<'a> {
                             let m = (k - rs.task) as u64; // 1..P-1 in flight
                             let hops = m.min(p as u64);
                             let arrival = rs.send + (hops - 1) * cfg.ring_hop_latency as u64;
-                            inter_ready = inter_ready.max(arrival);
+                            if arrival > inter_ready {
+                                inter_ready = arrival;
+                                inter_src = Some((rs.task, d));
+                            }
                         }
                     }
                 }
 
                 let mut ready = decode_ready.max(intra_ready).max(inter_ready);
                 a.w_intra += intra_ready.saturating_sub(decode_ready);
-                a.w_inter += inter_ready.saturating_sub(decode_ready);
+                let inter_stall = inter_ready.saturating_sub(decode_ready);
+                a.w_inter += inter_stall;
+                if collect && inter_stall > 0 {
+                    if let Some((producer, reg)) = inter_src {
+                        a.fwd_stalls.push((producer, reg, inter_stall));
+                    }
+                }
 
                 // ---- Window constraints ----
                 let i = issues.len();
@@ -631,6 +768,10 @@ impl<'a> Engine<'a> {
                             if mem_lines.len() > cfg.arb_entries_per_pu as usize && c < head_free {
                                 let stall = head_free - c;
                                 a.w_mem += stall;
+                                if !arb_overflow {
+                                    a.arb_cycle = c;
+                                }
+                                a.arb_stall += stall;
                                 c = head_free;
                                 arb_overflow = true;
                             }
@@ -655,9 +796,13 @@ impl<'a> Engine<'a> {
                                 } else if ss.complete > c {
                                     // Premature load: violation when the
                                     // store completes.
-                                    let v = (ss.complete, di.pc);
-                                    if violation.map(|(vc, _)| v.0 < vc).unwrap_or(true) {
-                                        violation = Some(v);
+                                    if violation.map(|v| ss.complete < v.cycle).unwrap_or(true) {
+                                        violation = Some(Violation {
+                                            cycle: ss.complete,
+                                            load_pc: di.pc,
+                                            store_task: ss.task,
+                                            store_pc: ss.pc,
+                                        });
                                     }
                                     lat = cfg.arb_hit_latency as u64;
                                 } else {
@@ -676,6 +821,10 @@ impl<'a> Engine<'a> {
                             if mem_lines.len() > cfg.arb_entries_per_pu as usize && c < head_free {
                                 let stall = head_free - c;
                                 a.w_mem += stall;
+                                if !arb_overflow {
+                                    a.arb_cycle = c;
+                                }
+                                a.arb_stall += stall;
                                 c = head_free;
                                 arb_overflow = true;
                             }

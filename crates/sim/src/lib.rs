@@ -17,6 +17,25 @@
 //! categories (task start/end overhead, useful, intra-task dependence,
 //! inter-task communication, load imbalance, misspeculation penalties).
 //!
+//! # Role in the data flow
+//!
+//! This crate is the *measurement* stage of the pipeline: `ms_workloads`
+//! builds a program, `ms_tasksel` partitions it, `ms_trace` turns it
+//! into a dynamic instruction trace, and this crate charges cycles to
+//! that trace. Results leave in two forms:
+//!
+//! * **aggregates** — [`SimStats`] counters and the §2.3
+//!   [`CycleBreakdown`], consumed by the tables, JSON artifacts and
+//!   golden tests in `ms_bench` (field glossary: `docs/METRICS.md`),
+//! * **events** — an optional [`SimEvent`] stream with squash/stall
+//!   *attribution* (which task boundary, which def-use arc), emitted
+//!   through a [`TraceSink`] passed to [`Simulator::run_with_sink`].
+//!   Sinks: [`JsonlSink`] (schema-versioned JSONL), [`TraceAggregator`]
+//!   (attribution tables), [`TimelineSink`] (per-task timeline),
+//!   [`NullSink`] (off — the default, zero cost), [`Tee`] (fan-out).
+//!   Event semantics and the reconciliation invariants against
+//!   [`SimStats`] are documented in `docs/TRACING.md`.
+//!
 //! Entry points: [`SimConfig`] (presets [`SimConfig::four_pu`],
 //! [`SimConfig::eight_pu`], [`SimConfig::single_pu`]), [`Simulator`],
 //! [`SimStats`].
@@ -27,11 +46,15 @@
 mod cache;
 mod config;
 mod engine;
+mod event;
 mod predictor;
+mod sink;
 mod stats;
 
 pub use cache::{Cache, Hierarchy};
 pub use config::{CacheParams, FuCounts, SimConfig};
 pub use engine::{Simulator, TaskTiming};
+pub use event::{NullSink, SimEvent, SquashCause, Tee, TraceSink, TRACE_SCHEMA_VERSION};
 pub use predictor::{Gshare, ReturnStack, TaskPredictor};
+pub use sink::{CauseCounts, JsonlSink, SquashRecord, TaskSpan, TimelineSink, TraceAggregator};
 pub use stats::{CycleBreakdown, SimStats, TaskSizeHist};

@@ -11,6 +11,19 @@
 //! the trace into the exact [`DynTask`] sequence the Multiscalar
 //! sequencer dispatches.
 //!
+//! # Role in the data flow
+//!
+//! This crate is the bridge between the *static* and *dynamic* halves
+//! of the pipeline: `ms_workloads` builds a program, `ms_tasksel`
+//! partitions it statically, this crate turns the partitioned program
+//! into a deterministic dynamic task sequence, and `ms_sim` charges
+//! cycles to that sequence (aggregates in `SimStats`, optional
+//! attribution events through its `TraceSink`). Everything downstream
+//! — tables, JSON artifacts, event traces — lives in `ms_bench`. The
+//! same (program, seed, instruction budget) triple always yields the
+//! same trace, which is what makes the experiment grids and golden
+//! tests reproducible (see `EXPERIMENTS.md`).
+//!
 //! # Example
 //!
 //! ```

@@ -8,8 +8,11 @@
 # 1. release build of every crate (benches included),
 # 2. the full test suite on default features (`heavy-tests` scales the
 #    randomized suites up and is opt-in: cargo test --features heavy-tests),
-# 3. rustdoc with warnings denied (missing docs fail the build),
-# 4. formatting.
+# 3. rustdoc with warnings denied (missing docs and broken intra-doc
+#    links fail the build),
+# 4. formatting,
+# 5. docs gate: the metric tables in EXPERIMENTS.md / docs/METRICS.md
+#    must only name fields that still exist in the source.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -24,5 +27,24 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> docs gate (metric tables vs. source)"
+# Every backticked snake_case name opening a markdown table row in the
+# metric docs must appear somewhere in the crates' source: a renamed or
+# removed counter/field must take its documentation row with it.
+docs_fail=0
+for doc in EXPERIMENTS.md docs/METRICS.md docs/TRACING.md; do
+    [ -f "$doc" ] || { echo "missing $doc"; docs_fail=1; continue; }
+done
+for doc in EXPERIMENTS.md docs/METRICS.md; do
+    fields=$(grep -o '^| `[a-z][a-z0-9_]*`' "$doc" | sed 's/^| `//; s/`$//' | sort -u)
+    for f in $fields; do
+        if ! grep -rq "$f" crates/*/src; then
+            echo "$doc documents \`$f\` but it does not appear in crates/*/src"
+            docs_fail=1
+        fi
+    done
+done
+[ "$docs_fail" -eq 0 ] || { echo "docs gate failed"; exit 1; }
 
 echo "All checks passed."
