@@ -67,6 +67,8 @@ pub struct DefUseChains {
 impl DefUseChains {
     /// Computes the chains for `func`.
     pub fn compute(func: &Function) -> Self {
+        let _prof = ms_prof::span("analysis.defuse");
+        _prof.add_items(func.num_blocks() as u64);
         let n = func.num_blocks();
         // 1. Enumerate definition sites.
         let mut defs: Vec<DefSite> = Vec::new();

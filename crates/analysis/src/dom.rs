@@ -21,6 +21,8 @@ impl Dominators {
     /// Computes dominators for `func`.
     pub fn compute(func: &Function) -> Self {
         let order = DfsOrder::compute(func);
+        let _prof = ms_prof::span("analysis.dom");
+        _prof.add_items(func.num_blocks() as u64);
         let n = func.num_blocks();
         let entry = func.entry();
         let mut idom = vec![usize::MAX; n];

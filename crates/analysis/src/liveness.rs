@@ -28,6 +28,8 @@ impl Liveness {
     /// nothing (inter-procedural effects flow through the trace, not the
     /// static analysis); terminator condition registers are uses.
     pub fn compute(func: &Function) -> Self {
+        let _prof = ms_prof::span("analysis.liveness");
+        _prof.add_items(func.num_blocks() as u64);
         let n = func.num_blocks();
         // Per-block USE (upward exposed) and DEF sets.
         let mut use_set = vec![BitSet::new(NUM_REGS); n];

@@ -62,6 +62,8 @@ impl LoopForest {
     /// retreating edges (target does not dominate source) are ignored —
     /// the DFS-based terminal-edge test still stops task growth on them.
     pub fn compute(func: &Function, dom: &Dominators) -> Self {
+        let _prof = ms_prof::span("analysis.loops");
+        _prof.add_items(func.num_blocks() as u64);
         let n = func.num_blocks();
         // Gather back edges grouped by header.
         let mut latches_of: Vec<Vec<BlockId>> = vec![Vec::new(); n];

@@ -23,6 +23,8 @@ impl DfsOrder {
     /// Computes the ordering for `func` (iterative DFS, deterministic:
     /// successors visited in terminator order).
     pub fn compute(func: &Function) -> Self {
+        let _prof = ms_prof::span("analysis.order");
+        _prof.add_items(func.num_blocks() as u64);
         let n = func.num_blocks();
         let mut dfs_num = vec![usize::MAX; n];
         let mut post: Vec<BlockId> = Vec::with_capacity(n);

@@ -81,6 +81,7 @@ impl Profile {
     /// then propagated over the call graph to a fixpoint, with recursion
     /// capped.
     pub fn estimate(program: &Program) -> Self {
+        let _prof = ms_prof::span("analysis.profile");
         let nf = program.num_functions();
         let mut block_freq: Vec<Vec<f64>> = Vec::with_capacity(nf);
         for fid in program.func_ids() {

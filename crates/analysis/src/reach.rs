@@ -27,6 +27,8 @@ impl Reachability {
     /// here are small enough that the quadratic cost is negligible).
     pub fn compute(func: &Function) -> Self {
         let order = DfsOrder::compute(func);
+        let _prof = ms_prof::span("analysis.reach");
+        _prof.add_items(func.num_blocks() as u64);
         let n = func.num_blocks();
         let mut fwd = Vec::with_capacity(n);
         for b in func.block_ids() {

@@ -1,5 +1,7 @@
 //! The experiment driver: every sweep behind the paper's figures and
-//! tables, plus ad-hoc single runs, from one binary.
+//! tables, ad-hoc single runs, event traces, and pipeline profiling,
+//! from one binary. `run -- help` lists every subcommand with the
+//! schema version of the artifact it writes.
 //!
 //! Sweep mode (parallel, writes JSON metrics artifacts — see
 //! `EXPERIMENTS.md` for the schema):
@@ -10,12 +12,6 @@
 //! cargo run -p ms-bench --release --bin run -- hardware --jobs 4 --out /tmp/exp
 //! ```
 //!
-//! Sweep names: `figure5`, `table1`, `targets`, `thresholds`, `pus`,
-//! `forwarding`, `predication`, `hardware`, or `sweeps` for all eight.
-//! `--jobs N` sets the worker-thread count (default: available cores;
-//! results are bit-identical for every N), `--out DIR` the artifact root
-//! (default `target/experiments`).
-//!
 //! Single-run mode (any benchmark × heuristic × machine):
 //!
 //! ```text
@@ -23,188 +19,117 @@
 //! cargo run -p ms-bench --release --bin run -- all --strategy cf --in-order
 //! ```
 //!
-//! Flags: `--strategy bb|cf|dd|ts` (default cf), `--pus N` (default 4),
-//! `--in-order`, `--insts N` (default 100000), `--seed N`,
-//! `--targets N` (heuristic target limit, default 4), `--no-dead-reg`,
-//! `--json` (machine-readable output), `--file path.msir` (run a program
-//! in the textual IR format instead of a named workload), `--dump-ir`
-//! (print the selected program in the textual IR format and exit).
-//!
 //! Trace mode (one run with the event trace on — see `docs/TRACING.md`):
 //!
 //! ```text
 //! cargo run -p ms-bench --release --bin run -- trace compress
-//! cargo run -p ms-bench --release --bin run -- trace go --strategy dd --pus 8
 //! ```
 //!
-//! Prints the squash/stall attribution tables and writes
-//! `<out>/trace/<bench>-<strategy>.jsonl` (the schema-versioned JSONL
-//! event trace) and `<out>/trace/<bench>-<strategy>.chrome.json` (load
-//! it in `chrome://tracing` or <https://ui.perfetto.dev>).
+//! Perf mode (pipeline self-profiling and the regression gate — see
+//! `docs/PROFILING.md`):
+//!
+//! ```text
+//! cargo run -p ms-bench --release --bin run -- perf
+//! cargo run -p ms-bench --release --bin run -- perf --baseline BENCH_old.json
+//! cargo run -p ms-bench --release --bin run -- perf-validate BENCH_abc1234.json
+//! ```
+//!
+//! All flags live in `ms_bench::cli` and are shared across subcommands
+//! (`--out DIR`, `--jobs N`, `--strategy`, `--reps`, …).
 
-use std::path::PathBuf;
+use std::path::Path;
 
+use ms_bench::cli::{self, Flags};
+use ms_bench::perfcmd::{self, PerfOptions};
 use ms_bench::sweeps::{run_sweep, SWEEP_NAMES};
 use ms_bench::tracecmd::trace_selection;
-use ms_bench::{run_selection, Heuristic};
+use ms_bench::{run_selection, DEFAULT_TRACE_INSTS};
 use ms_ir::Program;
 use ms_sim::SimConfig;
 use ms_workloads::{by_name, suite};
 
-struct Args {
-    bench: String,
-    strategy: Heuristic,
-    pus: usize,
-    in_order: bool,
-    insts: usize,
-    seed: u64,
-    targets: usize,
-    dead_reg: bool,
-    json: bool,
-    file: Option<String>,
-    dump_ir: bool,
-    jobs: usize,
-    out: PathBuf,
-    trace: bool,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        bench: "all".to_string(),
-        strategy: Heuristic::ControlFlow,
-        pus: 4,
-        in_order: false,
-        insts: 100_000,
-        seed: ms_bench::DEFAULT_SEED,
-        targets: 4,
-        dead_reg: true,
-        json: false,
-        file: None,
-        dump_ir: false,
-        jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        out: PathBuf::from("target/experiments"),
-        trace: false,
-    };
-    let mut it = std::env::args().skip(1);
-    let mut positional_seen = false;
-    while let Some(arg) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
-        match arg.as_str() {
-            "--strategy" => {
-                args.strategy = match value("--strategy")?.as_str() {
-                    "bb" => Heuristic::BasicBlock,
-                    "cf" => Heuristic::ControlFlow,
-                    "dd" => Heuristic::DataDependence,
-                    "ts" => Heuristic::TaskSize,
-                    other => return Err(format!("unknown strategy `{other}`")),
-                }
-            }
-            "--pus" => args.pus = value("--pus")?.parse().map_err(|e| format!("--pus: {e}"))?,
-            "--in-order" => args.in_order = true,
-            "--insts" => {
-                args.insts = value("--insts")?.parse().map_err(|e| format!("--insts: {e}"))?
-            }
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--targets" => {
-                args.targets = value("--targets")?.parse().map_err(|e| format!("--targets: {e}"))?
-            }
-            "--no-dead-reg" => args.dead_reg = false,
-            "--json" => args.json = true,
-            "--file" => args.file = Some(value("--file")?),
-            "--dump-ir" => args.dump_ir = true,
-            "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
-            "--out" => args.out = PathBuf::from(value("--out")?),
-            "trace" if !args.trace && !positional_seen => {
-                // `run -- trace <workload>`: the next positional is the
-                // workload to trace (default compress).
-                args.trace = true;
-                args.bench = "compress".to_string();
-            }
-            other if !other.starts_with("--") && !positional_seen => {
-                args.bench = other.to_string();
-                positional_seen = true;
-            }
-            other => return Err(format!("unknown argument `{other}`")),
-        }
+fn sim_config(flags: &Flags) -> SimConfig {
+    let mut cfg = SimConfig::with_pus(flags.pus);
+    if flags.in_order {
+        cfg = cfg.in_order();
     }
-    Ok(args)
+    if !flags.dead_reg {
+        cfg = cfg.without_dead_reg_analysis();
+    }
+    cfg
 }
 
-fn run_one(name: &str, program: &Program, args: &Args) {
-    let sel = args.strategy.selector(args.targets).select(program);
-    if args.dump_ir {
+fn run_one(name: &str, program: &Program, flags: &Flags) {
+    let sel = flags.strategy.selector(flags.targets).select(program);
+    if flags.dump_ir {
         print!("{}", ms_ir::write_program(&sel.program));
         return;
     }
-    let mut cfg = SimConfig::with_pus(args.pus);
-    if args.in_order {
-        cfg = cfg.in_order();
-    }
-    if !args.dead_reg {
-        cfg = cfg.without_dead_reg_analysis();
-    }
-    let stats = run_selection(&sel, cfg, args.insts, args.seed);
-    if args.json {
+    let insts = flags.insts.unwrap_or(DEFAULT_TRACE_INSTS);
+    let stats = run_selection(&sel, sim_config(flags), insts, flags.seed);
+    if flags.json {
         println!(
             "{{\"bench\":\"{name}\",\"strategy\":\"{}\",\"stats\":{}}}",
-            args.strategy.label(),
+            flags.strategy.label(),
             stats.to_json()
         );
         return;
     }
     println!(
         "── {name} [{}] {} PUs {} ──",
-        args.strategy.label(),
-        args.pus,
-        if args.in_order { "in-order" } else { "out-of-order" }
+        flags.strategy.label(),
+        flags.pus,
+        if flags.in_order { "in-order" } else { "out-of-order" }
     );
     println!("{stats}");
+}
+
+fn unknown_benchmark(name: &str) -> ! {
+    eprintln!("unknown benchmark `{name}`; benchmarks:");
+    for w in suite() {
+        eprintln!("  {}", w.name);
+    }
+    eprintln!("sweeps: {}", SWEEP_NAMES.join(", "));
+    eprintln!("(see `run -- help`)");
+    std::process::exit(2);
+}
+
+fn write_or_die(path: &Path, body: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
 }
 
 /// Runs one traced simulation (`run -- trace <workload>`): prints the
 /// attribution tables and writes the JSONL + Chrome trace artifacts under
 /// `<out>/trace/`.
-fn run_trace(args: &Args) {
-    let w = match by_name(&args.bench) {
-        Some(w) => w,
-        None => {
-            eprintln!("unknown benchmark `{}`; benchmarks:", args.bench);
-            for w in suite() {
-                eprintln!("  {}", w.name);
-            }
-            std::process::exit(2);
-        }
-    };
+fn run_trace(bench: &str, flags: &Flags) {
+    let Some(w) = by_name(bench) else { unknown_benchmark(bench) };
     let program = w.build();
-    let sel = args.strategy.selector(args.targets).select(&program);
-    let mut cfg = SimConfig::with_pus(args.pus);
-    if args.in_order {
-        cfg = cfg.in_order();
-    }
-    if !args.dead_reg {
-        cfg = cfg.without_dead_reg_analysis();
-    }
-    let art = trace_selection(&sel, cfg, args.insts, args.seed);
-    let dir = args.out.join("trace");
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("error: cannot create {}: {e}", dir.display());
-        std::process::exit(1);
-    }
-    let stem = format!("{}-{}", w.name, args.strategy.label());
+    let sel = flags.strategy.selector(flags.targets).select(&program);
+    let insts = flags.insts.unwrap_or(DEFAULT_TRACE_INSTS);
+    let art = trace_selection(&sel, sim_config(flags), insts, flags.seed);
+    let dir = flags.out.join("trace");
+    let stem = format!("{}-{}", w.name, flags.strategy.label());
     let jsonl_path = dir.join(format!("{stem}.jsonl"));
     let chrome_path = dir.join(format!("{stem}.chrome.json"));
-    for (path, body) in [(&jsonl_path, &art.jsonl), (&chrome_path, &art.chrome)] {
-        if let Err(e) = std::fs::write(path, body) {
-            eprintln!("error: cannot write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    }
+    write_or_die(&jsonl_path, &art.jsonl);
+    write_or_die(&chrome_path, &art.chrome);
     println!(
         "── trace {} [{}] {} PUs {} ──",
         w.name,
-        args.strategy.label(),
-        args.pus,
-        if args.in_order { "in-order" } else { "out-of-order" }
+        flags.strategy.label(),
+        flags.pus,
+        if flags.in_order { "in-order" } else { "out-of-order" }
     );
     println!("{}", art.stats);
     print!("{}", art.tables);
@@ -213,18 +138,18 @@ fn run_trace(args: &Args) {
 }
 
 /// Runs the named sweeps, printing each report and noting its artifacts.
-fn run_sweeps(names: &[&str], args: &Args) {
+fn run_sweeps(names: &[&str], flags: &Flags) {
     for (i, name) in names.iter().enumerate() {
         if i > 0 {
             println!();
         }
-        match run_sweep(name, args.jobs, &args.out) {
+        match run_sweep(name, flags.jobs, &flags.out) {
             Ok(Some(report)) => {
                 print!("{}", report.text);
                 println!(
                     "[{} cells -> {}/{}/*.json]",
                     report.cells,
-                    args.out.display(),
+                    flags.out.display(),
                     report.name
                 );
             }
@@ -237,19 +162,107 @@ fn run_sweeps(names: &[&str], args: &Args) {
     }
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
+/// `run -- perf`: profile the canonical cells, write the
+/// `BENCH_<gitshort>.json` trajectory point and the Chrome pipeline
+/// view, and (with `--baseline`) gate against a previous document.
+fn run_perf(flags: &Flags) {
+    let opts = PerfOptions {
+        reps: flags.reps,
+        insts: flags.insts.unwrap_or(PerfOptions::default().insts),
+    };
+    let doc = perfcmd::run_perf(&opts);
+    print!("{}", doc.summary);
+
+    let bench_path = flags
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", perfcmd::git_short()).into());
+    write_or_die(&bench_path, &(doc.json.clone() + "\n"));
+    let chrome_path = flags.out.join("perf").join("pipeline.chrome.json");
+    write_or_die(&chrome_path, &doc.chrome);
+    println!("[perf doc     -> {}]", bench_path.display());
+    println!("[chrome trace -> {}]", chrome_path.display());
+
+    let Some(baseline_path) = &flags.baseline else { return };
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("usage: run [sweeps|<sweep>|trace <benchmark>|benchmark|all] [--jobs N] [--out DIR]");
-            eprintln!("           [--strategy bb|cf|dd|ts] [--pus N] [--in-order] [--insts N]");
-            eprintln!("           [--seed N] [--targets N] [--no-dead-reg] [--json]");
-            eprintln!("sweeps: {}", SWEEP_NAMES.join(", "));
+            eprintln!("error: cannot read {}: {e}", baseline_path.display());
             std::process::exit(2);
         }
     };
-    if let Some(path) = &args.file {
+    let parse = |what: &str, text: &str| match ms_prof::jsonv::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {what}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = parse(&baseline_path.display().to_string(), &baseline_text);
+    let current = parse("current perf doc", &doc.json);
+    match perfcmd::compare(&baseline, &current, flags.max_regress, flags.noise_floor_ns) {
+        Ok(cmp) => {
+            println!("── regression gate vs {} ──", baseline_path.display());
+            print!("{}", cmp.table);
+            if cmp.regressions.is_empty() {
+                println!(
+                    "gate passed (threshold {:.1}%, noise floor {} ns)",
+                    flags.max_regress, flags.noise_floor_ns
+                );
+            } else {
+                eprintln!(
+                    "error: {} phase(s) regressed beyond {:.1}%",
+                    cmp.regressions.len(),
+                    flags.max_regress
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `run -- perf-validate <file>`: schema-check one perf document.
+fn run_perf_validate(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let doc = match ms_prof::jsonv::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = perfcmd::validate(&doc) {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{path}: valid ms-perf document (schema v{})", perfcmd::PERF_SCHEMA_VERSION);
+}
+
+fn main() {
+    let (positionals, flags) = match cli::parse(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", cli::help_text());
+            std::process::exit(2);
+        }
+    };
+    let cmd = positionals.first().map(String::as_str).unwrap_or("all");
+    if cmd == "help" {
+        print!("{}", cli::help_text());
+        return;
+    }
+    if let Some(path) = &flags.file {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
@@ -264,25 +277,32 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        run_one(path, &program, &args);
-    } else if args.trace {
-        run_trace(&args);
-    } else if args.bench == "sweeps" {
-        run_sweeps(&SWEEP_NAMES, &args);
-    } else if SWEEP_NAMES.contains(&args.bench.as_str()) {
-        run_sweeps(&[args.bench.as_str()], &args);
-    } else if args.bench == "all" {
-        for w in suite() {
-            run_one(w.name, &w.build(), &args);
+        run_one(path, &program, &flags);
+        return;
+    }
+    match cmd {
+        "perf" => run_perf(&flags),
+        "perf-validate" => match positionals.get(1) {
+            Some(path) => run_perf_validate(path),
+            None => {
+                eprintln!("error: perf-validate needs a file (see `run -- help`)");
+                std::process::exit(2);
+            }
+        },
+        "trace" => {
+            let bench = positionals.get(1).map(String::as_str).unwrap_or("compress");
+            run_trace(bench, &flags);
         }
-    } else if let Some(w) = by_name(&args.bench) {
-        run_one(w.name, &w.build(), &args);
-    } else {
-        eprintln!("unknown benchmark or sweep `{}`; benchmarks:", args.bench);
-        for w in suite() {
-            eprintln!("  {}", w.name);
+        "sweeps" => run_sweeps(&SWEEP_NAMES, &flags),
+        name if SWEEP_NAMES.contains(&name) => run_sweeps(&[name], &flags),
+        "all" => {
+            for w in suite() {
+                run_one(w.name, &w.build(), &flags);
+            }
         }
-        eprintln!("sweeps: {}", SWEEP_NAMES.join(", "));
-        std::process::exit(2);
+        name => match by_name(name) {
+            Some(w) => run_one(w.name, &w.build(), &flags),
+            None => unknown_benchmark(name),
+        },
     }
 }

@@ -1,0 +1,260 @@
+//! The one flag parser every `run` subcommand shares, plus `run --
+//! help`.
+//!
+//! Historically the sweep, trace and single-run paths each interpreted
+//! their flags inline; this module owns the complete flag vocabulary
+//! (`--out` / `--jobs` included) so every subcommand accepts the same
+//! spellings, and renders the help text that names each subcommand with
+//! the schema version of the artifact it writes.
+
+use std::path::PathBuf;
+
+use crate::perfcmd::{DEFAULT_MAX_REGRESS_PCT, DEFAULT_NOISE_FLOOR_NS, DEFAULT_PERF_REPS};
+use crate::sweeps::SWEEP_NAMES;
+use crate::Heuristic;
+
+/// Every flag any `run` subcommand accepts, with its default. Flags
+/// meaningless to a given subcommand are accepted and ignored (so
+/// wrapper scripts can pass one flag set everywhere).
+#[derive(Debug, Clone)]
+pub struct Flags {
+    /// `--strategy bb|cf|dd|ts` (default cf).
+    pub strategy: Heuristic,
+    /// `--pus N` (default 4).
+    pub pus: usize,
+    /// `--in-order`.
+    pub in_order: bool,
+    /// `--insts N`; `None` lets each subcommand pick its default
+    /// (100 000 for single runs and traces, the sweep budget for perf).
+    pub insts: Option<usize>,
+    /// `--seed N` (default [`crate::DEFAULT_SEED`]).
+    pub seed: u64,
+    /// `--targets N` (default 4).
+    pub targets: usize,
+    /// `--no-dead-reg` clears this (default true).
+    pub dead_reg: bool,
+    /// `--json` (single-run machine-readable output).
+    pub json: bool,
+    /// `--file path.msir` (run a textual-IR program).
+    pub file: Option<String>,
+    /// `--dump-ir`.
+    pub dump_ir: bool,
+    /// `--jobs N` (default: available cores).
+    pub jobs: usize,
+    /// `--out DIR` (default `target/experiments`).
+    pub out: PathBuf,
+    /// `--reps N`: timed repetitions for `perf` (default
+    /// [`DEFAULT_PERF_REPS`]).
+    pub reps: usize,
+    /// `--baseline FILE`: enable the perf-regression gate against a
+    /// previous `BENCH_*.json`.
+    pub baseline: Option<PathBuf>,
+    /// `--max-regress PCT`: per-phase regression threshold (default
+    /// [`DEFAULT_MAX_REGRESS_PCT`]).
+    pub max_regress: f64,
+    /// `--noise-floor-ns N`: baseline phases faster than this are not
+    /// gated (default [`DEFAULT_NOISE_FLOOR_NS`]).
+    pub noise_floor_ns: u64,
+    /// `--bench-out FILE`: where `perf` writes the `BENCH_*.json`
+    /// (default `BENCH_<gitshort>.json` in the current directory).
+    pub bench_out: Option<PathBuf>,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            strategy: Heuristic::ControlFlow,
+            pus: 4,
+            in_order: false,
+            insts: None,
+            seed: crate::DEFAULT_SEED,
+            targets: 4,
+            dead_reg: true,
+            json: false,
+            file: None,
+            dump_ir: false,
+            jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            out: PathBuf::from("target/experiments"),
+            reps: DEFAULT_PERF_REPS,
+            baseline: None,
+            max_regress: DEFAULT_MAX_REGRESS_PCT,
+            noise_floor_ns: DEFAULT_NOISE_FLOOR_NS,
+            bench_out: None,
+        }
+    }
+}
+
+/// Parses an argument stream into positional words (subcommand and its
+/// operands, in order) and the shared [`Flags`].
+pub fn parse(args: impl Iterator<Item = String>) -> Result<(Vec<String>, Flags), String> {
+    let mut flags = Flags::default();
+    let mut positionals = Vec::new();
+    let mut it = args;
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match arg.as_str() {
+            "--strategy" => {
+                flags.strategy = match value("--strategy")?.as_str() {
+                    "bb" => Heuristic::BasicBlock,
+                    "cf" => Heuristic::ControlFlow,
+                    "dd" => Heuristic::DataDependence,
+                    "ts" => Heuristic::TaskSize,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                }
+            }
+            "--pus" => flags.pus = value("--pus")?.parse().map_err(|e| format!("--pus: {e}"))?,
+            "--in-order" => flags.in_order = true,
+            "--insts" => {
+                flags.insts = Some(value("--insts")?.parse().map_err(|e| format!("--insts: {e}"))?)
+            }
+            "--seed" => {
+                flags.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--targets" => {
+                flags.targets =
+                    value("--targets")?.parse().map_err(|e| format!("--targets: {e}"))?
+            }
+            "--no-dead-reg" => flags.dead_reg = false,
+            "--json" => flags.json = true,
+            "--file" => flags.file = Some(value("--file")?),
+            "--dump-ir" => flags.dump_ir = true,
+            "--jobs" => {
+                flags.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--out" => flags.out = PathBuf::from(value("--out")?),
+            "--reps" => {
+                flags.reps = value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?;
+                if flags.reps == 0 {
+                    return Err("--reps must be at least 1".to_string());
+                }
+            }
+            "--baseline" => flags.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--max-regress" => {
+                flags.max_regress =
+                    value("--max-regress")?.parse().map_err(|e| format!("--max-regress: {e}"))?
+            }
+            "--noise-floor-ns" => {
+                flags.noise_floor_ns = value("--noise-floor-ns")?
+                    .parse()
+                    .map_err(|e| format!("--noise-floor-ns: {e}"))?
+            }
+            "--bench-out" => flags.bench_out = Some(PathBuf::from(value("--bench-out")?)),
+            "-h" | "--help" => positionals.insert(0, "help".to_string()),
+            other if !other.starts_with("--") => positionals.push(other.to_string()),
+            other => return Err(format!("unknown argument `{other}` (see `run -- help`)")),
+        }
+    }
+    Ok((positionals, flags))
+}
+
+/// The `run -- help` text: every subcommand, the artifact it writes,
+/// and that artifact's schema version.
+pub fn help_text() -> String {
+    format!(
+        "run — the Multiscalar experiment driver (see EXPERIMENTS.md)
+
+subcommands
+  <benchmark> | all      one simulation; prints SimStats (--json for one-line JSON)
+  sweeps                 all eight experiment grids, in order
+  {sweeps}
+                         one grid -> <out>/<sweep>/*.json      [metrics schema v{metrics}]
+  trace <benchmark>      one traced run -> <out>/trace/<bench>-<strategy>.jsonl
+                         + .chrome.json, plus attribution tables [trace schema v{trace}]
+  perf                   profile the canonical cells -> BENCH_<gitshort>.json
+                         + <out>/perf/pipeline.chrome.json      [perf schema v{perf}]
+  perf-validate <file>   check a BENCH_*.json against the perf schema, exit non-zero
+                         on a mismatch
+  help                   this text
+
+shared flags      --out DIR (default target/experiments)   --jobs N (default: cores)
+single-run flags  --strategy bb|cf|dd|ts  --pus N  --in-order  --insts N  --seed N
+                  --targets N  --no-dead-reg  --json  --file path.msir  --dump-ir
+perf flags        --reps N (default {reps})  --insts N  --bench-out FILE
+                  --baseline FILE  --max-regress PCT (default {regress})
+                  --noise-floor-ns N (default {floor})
+
+The perf-regression gate: `run -- perf --baseline BENCH_old.json` exits non-zero
+if any phase slower than the noise floor regressed by more than --max-regress
+percent. docs/PROFILING.md documents the BENCH_*.json trajectory convention.
+",
+        sweeps = SWEEP_NAMES.join(" | "),
+        metrics = crate::sweeps::SCHEMA_VERSION,
+        trace = ms_sim::TRACE_SCHEMA_VERSION,
+        perf = crate::perfcmd::PERF_SCHEMA_VERSION,
+        reps = DEFAULT_PERF_REPS,
+        regress = DEFAULT_MAX_REGRESS_PCT,
+        floor = DEFAULT_NOISE_FLOOR_NS,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(words: &[&str]) -> (Vec<String>, Flags) {
+        parse(words.iter().map(|s| s.to_string())).expect("parse")
+    }
+
+    #[test]
+    fn defaults_and_positional_order() {
+        let (pos, flags) = parse_ok(&["trace", "compress", "--pus", "8"]);
+        assert_eq!(pos, ["trace", "compress"]);
+        assert_eq!(flags.pus, 8);
+        assert_eq!(flags.insts, None);
+        assert!(flags.dead_reg);
+    }
+
+    #[test]
+    fn every_subcommand_shares_out_and_jobs() {
+        for cmd in ["sweeps", "figure5", "trace", "perf", "compress"] {
+            let (pos, flags) = parse_ok(&[cmd, "--out", "/tmp/x", "--jobs", "3"]);
+            assert_eq!(pos[0], cmd);
+            assert_eq!(flags.out, PathBuf::from("/tmp/x"));
+            assert_eq!(flags.jobs, 3);
+        }
+    }
+
+    #[test]
+    fn perf_flags_parse() {
+        let (_, flags) = parse_ok(&[
+            "perf",
+            "--reps",
+            "3",
+            "--baseline",
+            "BENCH_old.json",
+            "--max-regress",
+            "12.5",
+            "--noise-floor-ns",
+            "1000",
+            "--bench-out",
+            "/tmp/BENCH_new.json",
+        ]);
+        assert_eq!(flags.reps, 3);
+        assert_eq!(flags.baseline, Some(PathBuf::from("BENCH_old.json")));
+        assert_eq!(flags.max_regress, 12.5);
+        assert_eq!(flags.noise_floor_ns, 1000);
+        assert_eq!(flags.bench_out, Some(PathBuf::from("/tmp/BENCH_new.json")));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_zero_reps() {
+        assert!(parse(["--frobnicate".to_string()].into_iter()).is_err());
+        assert!(
+            parse(["perf".to_string(), "--reps".to_string(), "0".to_string()].into_iter()).is_err()
+        );
+    }
+
+    #[test]
+    fn help_lists_every_subcommand_and_schema_version() {
+        let text = help_text();
+        for cmd in ["sweeps", "trace", "perf", "perf-validate", "help", "all"] {
+            assert!(text.contains(cmd), "help must mention `{cmd}`");
+        }
+        for sweep in SWEEP_NAMES {
+            assert!(text.contains(sweep), "help must mention sweep `{sweep}`");
+        }
+        assert!(text.contains(&format!("metrics schema v{}", crate::sweeps::SCHEMA_VERSION)));
+        assert!(text.contains(&format!("trace schema v{}", ms_sim::TRACE_SCHEMA_VERSION)));
+        assert!(text.contains(&format!("perf schema v{}", crate::perfcmd::PERF_SCHEMA_VERSION)));
+    }
+}

@@ -12,6 +12,11 @@
 //! The `run -- trace` subcommand ([`tracecmd`]) runs one cell with the
 //! simulator's event trace on, writing a JSONL event trace plus a Chrome
 //! `trace_event` file and printing squash/stall attribution tables.
+//! The `run -- perf` subcommand ([`perfcmd`]) runs the canonical cells
+//! under the `ms-prof` pipeline profiler, writes the schema-versioned
+//! `BENCH_<gitshort>.json` perf trajectory, and gates against a
+//! baseline (`--baseline`). Every subcommand shares one flag parser
+//! ([`cli`]) and one timing policy ([`microbench`]).
 //!
 //! This crate is the *reporting* stage of the data flow — everything
 //! upstream (IR → selection → trace → simulation) stays in the library
@@ -23,9 +28,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod harness;
 pub mod json;
 pub mod microbench;
+pub mod perfcmd;
 pub mod sweeps;
 pub mod tracecmd;
 

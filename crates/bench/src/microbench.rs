@@ -1,19 +1,48 @@
-//! A minimal, dependency-free micro-benchmark timer.
+//! A minimal, dependency-free micro-benchmark timer, and the shared
+//! timing policy behind it.
 //!
 //! The repository builds with no registry access, so the `benches/`
 //! targets use this instead of criterion: warm up, run timed batches,
 //! report the median per-iteration time. Invoke with `cargo bench -p
 //! ms-bench`. The numbers are for relative comparisons on one machine,
 //! not statistically rigorous estimation.
+//!
+//! The *policy* pieces — one untimed warm-up before measuring, then the
+//! [`median`] of repeated samples — are exported so `run -- perf`
+//! applies the identical discipline to whole-pipeline phase timings
+//! (see [`crate::perfcmd`]): one place decides how this repository
+//! turns noisy wall-clock samples into a reported number.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 /// Number of timed batches per measurement (the median is reported).
-const BATCHES: usize = 15;
+pub const BATCHES: usize = 15;
 
 /// Target wall-clock per batch.
-const BATCH_BUDGET: Duration = Duration::from_millis(120);
+pub const BATCH_BUDGET: Duration = Duration::from_millis(120);
+
+/// The median of a sample set: sorts and takes the middle element
+/// (upper middle for even counts). Every reported time in this
+/// repository — micro-benchmark iterations and `run -- perf` phase
+/// totals alike — is a median, never a mean: medians shrug off the
+/// one-off scheduling hiccups that dominate wall-clock noise.
+///
+/// # Panics
+///
+/// Panics on an empty sample set.
+pub fn median(mut samples: Vec<f64>) -> f64 {
+    assert!(!samples.is_empty(), "median of zero samples");
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Batch sizing from one warm-up observation: the iteration count that
+/// fills [`BATCH_BUDGET`] given a single warm-up run took `once`.
+pub fn calibrate_iters(once: Duration) -> usize {
+    let once = once.max(Duration::from_nanos(50));
+    (BATCH_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize
+}
 
 /// Times `f`, printing `name`, median per-iteration time, and an
 /// optional throughput in elements/second.
@@ -21,14 +50,12 @@ const BATCH_BUDGET: Duration = Duration::from_millis(120);
 /// The closure's return value is passed through [`black_box`] so the
 /// work is not optimised away.
 pub fn bench<T>(name: &str, elements: Option<u64>, mut f: impl FnMut() -> T) {
-    // Warm-up and batch sizing: find an iteration count that fills the
-    // batch budget.
+    // Warm-up doubles as batch-size calibration.
     let start = Instant::now();
     black_box(f());
-    let once = start.elapsed().max(Duration::from_nanos(50));
-    let iters = (BATCH_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+    let iters = calibrate_iters(start.elapsed());
 
-    let mut per_iter: Vec<f64> = (0..BATCHES)
+    let per_iter: Vec<f64> = (0..BATCHES)
         .map(|_| {
             let t0 = Instant::now();
             for _ in 0..iters {
@@ -37,8 +64,7 @@ pub fn bench<T>(name: &str, elements: Option<u64>, mut f: impl FnMut() -> T) {
             t0.elapsed().as_secs_f64() / iters as f64
         })
         .collect();
-    per_iter.sort_by(|a, b| a.total_cmp(b));
-    let median = per_iter[per_iter.len() / 2];
+    let median = median(per_iter);
 
     let time = if median >= 1e-3 {
         format!("{:.3} ms", median * 1e3)
@@ -64,5 +90,20 @@ mod tests {
     fn bench_runs_and_returns() {
         // Smoke test: must terminate quickly on a trivial closure.
         bench("noop", Some(1), || 1 + 1);
+    }
+
+    #[test]
+    fn median_is_order_insensitive_and_takes_middle() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![2.0, 1.0]), 2.0);
+        assert_eq!(median(vec![5.0]), 5.0);
+    }
+
+    #[test]
+    fn calibrate_clamps_to_sane_iteration_counts() {
+        assert_eq!(calibrate_iters(Duration::from_secs(10)), 1);
+        assert_eq!(calibrate_iters(Duration::ZERO), 1_000_000);
+        let iters = calibrate_iters(Duration::from_millis(12));
+        assert_eq!(iters, 10, "120ms budget / 12ms per run");
     }
 }

@@ -16,6 +16,7 @@ use ms_ir::{BlockId, Function, FunctionBuilder, Opcode, Program, ProgramBuilder,
 /// further control flow) is flattened. Runs to a fixpoint, so nested
 /// diamonds collapse inside-out.
 pub fn if_convert(program: &Program, max_arm: usize) -> Program {
+    let _prof = ms_prof::span("select.if_convert");
     let mut pb = ProgramBuilder::new();
     for g in program.addr_gens() {
         pb.add_addr_gen(g.clone());

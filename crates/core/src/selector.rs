@@ -163,6 +163,7 @@ impl TaskSelector {
     /// valid for — identical to the input unless the task-size heuristic
     /// transformed it.
     pub fn select(&self, program: &Program) -> Selection {
+        let prof = ms_prof::span("select");
         let (program, included_calls) = match &self.task_size {
             Some(p) => apply_task_size(program, p),
             None => (program.clone(), BTreeSet::new()),
@@ -182,6 +183,20 @@ impl TaskSelector {
         };
         let partition = TaskPartition::new(funcs, included_calls, label);
         debug_assert_eq!(partition.validate(&program).map_err(|e| e.to_string()), Ok(()));
+        if ms_prof::is_enabled() {
+            let mut blocks = 0u64;
+            let mut tasks = 0u64;
+            for fp in partition.funcs() {
+                for task in fp.tasks() {
+                    tasks += 1;
+                    let n = task.blocks().len() as u64;
+                    blocks += n;
+                    ms_prof::hist_record("select.task_blocks", n);
+                }
+            }
+            prof.add_items(blocks);
+            ms_prof::counter_add("select.tasks", tasks);
+        }
         Selection { program, partition }
     }
 

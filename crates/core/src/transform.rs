@@ -43,6 +43,7 @@ pub fn apply_task_size(
     program: &Program,
     params: &TaskSizeParams,
 ) -> (Program, BTreeSet<(FuncId, BlockId)>) {
+    let _prof = ms_prof::span("select.task_size");
     // 1. Unroll small loops, function by function.
     let mut pb = ProgramBuilder::new();
     for g in program.addr_gens() {

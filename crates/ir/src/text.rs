@@ -47,6 +47,7 @@ use crate::reg::{Reg, RegClass};
 
 /// Serialises `program` into the textual format.
 pub fn write_program(program: &Program) -> String {
+    let _prof = ms_prof::span("ir.write");
     let mut out = String::new();
     let fname = |f: FuncId| program.function(f).name().to_string();
     let _ = writeln!(out, "program entry @{}", fname(program.entry()));
@@ -243,6 +244,7 @@ fn parse_opcode(tok: &str, line: usize) -> Result<Opcode, ParseError> {
 /// Returns a [`ParseError`] with a line number for syntax problems, and
 /// wraps [`BuildError`](crate::BuildError)s from program assembly.
 pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let _prof = ms_prof::span("ir.parse");
     // Pass 1: collect function names (so calls can forward-reference)
     // and the entry name.
     let mut entry_name: Option<String> = None;

@@ -120,7 +120,7 @@ impl<'a> Simulator<'a> {
     /// bookkeeping is allocated.
     pub fn run_with_sink<S: TraceSink>(&self, trace: &Trace, sink: &mut S) -> SimStats {
         let tasks = split_tasks(trace, self.program, self.partition);
-        Engine::new(&self.config, self.program, self.partition, trace).run(&tasks, sink)
+        self.run_tasks_with_sink(trace, &tasks, sink)
     }
 
     /// [`Simulator::run_tasks`] with an event sink.
@@ -130,7 +130,15 @@ impl<'a> Simulator<'a> {
         tasks: &[DynTask],
         sink: &mut S,
     ) -> SimStats {
-        Engine::new(&self.config, self.program, self.partition, trace).run(tasks, sink)
+        // The span wraps the whole engine run; the per-instruction loop
+        // inside stays untouched (the `prof_null` test pins that the
+        // disabled profiler adds no allocations here).
+        let prof = ms_prof::span("sim.run");
+        let stats = Engine::new(&self.config, self.program, self.partition, trace).run(tasks, sink);
+        prof.add_items(stats.total_insts);
+        ms_prof::counter_add("sim.cycles", stats.total_cycles);
+        ms_prof::counter_add("sim.dyn_tasks", stats.num_dyn_tasks as u64);
+        stats
     }
 
     /// Runs the trace and additionally returns the per-task time line

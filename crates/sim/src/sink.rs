@@ -428,6 +428,71 @@ mod tests {
         assert!(text.contains("f0/t3"));
     }
 
+    /// An aggregator with `boundaries[i]` as dynamic task `i`'s static
+    /// boundary, given one ctrl squash per entry of `blames` (each
+    /// blaming that dynamic task), in the given order.
+    fn squashed(boundaries: &[(usize, usize)], blames: &[usize]) -> TraceAggregator {
+        let mut agg = TraceAggregator::new();
+        for (task, &(func, static_task)) in boundaries.iter().enumerate() {
+            agg.event(&SimEvent::TaskDispatch {
+                task,
+                pu: 0,
+                cycle: 0,
+                func,
+                static_task,
+                entry_pc: 0,
+                desc_miss: false,
+            });
+        }
+        for &blamed in blames {
+            agg.event(&SimEvent::TaskSquash {
+                task: blamed,
+                pu: 0,
+                cycle: 1,
+                attempt: 0,
+                cause: SquashCause::Control { predecessor: blamed, lost_cycles: 1 },
+            });
+        }
+        agg
+    }
+
+    #[test]
+    fn top_squash_boundaries_break_equal_totals_by_boundary() {
+        // Three boundaries, one squash each: totals all tie, so rows
+        // must come out in boundary order regardless of event order.
+        let boundaries = [(1usize, 0usize), (0, 9), (0, 1)];
+        let expected = [(0, 1), (0, 9), (1, 0)];
+        for blames in [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]] {
+            let agg = squashed(&boundaries, &blames);
+            let rows = agg.top_squash_boundaries(10);
+            let order: Vec<(usize, usize)> = rows.iter().map(|r| r.0).collect();
+            assert_eq!(order, expected, "insertion order {blames:?} changed the table");
+            // Truncation keeps the winners of the same deterministic order.
+            let top2: Vec<(usize, usize)> =
+                agg.top_squash_boundaries(2).iter().map(|r| r.0).collect();
+            assert_eq!(top2, expected[..2]);
+        }
+    }
+
+    #[test]
+    fn top_stall_arcs_break_equal_cycles_by_arc_key() {
+        // Dynamic tasks 0..3 map to distinct boundaries; arcs carry
+        // identical cycle counts so only the arc key can order them.
+        let boundaries = [(0usize, 2usize), (0, 1), (1, 0), (0, 3)];
+        let stalls: [(usize, usize, usize); 3] = [(3, 2, 7), (1, 0, 7), (2, 1, 7)];
+        let expected: Vec<(((usize, usize), (usize, usize), usize), u64)> =
+            vec![(((0, 1), (0, 2), 7), 5), (((0, 3), (1, 0), 7), 5), (((1, 0), (0, 1), 7), 5)];
+        for order in [[0usize, 1, 2], [2, 0, 1], [1, 2, 0]] {
+            let mut agg = squashed(&boundaries, &[]);
+            for &i in &order {
+                let (producer, task, reg) = stalls[i];
+                agg.event(&SimEvent::FwdStall { task, producer, reg, cycles: 5 });
+            }
+            assert_eq!(agg.top_stall_arcs(10), expected, "order {order:?} changed the table");
+            assert_eq!(agg.top_stall_arcs(1), expected[..1]);
+        }
+    }
+
     #[test]
     fn timeline_sink_collects_commits_only() {
         let mut sink = TimelineSink::new();

@@ -68,6 +68,7 @@ impl<'p> TraceGenerator<'p> {
     }
 
     fn run(&self, max_insts: usize, restart: bool) -> Trace {
+        let prof = ms_prof::span("trace.generate");
         let mut walker = Walker::new(self.program, self.seed);
         let mut steps: Vec<TraceStep> = Vec::new();
         let mut insts = 0usize;
@@ -87,6 +88,8 @@ impl<'p> TraceGenerator<'p> {
                 }
             }
         }
+        prof.add_items(insts as u64);
+        ms_prof::counter_add("trace.dyn_insts", insts as u64);
         Trace::new(steps, self.program)
     }
 }

@@ -63,7 +63,9 @@ impl DynTask {
 /// Panics (in debug builds) if the trace visits a block the partition
 /// does not cover — which [`TaskPartition::validate`] rules out.
 pub fn split_tasks(trace: &Trace, program: &Program, partition: &TaskPartition) -> Vec<DynTask> {
+    let prof = ms_prof::span("trace.split");
     let steps = trace.steps();
+    prof.add_items(steps.len() as u64);
     let mut out: Vec<DynTask> = Vec::new();
     if steps.is_empty() {
         return out;

@@ -62,12 +62,21 @@ pub struct Workload {
 impl Workload {
     /// Builds the program with the workload's default seed.
     pub fn build(&self) -> Program {
-        (self.build)(self.seed)
+        self.build_seeded(self.seed)
     }
 
     /// Builds the program with a custom seed (for sensitivity studies).
     pub fn build_seeded(&self, seed: u64) -> Program {
-        (self.build)(seed)
+        let prof = ms_prof::span("workloads.build");
+        let program = (self.build)(seed);
+        if ms_prof::is_enabled() {
+            let blocks: u64 =
+                program.func_ids().map(|f| program.function(f).num_blocks() as u64).sum();
+            prof.add_items(blocks);
+            ms_prof::counter_add("workloads.blocks", blocks);
+            ms_prof::counter_add("workloads.funcs", program.num_functions() as u64);
+        }
+        program
     }
 }
 

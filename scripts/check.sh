@@ -5,19 +5,24 @@
 #
 #   ./scripts/check.sh
 #
-# 1. release build of every crate (benches included),
+# 1. release build of every crate (benches and examples included),
 # 2. the full test suite on default features (`heavy-tests` scales the
 #    randomized suites up and is opt-in: cargo test --features heavy-tests),
 # 3. rustdoc with warnings denied (missing docs and broken intra-doc
 #    links fail the build),
 # 4. formatting,
-# 5. docs gate: the metric tables in EXPERIMENTS.md / docs/METRICS.md
-#    must only name fields that still exist in the source.
+# 5. docs gate: the metric tables in EXPERIMENTS.md / docs/METRICS.md /
+#    docs/PROFILING.md must only name fields that still exist in the
+#    source,
+# 6. perf smoke: `run -- perf --reps 1` must emit a BENCH document that
+#    passes its own schema validation (docs/PROFILING.md). Opt-in perf
+#    regression gate: set MS_PERF_BASELINE to a BENCH_*.json to also
+#    fail on phase regressions against it.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --workspace --release --benches"
-cargo build --workspace --release --benches
+echo "==> cargo build --workspace --release --benches --examples"
+cargo build --workspace --release --benches --examples
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
@@ -33,10 +38,10 @@ echo "==> docs gate (metric tables vs. source)"
 # metric docs must appear somewhere in the crates' source: a renamed or
 # removed counter/field must take its documentation row with it.
 docs_fail=0
-for doc in EXPERIMENTS.md docs/METRICS.md docs/TRACING.md; do
+for doc in EXPERIMENTS.md docs/METRICS.md docs/TRACING.md docs/PROFILING.md; do
     [ -f "$doc" ] || { echo "missing $doc"; docs_fail=1; continue; }
 done
-for doc in EXPERIMENTS.md docs/METRICS.md; do
+for doc in EXPERIMENTS.md docs/METRICS.md docs/PROFILING.md; do
     fields=$(grep -o '^| `[a-z][a-z0-9_]*`' "$doc" | sed 's/^| `//; s/`$//' | sort -u)
     for f in $fields; do
         if ! grep -rq "$f" crates/*/src; then
@@ -46,5 +51,17 @@ for doc in EXPERIMENTS.md docs/METRICS.md; do
     done
 done
 [ "$docs_fail" -eq 0 ] || { echo "docs gate failed"; exit 1; }
+
+echo "==> perf smoke (run -- perf --reps 1, schema-validated)"
+smoke_dir=target/perf-smoke
+rm -rf "$smoke_dir"
+smoke_args="--reps 1 --insts 2000 --bench-out $smoke_dir/BENCH_smoke.json --out $smoke_dir"
+if [ -n "${MS_PERF_BASELINE:-}" ]; then
+    echo "    (gating against $MS_PERF_BASELINE)"
+    smoke_args="$smoke_args --baseline $MS_PERF_BASELINE"
+fi
+# shellcheck disable=SC2086  # smoke_args is a flat flag list by construction
+cargo run -p ms-bench --release --bin run -q -- perf $smoke_args
+cargo run -p ms-bench --release --bin run -q -- perf-validate "$smoke_dir/BENCH_smoke.json"
 
 echo "All checks passed."
