@@ -52,6 +52,7 @@
 
 mod bitset;
 mod callgraph;
+mod context;
 mod defuse;
 mod dom;
 mod liveness;
@@ -62,6 +63,7 @@ mod reach;
 
 pub use bitset::BitSet;
 pub use callgraph::CallGraph;
+pub use context::{CacheStats, ProgramContext};
 pub use defuse::{DefSite, DefUseChains, DepEdge, UsePos, UseSite};
 pub use dom::Dominators;
 pub use liveness::Liveness;

@@ -1,0 +1,136 @@
+//! Concurrency contract of [`ProgramContext`]: threads racing on a cold
+//! cache compute each analysis exactly once, and every thread observes
+//! the same cached object.
+
+use std::collections::BTreeSet;
+use std::sync::Barrier;
+
+use ms_analysis::ProgramContext;
+use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, Program, ProgramBuilder, Reg, Terminator};
+
+/// Two functions (main + a callee) so per-function slots exist for more
+/// than one `FuncId`.
+fn two_function_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let m = pb.declare_function("main");
+    let h = pb.declare_function("helper");
+
+    let mut fb = FunctionBuilder::new("helper");
+    let b = fb.add_block();
+    fb.push_inst(b, Opcode::IMul.inst().dst(Reg::int(2)).src(Reg::int(2)));
+    fb.set_terminator(b, Terminator::Return);
+    pb.define_function(h, fb.finish(b).unwrap());
+
+    let mut fb = FunctionBuilder::new("main");
+    let entry = fb.add_block();
+    let body = fb.add_block();
+    let exit = fb.add_block();
+    fb.push_inst(body, Opcode::IAdd.inst().dst(Reg::int(1)).src(Reg::int(1)));
+    fb.set_terminator(entry, Terminator::Jump { target: body });
+    fb.set_terminator(
+        body,
+        Terminator::Branch {
+            taken: body,
+            fall: exit,
+            cond: vec![Reg::int(1)],
+            behavior: BranchBehavior::exact_loop(6),
+        },
+    );
+    fb.set_terminator(exit, Terminator::Call { callee: h, ret_to: entry });
+    pb.define_function(m, fb.finish(entry).unwrap());
+    pb.finish(m).unwrap()
+}
+
+/// N threads released by a barrier onto one cold context, all touching
+/// every slot: each analysis must be computed exactly once (misses ==
+/// slots), every other access must be a hit, and all threads must see
+/// pointer-identical results.
+#[test]
+fn racing_threads_compute_each_analysis_exactly_once() {
+    const THREADS: usize = 8;
+    // Repeat to give the race a chance to actually interleave.
+    for round in 0..16 {
+        let ctx = ProgramContext::new(two_function_program());
+        let funcs: Vec<_> = ctx.program().func_ids().collect();
+        // 6 per-function slots × 2 functions + profile + callgraph.
+        let slots = 6 * funcs.len() + 2;
+        let barrier = Barrier::new(THREADS);
+
+        let ptr_sets: Vec<BTreeSet<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        let mut ptrs = BTreeSet::new();
+                        for &f in &funcs {
+                            ptrs.insert(ctx.dom(f) as *const _ as usize);
+                            ptrs.insert(ctx.loops(f) as *const _ as usize);
+                            ptrs.insert(ctx.order(f) as *const _ as usize);
+                            ptrs.insert(ctx.defuse(f) as *const _ as usize);
+                            ptrs.insert(ctx.liveness(f) as *const _ as usize);
+                            ptrs.insert(ctx.reach(f) as *const _ as usize);
+                        }
+                        ptrs.insert(ctx.profile() as *const _ as usize);
+                        ptrs.insert(ctx.callgraph() as *const _ as usize);
+                        ptrs
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let stats = ctx.cache_stats();
+        assert_eq!(
+            stats.misses, slots as u64,
+            "round {round}: every slot must be computed exactly once"
+        );
+        // A race loser counts neither as hit nor miss, so hits can fall
+        // short of the remaining accesses but never exceed them — plus
+        // one nested `dom` access per `loops` computation.
+        assert!(
+            stats.hits <= (THREADS * slots - slots + funcs.len()) as u64,
+            "round {round}: more hits ({}) than non-computing accesses",
+            stats.hits
+        );
+        // Every thread saw the same cached objects.
+        for set in &ptr_sets {
+            assert_eq!(
+                set, &ptr_sets[0],
+                "round {round}: threads observed different cached objects"
+            );
+        }
+        assert_eq!(ptr_sets[0].len(), slots, "round {round}: distinct object per slot");
+    }
+}
+
+/// A warmed context serves every consumer without a single further miss,
+/// from any thread.
+#[test]
+fn warm_context_serves_only_hits_across_threads() {
+    let ctx = ProgramContext::new(two_function_program());
+    ctx.warm(true);
+    for f in ctx.program().func_ids() {
+        ctx.liveness(f); // warm(true) leaves liveness cold; fill it too.
+    }
+    ctx.callgraph();
+    let misses_before = ctx.cache_stats().misses;
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for f in ctx.program().func_ids() {
+                    ctx.dom(f);
+                    ctx.loops(f);
+                    ctx.order(f);
+                    ctx.defuse(f);
+                    ctx.liveness(f);
+                    ctx.reach(f);
+                }
+                ctx.profile();
+                ctx.callgraph();
+            });
+        }
+    });
+
+    assert_eq!(ctx.cache_stats().misses, misses_before, "warm context must never recompute");
+}

@@ -7,26 +7,39 @@
 //! cargo bench -p ms-bench --bench selection
 //! ```
 
+use ms_analysis::ProgramContext;
 use ms_bench::microbench::bench;
-use ms_tasksel::{TaskSelector, TaskSizeParams};
+use ms_tasksel::{SelectorBuilder, Strategy, TaskSizeParams};
 use ms_workloads::by_name;
 
 fn main() {
     for name in ["gcc", "tomcatv"] {
         let program = by_name(name).expect("known benchmark").build();
+        // Cold context per call: the analyses are part of the measured cost.
+        bench(&format!("task_selection/cold_context/{name}"), None, || {
+            SelectorBuilder::new(Strategy::ControlFlow)
+                .max_targets(4)
+                .build()
+                .select(&ProgramContext::new(program.clone()))
+        });
+        // Warm shared context: selection proper, analyses served from cache.
+        let ctx = ProgramContext::new(program);
+        ctx.warm(true);
         bench(&format!("task_selection/basic_block/{name}"), None, || {
-            TaskSelector::basic_block().select(&program)
+            SelectorBuilder::new(Strategy::BasicBlock).build().select(&ctx)
         });
         bench(&format!("task_selection/control_flow/{name}"), None, || {
-            TaskSelector::control_flow(4).select(&program)
+            SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx)
         });
         bench(&format!("task_selection/data_dependence/{name}"), None, || {
-            TaskSelector::data_dependence(4).select(&program)
+            SelectorBuilder::new(Strategy::DataDependence).max_targets(4).build().select(&ctx)
         });
         bench(&format!("task_selection/dd_task_size/{name}"), None, || {
-            TaskSelector::data_dependence(4)
-                .with_task_size(TaskSizeParams::default())
-                .select(&program)
+            SelectorBuilder::new(Strategy::DataDependence)
+                .max_targets(4)
+                .task_size(TaskSizeParams::default())
+                .build()
+                .select(&ctx)
         });
     }
 }

@@ -7,9 +7,10 @@
 //! cargo bench -p ms-bench --bench simulator
 //! ```
 
+use ms_analysis::ProgramContext;
 use ms_bench::microbench::bench;
 use ms_sim::{SimConfig, Simulator};
-use ms_tasksel::TaskSelector;
+use ms_tasksel::{SelectorBuilder, Strategy};
 use ms_trace::TraceGenerator;
 use ms_workloads::by_name;
 
@@ -17,7 +18,10 @@ fn main() {
     const INSTS: usize = 20_000;
     for name in ["perl", "applu"] {
         let program = by_name(name).expect("known benchmark").build();
-        let sel = TaskSelector::control_flow(4).select(&program);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(program));
         let trace = TraceGenerator::new(&sel.program, 1).generate(INSTS);
         for pus in [4usize, 8] {
             bench(&format!("simulator/{pus}pu/{name}"), Some(trace.num_insts() as u64), || {

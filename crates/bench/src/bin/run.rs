@@ -39,11 +39,13 @@
 
 use std::path::Path;
 
+use ms_analysis::ProgramContext;
 use ms_bench::cli::{self, Flags};
+use ms_bench::error::closest;
 use ms_bench::perfcmd::{self, PerfOptions};
-use ms_bench::sweeps::{run_sweep, SWEEP_NAMES};
+use ms_bench::sweeps::{run_sweep, SweepSpec, SWEEP_NAMES};
 use ms_bench::tracecmd::trace_selection;
-use ms_bench::{run_selection, DEFAULT_TRACE_INSTS};
+use ms_bench::{run_selection, BenchError, DEFAULT_TRACE_INSTS};
 use ms_ir::Program;
 use ms_sim::SimConfig;
 use ms_workloads::{by_name, suite};
@@ -59,8 +61,8 @@ fn sim_config(flags: &Flags) -> SimConfig {
     cfg
 }
 
-fn run_one(name: &str, program: &Program, flags: &Flags) {
-    let sel = flags.strategy.selector(flags.targets).select(program);
+fn run_one(name: &str, program: Program, flags: &Flags) {
+    let sel = flags.strategy.selector(flags.targets).select(&ProgramContext::new(program));
     if flags.dump_ir {
         print!("{}", ms_ir::write_program(&sel.program));
         return;
@@ -85,13 +87,33 @@ fn run_one(name: &str, program: &Program, flags: &Flags) {
 }
 
 fn unknown_benchmark(name: &str) -> ! {
-    eprintln!("unknown benchmark `{name}`; benchmarks:");
-    for w in suite() {
-        eprintln!("  {}", w.name);
+    // The name could be a misspelled sweep just as well as a misspelled
+    // benchmark — suggest the nearest match from either namespace.
+    if let Some(s) = closest(name, &SWEEP_NAMES) {
+        let e = BenchError::UnknownSweep { name: name.to_string(), suggestion: Some(s) };
+        eprintln!("error: {e}");
+    } else {
+        let benches: Vec<&'static str> = suite().iter().map(|w| w.name).collect();
+        let e = BenchError::UnknownBenchmark {
+            name: name.to_string(),
+            suggestion: closest(name, &benches),
+        };
+        eprintln!("error: {e}");
     }
-    eprintln!("sweeps: {}", SWEEP_NAMES.join(", "));
-    eprintln!("(see `run -- help`)");
+    eprintln!("(`run -- list` enumerates benchmarks and sweeps; see `run -- help`)");
     std::process::exit(2);
+}
+
+/// `run -- list`: the typed sweep registry and the workload suite.
+fn run_list() {
+    println!("sweeps (per-cell metrics artifacts under --out):");
+    for spec in SweepSpec::ALL {
+        println!("  {:<12} schema v{}  {}", spec.name(), spec.schema_version(), spec.describe());
+    }
+    println!("benchmarks (single runs; also the sweeps' workloads):");
+    for w in suite() {
+        println!("  {}", w.name);
+    }
 }
 
 fn write_or_die(path: &Path, body: &str) {
@@ -114,8 +136,8 @@ fn write_or_die(path: &Path, body: &str) {
 /// `<out>/trace/`.
 fn run_trace(bench: &str, flags: &Flags) {
     let Some(w) = by_name(bench) else { unknown_benchmark(bench) };
-    let program = w.build();
-    let sel = flags.strategy.selector(flags.targets).select(&program);
+    let ctx = ProgramContext::new(w.build());
+    let sel = flags.strategy.selector(flags.targets).select(&ctx);
     let insts = flags.insts.unwrap_or(DEFAULT_TRACE_INSTS);
     let art = trace_selection(&sel, sim_config(flags), insts, flags.seed);
     let dir = flags.out.join("trace");
@@ -137,14 +159,14 @@ fn run_trace(bench: &str, flags: &Flags) {
     println!("[chrome trace -> {}]", chrome_path.display());
 }
 
-/// Runs the named sweeps, printing each report and noting its artifacts.
-fn run_sweeps(names: &[&str], flags: &Flags) {
-    for (i, name) in names.iter().enumerate() {
+/// Runs the given sweeps, printing each report and noting its artifacts.
+fn run_sweeps(specs: &[SweepSpec], flags: &Flags) {
+    for (i, spec) in specs.iter().enumerate() {
         if i > 0 {
             println!();
         }
-        match run_sweep(name, flags.jobs, &flags.out) {
-            Ok(Some(report)) => {
+        match run_sweep(*spec, flags.jobs, &flags.out) {
+            Ok(report) => {
                 print!("{}", report.text);
                 println!(
                     "[{} cells -> {}/{}/*.json]",
@@ -153,9 +175,8 @@ fn run_sweeps(names: &[&str], flags: &Flags) {
                     report.name
                 );
             }
-            Ok(None) => unreachable!("sweep names are validated before dispatch"),
             Err(e) => {
-                eprintln!("error: sweep {name}: {e}");
+                eprintln!("error: sweep {}: {e}", spec.name());
                 std::process::exit(1);
             }
         }
@@ -277,10 +298,11 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        run_one(path, &program, &flags);
+        run_one(path, program, &flags);
         return;
     }
     match cmd {
+        "list" => run_list(),
         "perf" => run_perf(&flags),
         "perf-validate" => match positionals.get(1) {
             Some(path) => run_perf_validate(path),
@@ -293,15 +315,18 @@ fn main() {
             let bench = positionals.get(1).map(String::as_str).unwrap_or("compress");
             run_trace(bench, &flags);
         }
-        "sweeps" => run_sweeps(&SWEEP_NAMES, &flags),
-        name if SWEEP_NAMES.contains(&name) => run_sweeps(&[name], &flags),
+        "sweeps" => run_sweeps(&SweepSpec::ALL, &flags),
+        name if SWEEP_NAMES.contains(&name) => {
+            let spec = SweepSpec::parse(name).expect("name is in SWEEP_NAMES");
+            run_sweeps(&[spec], &flags);
+        }
         "all" => {
             for w in suite() {
-                run_one(w.name, &w.build(), &flags);
+                run_one(w.name, w.build(), &flags);
             }
         }
         name => match by_name(name) {
-            Some(w) => run_one(w.name, &w.build(), &flags),
+            Some(w) => run_one(w.name, w.build(), &flags),
             None => unknown_benchmark(name),
         },
     }

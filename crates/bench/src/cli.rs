@@ -9,6 +9,7 @@
 
 use std::path::PathBuf;
 
+use crate::error::BenchError;
 use crate::perfcmd::{DEFAULT_MAX_REGRESS_PCT, DEFAULT_NOISE_FLOOR_NS, DEFAULT_PERF_REPS};
 use crate::sweeps::SWEEP_NAMES;
 use crate::Heuristic;
@@ -86,12 +87,14 @@ impl Default for Flags {
 
 /// Parses an argument stream into positional words (subcommand and its
 /// operands, in order) and the shared [`Flags`].
-pub fn parse(args: impl Iterator<Item = String>) -> Result<(Vec<String>, Flags), String> {
+pub fn parse(args: impl Iterator<Item = String>) -> Result<(Vec<String>, Flags), BenchError> {
     let mut flags = Flags::default();
     let mut positionals = Vec::new();
     let mut it = args;
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| BenchError::Usage(format!("missing value for {name}")))
+        };
         match arg.as_str() {
             "--strategy" => {
                 flags.strategy = match value("--strategy")?.as_str() {
@@ -99,49 +102,68 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<(Vec<String>, Flags),
                     "cf" => Heuristic::ControlFlow,
                     "dd" => Heuristic::DataDependence,
                     "ts" => Heuristic::TaskSize,
-                    other => return Err(format!("unknown strategy `{other}`")),
+                    other => return Err(BenchError::Usage(format!("unknown strategy `{other}`"))),
                 }
             }
-            "--pus" => flags.pus = value("--pus")?.parse().map_err(|e| format!("--pus: {e}"))?,
+            "--pus" => {
+                flags.pus =
+                    value("--pus")?.parse().map_err(|e| BenchError::Usage(format!("--pus: {e}")))?
+            }
             "--in-order" => flags.in_order = true,
             "--insts" => {
-                flags.insts = Some(value("--insts")?.parse().map_err(|e| format!("--insts: {e}"))?)
+                flags.insts = Some(
+                    value("--insts")?
+                        .parse()
+                        .map_err(|e| BenchError::Usage(format!("--insts: {e}")))?,
+                )
             }
             "--seed" => {
-                flags.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                flags.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| BenchError::Usage(format!("--seed: {e}")))?
             }
             "--targets" => {
-                flags.targets =
-                    value("--targets")?.parse().map_err(|e| format!("--targets: {e}"))?
+                flags.targets = value("--targets")?
+                    .parse()
+                    .map_err(|e| BenchError::Usage(format!("--targets: {e}")))?
             }
             "--no-dead-reg" => flags.dead_reg = false,
             "--json" => flags.json = true,
             "--file" => flags.file = Some(value("--file")?),
             "--dump-ir" => flags.dump_ir = true,
             "--jobs" => {
-                flags.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?
+                flags.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| BenchError::Usage(format!("--jobs: {e}")))?
             }
             "--out" => flags.out = PathBuf::from(value("--out")?),
             "--reps" => {
-                flags.reps = value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?;
+                flags.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| BenchError::Usage(format!("--reps: {e}")))?;
                 if flags.reps == 0 {
-                    return Err("--reps must be at least 1".to_string());
+                    return Err(BenchError::Usage("--reps must be at least 1".into()));
                 }
             }
             "--baseline" => flags.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--max-regress" => {
-                flags.max_regress =
-                    value("--max-regress")?.parse().map_err(|e| format!("--max-regress: {e}"))?
+                flags.max_regress = value("--max-regress")?
+                    .parse()
+                    .map_err(|e| BenchError::Usage(format!("--max-regress: {e}")))?
             }
             "--noise-floor-ns" => {
                 flags.noise_floor_ns = value("--noise-floor-ns")?
                     .parse()
-                    .map_err(|e| format!("--noise-floor-ns: {e}"))?
+                    .map_err(|e| BenchError::Usage(format!("--noise-floor-ns: {e}")))?
             }
             "--bench-out" => flags.bench_out = Some(PathBuf::from(value("--bench-out")?)),
             "-h" | "--help" => positionals.insert(0, "help".to_string()),
             other if !other.starts_with("--") => positionals.push(other.to_string()),
-            other => return Err(format!("unknown argument `{other}` (see `run -- help`)")),
+            other => {
+                return Err(BenchError::Usage(format!(
+                    "unknown argument `{other}` (see `run -- help`)"
+                )))
+            }
         }
     }
     Ok((positionals, flags))
@@ -164,6 +186,7 @@ subcommands
                          + <out>/perf/pipeline.chrome.json      [perf schema v{perf}]
   perf-validate <file>   check a BENCH_*.json against the perf schema, exit non-zero
                          on a mismatch
+  list                   enumerate sweeps (with schema versions) and benchmarks
   help                   this text
 
 shared flags      --out DIR (default target/experiments)   --jobs N (default: cores)
@@ -247,7 +270,7 @@ mod tests {
     #[test]
     fn help_lists_every_subcommand_and_schema_version() {
         let text = help_text();
-        for cmd in ["sweeps", "trace", "perf", "perf-validate", "help", "all"] {
+        for cmd in ["sweeps", "trace", "perf", "perf-validate", "list", "help", "all"] {
             assert!(text.contains(cmd), "help must mention `{cmd}`");
         }
         for sweep in SWEEP_NAMES {

@@ -1,0 +1,137 @@
+//! The bench driver's crate-level error type.
+//!
+//! Everything the `run` binary and the sweep/perf machinery can fail
+//! with, as one enum implementing [`std::error::Error`] with `From`
+//! conversions — replacing the previous mix of `io::Result` misuse and
+//! ad-hoc `String` errors. Unknown-name variants carry a
+//! nearest-match suggestion computed by [`closest`].
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Any failure the bench driver can report.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// A filesystem failure reading or writing an artifact.
+    Io(io::Error),
+    /// An unknown sweep name, with the closest registered sweep if any
+    /// name is plausibly near.
+    UnknownSweep {
+        /// The name that failed to resolve.
+        name: String,
+        /// The nearest registered sweep name, if close enough to suggest.
+        suggestion: Option<&'static str>,
+    },
+    /// An unknown benchmark (workload) name, with a suggestion.
+    UnknownBenchmark {
+        /// The name that failed to resolve.
+        name: String,
+        /// The nearest suite workload name, if close enough to suggest.
+        suggestion: Option<&'static str>,
+    },
+    /// A malformed command line (unknown flag, missing or bad value).
+    Usage(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Io(e) => write!(f, "i/o error: {e}"),
+            BenchError::UnknownSweep { name, suggestion } => {
+                write!(f, "unknown sweep `{name}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                Ok(())
+            }
+            BenchError::UnknownBenchmark { name, suggestion } => {
+                write!(f, "unknown benchmark `{name}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                Ok(())
+            }
+            BenchError::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for BenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BenchError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for BenchError {
+    fn from(e: io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
+/// The candidate closest to `name` by edit distance, if within a
+/// suggestion-worthy bound (≤ 3 edits, and fewer than the name's own
+/// length — so wild guesses don't produce absurd suggestions).
+pub fn closest(name: &str, candidates: &[&'static str]) -> Option<&'static str> {
+    let best = candidates.iter().map(|c| (edit_distance(name, c), *c)).min()?;
+    (best.0 <= 3 && best.0 < name.len().max(1)).then_some(best.1)
+}
+
+/// Levenshtein distance, small-string implementation (both operands are
+/// short command-line words).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("figure5", "figure5"), 0);
+        assert_eq!(edit_distance("figure4", "figure5"), 1);
+        assert_eq!(edit_distance("tresholds", "thresholds"), 1);
+    }
+
+    #[test]
+    fn closest_suggests_near_names_only() {
+        let names = &["figure5", "table1", "thresholds"];
+        assert_eq!(closest("tresholds", names), Some("thresholds"));
+        assert_eq!(closest("figure", names), Some("figure5"));
+        assert_eq!(closest("zzzzzzzzzzzz", names), None);
+    }
+
+    #[test]
+    fn display_includes_suggestions() {
+        let e = BenchError::UnknownSweep { name: "figur5".into(), suggestion: Some("figure5") };
+        let s = e.to_string();
+        assert!(s.contains("figur5") && s.contains("did you mean") && s.contains("figure5"));
+        let e = BenchError::UnknownSweep { name: "x".into(), suggestion: None };
+        assert!(!e.to_string().contains("did you mean"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: BenchError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(e.source().is_some());
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod error;
 pub mod harness;
 pub mod json;
 pub mod microbench;
@@ -36,8 +37,11 @@ pub mod perfcmd;
 pub mod sweeps;
 pub mod tracecmd;
 
+pub use error::BenchError;
+
+use ms_analysis::ProgramContext;
 use ms_sim::{SimConfig, SimStats, Simulator};
-use ms_tasksel::{TaskSelector, TaskSizeParams};
+use ms_tasksel::{SelectorBuilder, Strategy, TaskSelector, TaskSizeParams};
 use ms_trace::TraceGenerator;
 use ms_workloads::Workload;
 
@@ -87,12 +91,17 @@ impl Heuristic {
     /// The configured selector (target limit `n`).
     pub fn selector(&self, n: usize) -> TaskSelector {
         match self {
-            Heuristic::BasicBlock => TaskSelector::basic_block(),
-            Heuristic::ControlFlow => TaskSelector::control_flow(n),
-            Heuristic::DataDependence => TaskSelector::data_dependence(n),
-            Heuristic::TaskSize => {
-                TaskSelector::data_dependence(n).with_task_size(TaskSizeParams::default())
+            Heuristic::BasicBlock => SelectorBuilder::new(Strategy::BasicBlock).build(),
+            Heuristic::ControlFlow => {
+                SelectorBuilder::new(Strategy::ControlFlow).max_targets(n).build()
             }
+            Heuristic::DataDependence => {
+                SelectorBuilder::new(Strategy::DataDependence).max_targets(n).build()
+            }
+            Heuristic::TaskSize => SelectorBuilder::new(Strategy::DataDependence)
+                .max_targets(n)
+                .task_size(TaskSizeParams::default())
+                .build(),
         }
     }
 }
@@ -105,8 +114,8 @@ pub fn run_one(
     trace_insts: usize,
     seed: u64,
 ) -> SimStats {
-    let program = workload.build();
-    let sel = heuristic.selector(4).select(&program);
+    let ctx = ProgramContext::new(workload.build());
+    let sel = heuristic.selector(4).select(&ctx);
     run_selection(&sel, config, trace_insts, seed)
 }
 

@@ -13,18 +13,24 @@
 //! (the per-cell seed included), tables and artifacts are rendered from
 //! the grid-ordered result vector, and artifacts are written serially
 //! after the parallel phase — so `--jobs 1` and `--jobs N` produce
-//! byte-identical output.
+//! byte-identical output. Cells sharing a pre-selection program also
+//! share one [`ProgramContext`], so each CFG analysis is computed once
+//! per program per sweep instead of once per cell; cached analyses are
+//! values a fresh computation would also produce, keeping artifacts
+//! byte-identical to a from-scratch run.
 
 use std::fs;
-use std::io;
 use std::path::Path;
+use std::sync::OnceLock;
 
-use ms_analysis::Profile;
+use ms_analysis::ProgramContext;
+use ms_ir::Program;
 use ms_sim::{SimConfig, SimStats, Simulator};
-use ms_tasksel::{if_convert, PartitionStats, TaskSelector, TaskSizeParams};
+use ms_tasksel::{if_convert, PartitionStats, SelectorBuilder, Strategy, TaskSizeParams};
 use ms_trace::TraceGenerator;
 use ms_workloads::{by_name, fp_suite, integer_suite};
 
+use crate::error::{closest, BenchError};
 use crate::harness::run_parallel;
 use crate::json::JsonObj;
 use crate::{pct_change, Heuristic, DEFAULT_SEED, DEFAULT_TRACE_INSTS};
@@ -37,9 +43,93 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// grids use [`DEFAULT_TRACE_INSTS`]).
 pub const SWEEP_TRACE_INSTS: usize = 60_000;
 
-/// All sweep names the driver accepts, in `all` execution order.
+/// All sweep names the driver accepts, in `all` execution order
+/// (always `SweepSpec::ALL`'s names, in the same order).
 pub const SWEEP_NAMES: [&str; 8] =
     ["figure5", "table1", "targets", "thresholds", "pus", "forwarding", "predication", "hardware"];
+
+/// Typed identity of one experiment sweep — the registry behind the
+/// driver's sweep subcommands, replacing stringly-typed dispatch.
+/// Convert a user-supplied name with [`SweepSpec::parse`]; enumerate
+/// with [`SweepSpec::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepSpec {
+    /// Figure 5: heuristic impact across the suite (4/8 PUs, ooo/io).
+    Figure5,
+    /// Table 1: task size, misspeculation and window span (8 PUs).
+    Table1,
+    /// Ablation: control-flow target limit `N`.
+    Targets,
+    /// Ablation: task-size `CALL_THRESH`/`LOOP_THRESH` sweep.
+    Thresholds,
+    /// Ablation: PU count scaling.
+    Pus,
+    /// Ablation: dead register analysis for ring forwards.
+    Forwarding,
+    /// Ablation: if-conversion before selection.
+    Predication,
+    /// Ablation: ring bandwidth, ARB capacity, sync table size.
+    Hardware,
+}
+
+impl SweepSpec {
+    /// Every sweep, in `run -- sweeps` execution order.
+    pub const ALL: [SweepSpec; 8] = [
+        SweepSpec::Figure5,
+        SweepSpec::Table1,
+        SweepSpec::Targets,
+        SweepSpec::Thresholds,
+        SweepSpec::Pus,
+        SweepSpec::Forwarding,
+        SweepSpec::Predication,
+        SweepSpec::Hardware,
+    ];
+
+    /// The sweep's name: its subcommand, its artifact directory under
+    /// `--out`, and the `sweep` field of its cell JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepSpec::Figure5 => "figure5",
+            SweepSpec::Table1 => "table1",
+            SweepSpec::Targets => "targets",
+            SweepSpec::Thresholds => "thresholds",
+            SweepSpec::Pus => "pus",
+            SweepSpec::Forwarding => "forwarding",
+            SweepSpec::Predication => "predication",
+            SweepSpec::Hardware => "hardware",
+        }
+    }
+
+    /// One-line description for `run -- list`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            SweepSpec::Figure5 => "heuristic impact across the suite (Figure 5)",
+            SweepSpec::Table1 => "task size, misspeculation, window span (Table 1)",
+            SweepSpec::Targets => "control-flow target limit N ablation",
+            SweepSpec::Thresholds => "task-size CALL_THRESH/LOOP_THRESH ablation",
+            SweepSpec::Pus => "PU count scaling ablation",
+            SweepSpec::Forwarding => "dead register analysis ablation",
+            SweepSpec::Predication => "if-conversion ablation",
+            SweepSpec::Hardware => "ring/ARB/sync-table hardware ablation",
+        }
+    }
+
+    /// The schema version of the per-cell artifacts this sweep writes.
+    pub fn schema_version(self) -> u32 {
+        SCHEMA_VERSION
+    }
+
+    /// Resolves a user-supplied sweep name; unknown names report the
+    /// nearest registered sweep.
+    pub fn parse(name: &str) -> Result<SweepSpec, BenchError> {
+        SweepSpec::ALL.into_iter().find(|s| s.name() == name).ok_or_else(|| {
+            BenchError::UnknownSweep {
+                name: name.to_string(),
+                suggestion: closest(name, &SWEEP_NAMES),
+            }
+        })
+    }
+}
 
 /// A complete description of one experiment cell. Running the same
 /// `CellJob` twice produces identical statistics.
@@ -97,24 +187,50 @@ impl CellJob {
         }
     }
 
-    /// Runs the cell: build → (if-convert) → select → trace → simulate,
-    /// returning the dynamic statistics and the static partition
-    /// statistics.
-    pub fn run(&self) -> CellOutput {
+    /// The cell's pre-selection program: workload build plus the
+    /// if-conversion pass, if the cell asks for one. Cells with equal
+    /// `(bench, if_convert_arms)` build equal programs, which is what
+    /// lets a sweep share one analysis context across them.
+    fn build_program(&self) -> Program {
         let w = by_name(self.bench).expect("sweeps reference known benchmarks");
         let mut program = w.build();
         if let Some(arms) = self.if_convert_arms {
             program = if_convert(&program, arms);
         }
+        program
+    }
+
+    /// A fresh analysis context for this cell's pre-selection program.
+    pub fn context(&self) -> ProgramContext {
+        ProgramContext::new(self.build_program())
+    }
+
+    /// Runs the cell standalone: build → (if-convert) → select → trace →
+    /// simulate. Equivalent to `run_in(&self.context())`.
+    pub fn run(&self) -> CellOutput {
+        self.run_in(&self.context())
+    }
+
+    /// Runs the cell against an existing analysis context for its
+    /// pre-selection program (see [`CellJob::context`]), so cells
+    /// sharing a program also share its analyses. Statistics are
+    /// identical to [`CellJob::run`]'s — the context only caches values
+    /// a fresh computation would also produce.
+    pub fn run_in(&self, ctx: &ProgramContext) -> CellOutput {
         let selector = match self.ts_thresh {
-            Some(t) => TaskSelector::data_dependence(self.targets)
-                .with_task_size(TaskSizeParams { call_thresh: t, loop_thresh: t as usize }),
+            Some(t) => SelectorBuilder::new(Strategy::DataDependence)
+                .max_targets(self.targets)
+                .task_size(TaskSizeParams { call_thresh: t, loop_thresh: t as usize })
+                .build(),
             None => self.heuristic.selector(self.targets),
         };
-        let sel = selector.select(&program);
-        let profile = Profile::estimate(&sel.program);
-        let partition =
-            PartitionStats::compute(&sel.program, &sel.partition, &profile, self.targets);
+        let sel = selector.select(ctx);
+        let partition = PartitionStats::compute(
+            &sel.program,
+            &sel.partition,
+            sel.context().profile(),
+            self.targets,
+        );
         let mut cfg = SimConfig::with_pus(self.pus);
         if self.in_order {
             cfg = cfg.in_order();
@@ -200,38 +316,99 @@ pub struct SweepReport {
     pub cells: usize,
 }
 
-/// Runs the named sweep with `jobs` worker threads, writing artifacts
-/// under `out_root` (one directory per sweep). Returns `Ok(None)` for an
-/// unknown sweep name.
-pub fn run_sweep(name: &str, jobs: usize, out_root: &Path) -> io::Result<Option<SweepReport>> {
-    let report = match name {
-        "figure5" => figure5(jobs, out_root)?,
-        "table1" => table1(jobs, out_root)?,
-        "targets" => targets(jobs, out_root)?,
-        "thresholds" => thresholds(jobs, out_root)?,
-        "pus" => pus(jobs, out_root)?,
-        "forwarding" => forwarding(jobs, out_root)?,
-        "predication" => predication(jobs, out_root)?,
-        "hardware" => hardware(jobs, out_root)?,
-        _ => return Ok(None),
-    };
-    Ok(Some(report))
+/// Runs a sweep with `jobs` worker threads, writing artifacts under
+/// `out_root` (one directory per sweep).
+pub fn run_sweep(spec: SweepSpec, jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
+    match spec {
+        SweepSpec::Figure5 => figure5(jobs, out_root),
+        SweepSpec::Table1 => table1(jobs, out_root),
+        SweepSpec::Targets => targets(jobs, out_root),
+        SweepSpec::Thresholds => thresholds(jobs, out_root),
+        SweepSpec::Pus => pus(jobs, out_root),
+        SweepSpec::Forwarding => forwarding(jobs, out_root),
+        SweepSpec::Predication => predication(jobs, out_root),
+        SweepSpec::Hardware => hardware(jobs, out_root),
+    }
+}
+
+/// One unit of sweep work: warming a shared analysis context, or
+/// running a grid cell against it.
+enum SweepWork {
+    /// Stage 1 — build + analyse one distinct pre-selection program.
+    Warm(usize),
+    /// Stage 2 — simulate one grid cell (index into the grid).
+    Cell(usize),
 }
 
 /// Runs a grid of named cells in parallel and writes the artifacts (one
 /// JSON file per cell) serially, in grid order.
+///
+/// Cells with equal `(bench, if_convert_arms)` share one lazily-warmed
+/// [`ProgramContext`], so each program's CFG analyses are computed once
+/// per sweep. Scheduling is a two-stage pipeline over one work list:
+/// the warm-up items go first, then the cells, and workers drain the
+/// list in order — contexts are still being built while cells over the
+/// first finished ones already simulate. A cell never waits on stage 1:
+/// if its context has not been warmed yet it computes the analyses
+/// itself through the same once-only slots.
 #[allow(clippy::type_complexity)]
 fn run_cells(
     sweep: &'static str,
     jobs: usize,
     grid: Vec<(String, CellJob)>,
     out_root: &Path,
-) -> io::Result<Vec<(String, CellJob, CellOutput)>> {
-    let outputs = run_parallel(jobs, grid.clone(), |(_, job), _| job.run());
+) -> Result<Vec<(String, CellJob, CellOutput)>, BenchError> {
+    // One context key per distinct pre-selection program, in grid order.
+    let mut keys: Vec<(&'static str, Option<usize>)> = Vec::new();
+    for (_, job) in &grid {
+        let key = (job.bench, job.if_convert_arms);
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    // Dependence analyses are only consulted by untransformed dd/ts
+    // cells; warming them for cf/bb-only programs would be wasted work
+    // (ts cells re-derive a transformed program, so they are excluded).
+    let deep: Vec<bool> = keys
+        .iter()
+        .map(|&key| {
+            grid.iter().any(|(_, j)| {
+                (j.bench, j.if_convert_arms) == key
+                    && j.ts_thresh.is_none()
+                    && matches!(j.heuristic, Heuristic::DataDependence)
+            })
+        })
+        .collect();
+    let pool: Vec<OnceLock<ProgramContext>> = keys.iter().map(|_| OnceLock::new()).collect();
+    let ctx_of = |i: usize| {
+        pool[i].get_or_init(|| {
+            let (bench, arms) = keys[i];
+            let probe =
+                CellJob { if_convert_arms: arms, ..CellJob::new(bench, Heuristic::BasicBlock) };
+            let ctx = probe.context();
+            ctx.warm(deep[i]);
+            ctx
+        })
+    };
+    let work: Vec<SweepWork> =
+        (0..keys.len()).map(SweepWork::Warm).chain((0..grid.len()).map(SweepWork::Cell)).collect();
+    let outputs = run_parallel(jobs, work, |w, _| match *w {
+        SweepWork::Warm(i) => {
+            ctx_of(i);
+            None
+        }
+        SweepWork::Cell(i) => {
+            let (_, job) = &grid[i];
+            let key = (job.bench, job.if_convert_arms);
+            let ki = keys.iter().position(|&k| k == key).expect("cell key is in the pool");
+            Some(job.run_in(ctx_of(ki)))
+        }
+    });
     let dir = out_root.join(sweep);
     fs::create_dir_all(&dir)?;
     let mut results = Vec::with_capacity(grid.len());
-    for ((id, job), out) in grid.into_iter().zip(outputs) {
+    for ((id, job), out) in grid.into_iter().zip(outputs.into_iter().skip(keys.len())) {
+        let out = out.expect("cell work items carry an output");
         let json = cell_json(sweep, &id, &job, &out);
         fs::write(dir.join(format!("{id}.json")), json + "\n")?;
         results.push((id, job, out));
@@ -240,10 +417,11 @@ fn run_cells(
 }
 
 /// Writes the rendered report next to the cell artifacts.
-fn write_report(out_root: &Path, report: &SweepReport) -> io::Result<()> {
+fn write_report(out_root: &Path, report: &SweepReport) -> Result<(), BenchError> {
     let dir = out_root.join(report.name);
     fs::create_dir_all(&dir)?;
-    fs::write(dir.join("report.md"), &report.text)
+    fs::write(dir.join("report.md"), &report.text)?;
+    Ok(())
 }
 
 /// Looks a cell's output up by id (grid construction and rendering use
@@ -263,7 +441,7 @@ fn responds_to_task_size(name: &str) -> bool {
 
 // ---------------------------------------------------------------- sweeps
 
-fn figure5(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+fn figure5(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let mut grid = Vec::new();
     for in_order in [false, true] {
@@ -363,7 +541,7 @@ fn figure5(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
     Ok(report)
 }
 
-fn table1(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+fn table1(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let mut grid = Vec::new();
     for w in ms_workloads::suite() {
@@ -440,7 +618,7 @@ fn table1(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
     Ok(report)
 }
 
-fn targets(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+fn targets(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["go", "m88ksim", "perl", "hydro2d", "applu"];
     let ns = [2usize, 4, 6, 8];
@@ -475,7 +653,7 @@ fn targets(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
     Ok(report)
 }
 
-fn thresholds(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+fn thresholds(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["compress", "fpppp"];
     let threshes = [10.0f64, 30.0, 60.0, 120.0];
@@ -522,7 +700,7 @@ fn thresholds(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
     Ok(report)
 }
 
-fn pus(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+fn pus(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["m88ksim", "perl", "tomcatv", "applu", "wave5"];
     let counts = [1usize, 2, 4, 8, 16];
@@ -559,7 +737,7 @@ fn pus(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
     Ok(report)
 }
 
-fn forwarding(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+fn forwarding(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["m88ksim", "perl", "tomcatv", "applu", "wave5", "go"];
     let mut grid = Vec::new();
@@ -606,7 +784,7 @@ fn forwarding(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
     Ok(report)
 }
 
-fn predication(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+fn predication(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["go", "gcc", "li", "perl", "vortex", "hydro2d"];
     let variants: [(&str, Option<usize>); 3] =
@@ -656,7 +834,7 @@ fn predication(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
     Ok(report)
 }
 
-fn hardware(jobs: usize, out_root: &Path) -> io::Result<SweepReport> {
+fn hardware(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let bw_benches = ["m88ksim", "go", "applu", "wave5"];
     let bws = [1u32, 2, 4, 8];
@@ -759,9 +937,38 @@ mod tests {
     use super::*;
 
     #[test]
-    fn unknown_sweep_is_none() {
-        let tmp = std::env::temp_dir().join("ms-sweeps-none");
-        assert!(run_sweep("no-such-sweep", 1, &tmp).unwrap().is_none());
+    fn sweep_spec_round_trips_every_name() {
+        for (spec, name) in SweepSpec::ALL.into_iter().zip(SWEEP_NAMES) {
+            assert_eq!(spec.name(), name, "SWEEP_NAMES out of sync with SweepSpec::ALL");
+            assert_eq!(SweepSpec::parse(name).unwrap(), spec);
+            assert_eq!(spec.schema_version(), SCHEMA_VERSION);
+            assert!(!spec.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_sweep_suggests_nearest_name() {
+        match SweepSpec::parse("figur5") {
+            Err(BenchError::UnknownSweep { name, suggestion }) => {
+                assert_eq!(name, "figur5");
+                assert_eq!(suggestion, Some("figure5"));
+            }
+            other => panic!("expected UnknownSweep, got {other:?}"),
+        }
+        match SweepSpec::parse("qqqqqqqqqqqq") {
+            Err(BenchError::UnknownSweep { suggestion, .. }) => assert_eq!(suggestion, None),
+            other => panic!("expected UnknownSweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_in_shared_context_matches_standalone_run() {
+        let cf = CellJob { insts: 2_000, ..CellJob::new("compress", Heuristic::ControlFlow) };
+        let dd = CellJob { insts: 2_000, ..CellJob::new("compress", Heuristic::DataDependence) };
+        let shared = cf.context();
+        assert_eq!(cf.run_in(&shared), cf.run());
+        assert_eq!(dd.run_in(&shared), dd.run());
+        assert!(shared.cache_stats().hits > 0, "second cell reuses cached analyses");
     }
 
     #[test]

@@ -149,9 +149,9 @@ mod tests {
 
     #[test]
     fn chrome_trace_is_well_formed() {
-        let sel = Heuristic::ControlFlow
-            .selector(4)
-            .select(&ms_workloads::by_name("li").unwrap().build());
+        let sel = Heuristic::ControlFlow.selector(4).select(&ms_analysis::ProgramContext::new(
+            ms_workloads::by_name("li").unwrap().build(),
+        ));
         let art = trace_selection(&sel, SimConfig::four_pu(), 2_000, 1);
         assert!(art.chrome.starts_with("{\"traceEvents\":["));
         assert!(art.chrome.contains("\"ph\":\"X\""));
@@ -167,9 +167,9 @@ mod tests {
 
     #[test]
     fn labeler_is_total() {
-        let sel = Heuristic::ControlFlow
-            .selector(4)
-            .select(&ms_workloads::by_name("li").unwrap().build());
+        let sel = Heuristic::ControlFlow.selector(4).select(&ms_analysis::ProgramContext::new(
+            ms_workloads::by_name("li").unwrap().build(),
+        ));
         let label = boundary_labeler(&sel.program, &sel.partition);
         assert_eq!(label(usize::MAX, 0), "?");
         assert_eq!(label(0, usize::MAX), "?");

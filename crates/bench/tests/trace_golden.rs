@@ -27,7 +27,7 @@ fn golden_path() -> PathBuf {
 
 fn select(bench: &str, h: Heuristic) -> Selection {
     let program = ms_workloads::by_name(bench).unwrap().build();
-    h.selector(4).select(&program)
+    h.selector(4).select(&ms_analysis::ProgramContext::new(program))
 }
 
 fn golden_run() -> TraceArtifacts {

@@ -19,8 +19,9 @@ const COLORS: [&str; 8] =
 /// Graphviz `digraph` (returns the DOT source).
 ///
 /// ```
+/// # use ms_analysis::ProgramContext;
 /// # use ms_ir::{FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
-/// # use ms_tasksel::{to_dot, TaskSelector};
+/// # use ms_tasksel::{to_dot, SelectorBuilder, Strategy};
 /// # let mut fb = FunctionBuilder::new("main");
 /// # let b = fb.add_block();
 /// # fb.push_inst(b, Opcode::IAdd.inst().dst(Reg::int(1)));
@@ -28,9 +29,9 @@ const COLORS: [&str; 8] =
 /// # let mut pb = ProgramBuilder::new();
 /// # let m = pb.declare_function("main");
 /// # pb.define_function(m, fb.finish(b).unwrap());
-/// # let program = pb.finish(m).unwrap();
-/// let sel = TaskSelector::control_flow(4).select(&program);
-/// let dot = to_dot(&sel.program, &sel.partition, program.entry());
+/// # let ctx = ProgramContext::new(pb.finish(m).unwrap());
+/// let sel = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx);
+/// let dot = to_dot(&sel.program, &sel.partition, sel.program.entry());
 /// assert!(dot.starts_with("digraph"));
 /// ```
 pub fn to_dot(program: &Program, partition: &TaskPartition, f: FuncId) -> String {
@@ -102,7 +103,8 @@ pub fn to_dot(program: &Program, partition: &TaskPartition, f: FuncId) -> String
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::selector::TaskSelector;
+    use crate::selector::{SelectorBuilder, Strategy};
+    use ms_analysis::ProgramContext;
     use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg};
 
     fn loop_program() -> Program {
@@ -133,7 +135,10 @@ mod tests {
     #[test]
     fn dot_contains_clusters_and_edge_styles() {
         let p = loop_program();
-        let sel = TaskSelector::control_flow(4).select(&p);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         let dot = to_dot(&sel.program, &sel.partition, p.entry());
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("subgraph cluster_t0"));
@@ -148,7 +153,10 @@ mod tests {
     #[test]
     fn dot_marks_task_entries() {
         let p = loop_program();
-        let sel = TaskSelector::control_flow(4).select(&p);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         let dot = to_dot(&sel.program, &sel.partition, p.entry());
         assert!(dot.contains('▶'), "entries are marked");
     }

@@ -1,4 +1,6 @@
-//! Partition invariant violations.
+//! The crate's error types: partition invariant violations and the
+//! crate-level [`SelectError`] that wraps every failure task selection
+//! can report.
 
 use std::error::Error;
 use std::fmt;
@@ -78,6 +80,38 @@ impl fmt::Display for PartitionError {
 }
 
 impl Error for PartitionError {}
+
+/// The crate-level error: any failure this crate's selection and
+/// partitioning APIs can report, with `From` conversions from the
+/// specific kinds so callers can use `?` uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SelectError {
+    /// A task partition violated a Multiscalar invariant.
+    Partition(PartitionError),
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::Partition(e) => write!(f, "invalid task partition: {e}"),
+        }
+    }
+}
+
+impl Error for SelectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SelectError::Partition(e) => Some(e),
+        }
+    }
+}
+
+impl From<PartitionError> for SelectError {
+    fn from(e: PartitionError) -> Self {
+        SelectError::Partition(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -11,17 +11,21 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use ms_analysis::{DfsOrder, Dominators, LoopForest};
+use ms_analysis::{DfsOrder, LoopForest};
 use ms_ir::{BlockId, Function, Terminator};
 
 use crate::task::Task;
 
 /// Per-function context shared by all growth operations.
+///
+/// Borrows its analyses (DFS order, loops) rather than computing them,
+/// so repeated selections over one program share a single computation
+/// through [`ms_analysis::ProgramContext`].
 #[derive(Debug)]
 pub struct GrowCtx<'a> {
     func: &'a Function,
-    order: DfsOrder,
-    loops: LoopForest,
+    order: &'a DfsOrder,
+    loops: &'a LoopForest,
     /// Call blocks whose callees execute inside the task (task-size
     /// heuristic's `CALL_THRESH` rule): such blocks are *not* terminal.
     included_calls: BTreeSet<BlockId>,
@@ -32,16 +36,16 @@ pub struct GrowCtx<'a> {
 }
 
 impl<'a> GrowCtx<'a> {
-    /// Builds the context (computes DFS order, dominators and loops).
+    /// Builds the context over already-computed analyses of `func`
+    /// (typically served by a [`ms_analysis::ProgramContext`]).
     pub fn new(
         func: &'a Function,
+        order: &'a DfsOrder,
+        loops: &'a LoopForest,
         included_calls: BTreeSet<BlockId>,
         max_targets: usize,
         explore_limit: usize,
     ) -> Self {
-        let dom = Dominators::compute(func);
-        let loops = LoopForest::compute(func, &dom);
-        let order = DfsOrder::compute(func);
         GrowCtx { func, order, loops, included_calls, max_targets, explore_limit }
     }
 
@@ -57,7 +61,7 @@ impl<'a> GrowCtx<'a> {
 
     /// The loop forest (exposed for the task-size transform's tests).
     pub fn loops(&self) -> &LoopForest {
-        &self.loops
+        self.loops
     }
 
     /// Whether `blk` ends the exploration of its path once included
@@ -206,7 +210,13 @@ impl<'a> GrowCtx<'a> {
 mod tests {
     use super::*;
     use crate::task::TaskTarget;
+    use ms_analysis::Dominators;
     use ms_ir::{BranchBehavior, FuncId, FunctionBuilder, Opcode, Reg, Terminator};
+
+    fn analyses(f: &Function) -> (DfsOrder, LoopForest) {
+        let dom = Dominators::compute(f);
+        (DfsOrder::compute(f), LoopForest::compute(f, &dom))
+    }
 
     fn branch(taken: BlockId, fall: BlockId) -> Terminator {
         Terminator::Branch { taken, fall, cond: vec![], behavior: BranchBehavior::Taken(0.5) }
@@ -230,7 +240,8 @@ mod tests {
         fb.set_terminator(b2, Terminator::Jump { target: b3 });
         fb.set_terminator(b3, Terminator::Return);
         let f = fb.finish(b0).unwrap();
-        let ctx = GrowCtx::new(&f, BTreeSet::new(), 4, 64);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::new(), 4, 64);
         let task = ctx.grow(b0, &BTreeSet::new(), &no_taken, None);
         assert_eq!(task.len(), 4);
         let targets = task.targets(&f, ctx.included_calls());
@@ -262,7 +273,8 @@ mod tests {
         );
         fb.set_terminator(exit, Terminator::Return);
         let f = fb.finish(entry).unwrap();
-        let ctx = GrowCtx::new(&f, BTreeSet::new(), 4, 64);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::new(), 4, 64);
         let task = ctx.grow(head, &BTreeSet::new(), &no_taken, None);
         assert_eq!(task.blocks().iter().copied().collect::<Vec<_>>(), vec![head, mid, latch]);
         let targets = task.targets(&f, ctx.included_calls());
@@ -292,7 +304,8 @@ mod tests {
         );
         fb.set_terminator(exit, Terminator::Return);
         let f = fb.finish(entry).unwrap();
-        let ctx = GrowCtx::new(&f, BTreeSet::new(), 4, 64);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::new(), 4, 64);
         let task = ctx.grow(entry, &BTreeSet::new(), &no_taken, None);
         assert!(!task.contains(head));
         assert_eq!(task.blocks().iter().copied().collect::<Vec<_>>(), vec![entry, pre]);
@@ -310,12 +323,14 @@ mod tests {
         fb.set_terminator(after, Terminator::Return);
         let f = fb.finish(b0).unwrap();
 
-        let ctx = GrowCtx::new(&f, BTreeSet::new(), 4, 64);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::new(), 4, 64);
         let task = ctx.grow(b0, &BTreeSet::new(), &no_taken, None);
         assert!(task.contains(call) && !task.contains(after));
         assert_eq!(task.targets(&f, ctx.included_calls()), vec![TaskTarget::Call(FuncId::new(1))]);
 
-        let ctx = GrowCtx::new(&f, BTreeSet::from([call]), 4, 64);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::from([call]), 4, 64);
         let task = ctx.grow(b0, &BTreeSet::new(), &no_taken, None);
         assert!(task.contains(after), "included call grows through to the return block");
     }
@@ -356,14 +371,16 @@ mod tests {
         );
         fb.set_terminator(b6, Terminator::Return);
         let f = fb.finish(b0).unwrap();
-        let ctx = GrowCtx::new(&f, BTreeSet::new(), 1, 64);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::new(), 1, 64);
         let task = ctx.grow(b0, &BTreeSet::new(), &no_taken, None);
         // {b0} has one target (b1): feasible. Adding b1 exposes {b2, b3};
         // the arms lead into distinct loops (terminal), so the count
         // never drops back to 1 and the task is just the seed.
         assert_eq!(task.blocks().iter().copied().collect::<Vec<_>>(), vec![b0]);
         // The same region is a single task at N = 2.
-        let ctx = GrowCtx::new(&f, BTreeSet::new(), 2, 64);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::new(), 2, 64);
         let task = ctx.grow(b0, &BTreeSet::new(), &no_taken, None);
         assert!(task.len() >= 4);
     }
@@ -383,7 +400,8 @@ mod tests {
         fb.set_terminator(b2, Terminator::Jump { target: b3 });
         fb.set_terminator(b3, Terminator::Return);
         let f = fb.finish(b0).unwrap();
-        let ctx = GrowCtx::new(&f, BTreeSet::new(), 2, 64);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::new(), 2, 64);
         let task = ctx.grow(b0, &BTreeSet::new(), &no_taken, None);
         // After {b0, b1}: targets {b2, b3} = 2 ≤ 2 feasible; after
         // {b0,b1,b2}: target {b3} = 1; after all four: {Return} = 1.
@@ -401,7 +419,8 @@ mod tests {
         fb.set_terminator(b1, Terminator::Jump { target: b2 });
         fb.set_terminator(b2, Terminator::Return);
         let f = fb.finish(b0).unwrap();
-        let ctx = GrowCtx::new(&f, BTreeSet::new(), 4, 64);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::new(), 4, 64);
         let task = ctx.grow(b0, &BTreeSet::new(), &|b| b == b1, None);
         assert_eq!(task.blocks().iter().copied().collect::<Vec<_>>(), vec![b0]);
     }
@@ -419,7 +438,8 @@ mod tests {
         fb.set_terminator(b2, Terminator::Jump { target: b3 });
         fb.set_terminator(b3, Terminator::Return);
         let f = fb.finish(b0).unwrap();
-        let ctx = GrowCtx::new(&f, BTreeSet::new(), 4, 64);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::new(), 4, 64);
         let allow = |b: BlockId| b != b2;
         let task = ctx.grow(b0, &BTreeSet::new(), &no_taken, Some(&allow));
         assert!(!task.contains(b2));
@@ -438,7 +458,8 @@ mod tests {
         fb.set_terminator(b1, Terminator::Jump { target: b2 });
         fb.set_terminator(b2, Terminator::Return);
         let f = fb.finish(b0).unwrap();
-        let ctx = GrowCtx::new(&f, BTreeSet::new(), 4, 64);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::new(), 4, 64);
         let initial = BTreeSet::from([b0]);
         let task = ctx.grow(b0, &initial, &no_taken, None);
         assert!(task.contains(b0) && task.contains(b1) && task.contains(b2));
@@ -454,7 +475,8 @@ mod tests {
         }
         fb.set_terminator(*blocks.last().unwrap(), Terminator::Return);
         let f = fb.finish(blocks[0]).unwrap();
-        let ctx = GrowCtx::new(&f, BTreeSet::new(), 4, 8);
+        let an = analyses(&f);
+        let ctx = GrowCtx::new(&f, &an.0, &an.1, BTreeSet::new(), 4, 8);
         let task = ctx.grow(blocks[0], &BTreeSet::new(), &no_taken, None);
         assert!(task.len() <= 8);
     }

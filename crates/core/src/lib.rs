@@ -7,18 +7,24 @@
 //! of the control flow graph. How the compiler draws the task boundaries
 //! determines control-flow speculation accuracy, inter-task data
 //! communication, memory dependence misspeculation, load imbalance and
-//! task overhead. This crate implements the paper's heuristics:
+//! task overhead. This crate implements the paper's heuristics, selected
+//! through [`SelectorBuilder`] by [`Strategy`]:
 //!
-//! * [`TaskSelector::basic_block`] — one task per basic block (baseline),
-//! * [`TaskSelector::control_flow`] — greedy multi-block growth that
+//! * [`Strategy::BasicBlock`] — one task per basic block (baseline),
+//! * [`Strategy::ControlFlow`] — greedy multi-block growth that
 //!   exploits reconvergence to keep at most `N` successor targets,
 //!   terminating at loop boundaries, calls and returns,
-//! * [`TaskSelector::data_dependence`] — the same growth steered to
+//! * [`Strategy::DataDependence`] — the same growth steered to
 //!   include profiled register def-use dependences (and their codependent
 //!   sets) within tasks,
-//! * [`TaskSelector::with_task_size`] — the task-size preprocessing:
+//! * [`SelectorBuilder::task_size`] — the task-size preprocessing:
 //!   unroll loops smaller than `LOOP_THRESH` and include calls to
 //!   functions dynamically smaller than `CALL_THRESH`.
+//!
+//! Selection runs over a shared [`ms_analysis::ProgramContext`], so the
+//! CFG analyses every heuristic consumes (dominators, loops, DFS order,
+//! def-use, reachability, the profile) are computed once per program and
+//! reused across selectors, sweep cells and threads.
 //!
 //! The result is a [`TaskPartition`] whose invariants (exact cover,
 //! connectivity, single entry) are machine-checked by
@@ -28,9 +34,9 @@
 //! # Example
 //!
 //! ```
+//! use ms_analysis::ProgramContext;
 //! use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
-//! use ms_tasksel::{PartitionStats, TaskSelector};
-//! use ms_analysis::Profile;
+//! use ms_tasksel::{PartitionStats, SelectorBuilder, Strategy};
 //!
 //! // A loop whose body is several blocks.
 //! let mut fb = FunctionBuilder::new("main");
@@ -49,12 +55,11 @@
 //! let mut pb = ProgramBuilder::new();
 //! let m = pb.declare_function("main");
 //! pb.define_function(m, fb.finish(entry)?);
-//! let program = pb.finish(m)?;
+//! let ctx = ProgramContext::new(pb.finish(m)?);
 //!
-//! let sel = TaskSelector::control_flow(4).select(&program);
+//! let sel = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx);
 //! sel.partition.validate(&sel.program).expect("invariants hold");
-//! let profile = Profile::estimate(&sel.program);
-//! let stats = PartitionStats::compute(&sel.program, &sel.partition, &profile, 4);
+//! let stats = PartitionStats::compute(&sel.program, &sel.partition, sel.context().profile(), 4);
 //! assert!(stats.avg_static_size > 1.0); // bigger than basic blocks
 //! # Ok::<(), ms_ir::BuildError>(())
 //! ```
@@ -72,10 +77,10 @@ mod task;
 mod transform;
 
 pub use dot::to_dot;
-pub use error::PartitionError;
+pub use error::{PartitionError, SelectError};
 pub use grow::GrowCtx;
 pub use predicate::if_convert;
-pub use selector::{Selection, Strategy, TaskSelector};
+pub use selector::{Selection, SelectorBuilder, Strategy, TaskSelector};
 pub use stats::{PartitionStats, SIZE_HIST_BUCKETS};
 pub use task::{FuncPartition, Task, TaskId, TaskPartition, TaskTarget};
 pub use transform::{apply_task_size, unroll_small_loops, TaskSizeParams};

@@ -241,13 +241,20 @@ mod tests {
 
     #[test]
     fn converted_programs_run_end_to_end() {
-        use crate::selector::TaskSelector;
+        use crate::selector::{SelectorBuilder, Strategy};
+        use ms_analysis::ProgramContext;
         let p = diamond_program(3);
         let q = if_convert(&p, 4);
-        let sel = TaskSelector::control_flow(4).select(&q);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(q.clone()));
         assert!(sel.partition.validate(&sel.program).is_ok());
         // Fewer reachable blocks ⇒ at most as many tasks as before.
-        let before = TaskSelector::control_flow(4).select(&p);
+        let before = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         assert!(sel.partition.num_tasks() <= before.partition.num_tasks());
     }
 

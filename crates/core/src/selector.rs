@@ -2,8 +2,9 @@
 //! optional task-size preprocessing.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
-use ms_analysis::{DefUseChains, Profile, Reachability};
+use ms_analysis::ProgramContext;
 use ms_ir::{BlockId, BlockRef, FuncId, Function, Program, Terminator};
 
 use crate::grow::GrowCtx;
@@ -41,19 +42,107 @@ impl Strategy {
 #[derive(Debug, Clone)]
 pub struct Selection {
     /// The program the partition refers to (unrolled if the task-size
-    /// heuristic ran; otherwise a clone of the input).
-    pub program: Program,
+    /// heuristic ran; otherwise the very program the input context
+    /// wraps, shared by `Arc`).
+    pub program: Arc<Program>,
     /// The task partition.
     pub partition: TaskPartition,
+    /// The analysis context of `program` (the input context when the
+    /// program was not transformed, a fresh one otherwise).
+    ctx: ProgramContext,
 }
 
-/// Configures and runs task selection.
+impl Selection {
+    /// The analysis context of the selected program — every analysis
+    /// consulted during selection, already computed, plus lazy slots for
+    /// the rest. Downstream consumers (statistics, simulation) should
+    /// read analyses from here instead of recomputing.
+    pub fn context(&self) -> &ProgramContext {
+        &self.ctx
+    }
+}
+
+/// Builds a [`TaskSelector`] from named parts, replacing the old
+/// positional constructors.
 ///
 /// # Example
 ///
 /// ```
+/// use ms_tasksel::{SelectorBuilder, Strategy};
+///
+/// let selector = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build();
+/// assert_eq!(selector.strategy(), Strategy::ControlFlow);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SelectorBuilder {
+    strategy: Strategy,
+    max_targets: usize,
+    task_size: Option<TaskSizeParams>,
+    explore_limit: usize,
+}
+
+impl SelectorBuilder {
+    /// Starts a builder for `strategy` with the paper's defaults:
+    /// target limit 4, no task-size preprocessing, explore limit 64.
+    pub fn new(strategy: Strategy) -> Self {
+        SelectorBuilder { strategy, max_targets: 4, task_size: None, explore_limit: 64 }
+    }
+
+    /// The hardware successor-target limit `N` (the paper evaluates 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn max_targets(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one task target is required");
+        self.max_targets = n;
+        self
+    }
+
+    /// Enables the task-size heuristic (loop unrolling + call inclusion)
+    /// as preprocessing.
+    #[must_use]
+    pub fn task_size(mut self, params: TaskSizeParams) -> Self {
+        self.task_size = Some(params);
+        self
+    }
+
+    /// Overrides the safety cap on blocks explored per task growth
+    /// (default 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0`.
+    #[must_use]
+    pub fn explore_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "explore limit must be positive");
+        self.explore_limit = limit;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> TaskSelector {
+        TaskSelector {
+            strategy: self.strategy,
+            max_targets: self.max_targets,
+            task_size: self.task_size,
+            explore_limit: self.explore_limit,
+        }
+    }
+}
+
+/// Configures and runs task selection.
+///
+/// Construct one with [`SelectorBuilder`]; run it with
+/// [`TaskSelector::select`] over a shared [`ProgramContext`].
+///
+/// # Example
+///
+/// ```
+/// use ms_analysis::ProgramContext;
 /// use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
-/// use ms_tasksel::TaskSelector;
+/// use ms_tasksel::{SelectorBuilder, Strategy};
 ///
 /// let mut fb = FunctionBuilder::new("main");
 /// let entry = fb.add_block();
@@ -69,9 +158,9 @@ pub struct Selection {
 /// let mut pb = ProgramBuilder::new();
 /// let m = pb.declare_function("main");
 /// pb.define_function(m, fb.finish(entry)?);
-/// let program = pb.finish(m)?;
+/// let ctx = ProgramContext::new(pb.finish(m)?);
 ///
-/// let sel = TaskSelector::control_flow(4).select(&program);
+/// let sel = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx);
 /// assert!(sel.partition.validate(&sel.program).is_ok());
 /// # Ok::<(), ms_ir::BuildError>(())
 /// ```
@@ -85,13 +174,9 @@ pub struct TaskSelector {
 
 impl TaskSelector {
     /// Basic block tasks (the paper's baseline).
+    #[deprecated(since = "0.2.0", note = "use `SelectorBuilder::new(Strategy::BasicBlock)`")]
     pub fn basic_block() -> Self {
-        TaskSelector {
-            strategy: Strategy::BasicBlock,
-            max_targets: 4,
-            task_size: None,
-            explore_limit: 64,
-        }
+        SelectorBuilder::new(Strategy::BasicBlock).build()
     }
 
     /// Control flow tasks with at most `max_targets` successor targets
@@ -100,14 +185,12 @@ impl TaskSelector {
     /// # Panics
     ///
     /// Panics if `max_targets == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SelectorBuilder::new(Strategy::ControlFlow).max_targets(n)`"
+    )]
     pub fn control_flow(max_targets: usize) -> Self {
-        assert!(max_targets > 0, "at least one task target is required");
-        TaskSelector {
-            strategy: Strategy::ControlFlow,
-            max_targets,
-            task_size: None,
-            explore_limit: 64,
-        }
+        SelectorBuilder::new(Strategy::ControlFlow).max_targets(max_targets).build()
     }
 
     /// Data dependence tasks (control flow rules plus dependence-steered
@@ -116,18 +199,17 @@ impl TaskSelector {
     /// # Panics
     ///
     /// Panics if `max_targets == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SelectorBuilder::new(Strategy::DataDependence).max_targets(n)`"
+    )]
     pub fn data_dependence(max_targets: usize) -> Self {
-        assert!(max_targets > 0, "at least one task target is required");
-        TaskSelector {
-            strategy: Strategy::DataDependence,
-            max_targets,
-            task_size: None,
-            explore_limit: 64,
-        }
+        SelectorBuilder::new(Strategy::DataDependence).max_targets(max_targets).build()
     }
 
     /// Enables the task-size heuristic (loop unrolling + call inclusion)
     /// as preprocessing.
+    #[deprecated(since = "0.2.0", note = "use `SelectorBuilder::task_size`")]
     #[must_use]
     pub fn with_task_size(mut self, params: TaskSizeParams) -> Self {
         self.task_size = Some(params);
@@ -140,6 +222,7 @@ impl TaskSelector {
     /// # Panics
     ///
     /// Panics if `limit == 0`.
+    #[deprecated(since = "0.2.0", note = "use `SelectorBuilder::explore_limit`")]
     #[must_use]
     pub fn with_explore_limit(mut self, limit: usize) -> Self {
         assert!(limit > 0, "explore limit must be positive");
@@ -157,24 +240,28 @@ impl TaskSelector {
         self.max_targets
     }
 
-    /// Partitions `program` into tasks.
+    /// Partitions the context's program into tasks, reading every CFG
+    /// analysis from the shared cache instead of recomputing.
     ///
     /// The returned [`Selection`] carries the program the partition is
-    /// valid for — identical to the input unless the task-size heuristic
-    /// transformed it.
-    pub fn select(&self, program: &Program) -> Selection {
+    /// valid for — the context's own program (shared, not cloned) unless
+    /// the task-size heuristic transformed it.
+    pub fn select(&self, ctx: &ProgramContext) -> Selection {
         let prof = ms_prof::span("select");
-        let (program, included_calls) = match &self.task_size {
-            Some(p) => apply_task_size(program, p),
-            None => (program.clone(), BTreeSet::new()),
+        let (ctx, included_calls) = match &self.task_size {
+            Some(p) => {
+                let (transformed, included) = apply_task_size(ctx.program(), p);
+                (ProgramContext::new(transformed), included)
+            }
+            None => (ctx.clone(), BTreeSet::new()),
         };
-        let profile = Profile::estimate(&program);
+        let program = Arc::clone(ctx.program_arc());
         let mut funcs = Vec::with_capacity(program.num_functions());
         for fid in program.func_ids() {
             let func = program.function(fid);
             let included: BTreeSet<BlockId> =
                 included_calls.iter().filter(|(f, _)| *f == fid).map(|(_, b)| *b).collect();
-            let tasks = self.partition_function(fid, func, included, &profile);
+            let tasks = self.partition_function(fid, &ctx, included);
             funcs.push(FuncPartition::new(fid, tasks, func.num_blocks()));
         }
         let label = match (&self.strategy, &self.task_size) {
@@ -197,24 +284,43 @@ impl TaskSelector {
             prof.add_items(blocks);
             ms_prof::counter_add("select.tasks", tasks);
         }
-        Selection { program, partition }
+        Selection { program, partition, ctx }
+    }
+
+    /// Partitions a bare program by wrapping it in a throwaway
+    /// [`ProgramContext`]. Analyses are computed from scratch and
+    /// discarded — build a context once and call [`select`](Self::select)
+    /// to share them.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `ProgramContext` and call `select` so analyses are shared"
+    )]
+    pub fn select_program(&self, program: &Program) -> Selection {
+        self.select(&ProgramContext::new(program.clone()))
     }
 
     fn partition_function(
         &self,
         fid: FuncId,
-        func: &Function,
+        ctx: &ProgramContext,
         included: BTreeSet<BlockId>,
-        profile: &Profile,
     ) -> Vec<Task> {
-        let ctx = GrowCtx::new(func, included, self.max_targets, self.explore_limit);
+        let func = ctx.function(fid);
+        let grow = GrowCtx::new(
+            func,
+            ctx.order(fid),
+            ctx.loops(fid),
+            included,
+            self.max_targets,
+            self.explore_limit,
+        );
         let mut state = PartitionState::new(func.num_blocks());
 
         if self.strategy == Strategy::DataDependence {
-            self.dependence_phase(fid, func, &ctx, profile, &mut state);
+            self.dependence_phase(fid, ctx, &grow, &mut state);
         }
-        self.cover_phase(func, &ctx, &mut state);
-        repair_single_entry(func, &ctx, &mut state);
+        self.cover_phase(func, &grow, &mut state);
+        repair_single_entry(func, &grow, &mut state);
         state.tasks
     }
 
@@ -224,13 +330,14 @@ impl TaskSelector {
     fn dependence_phase(
         &self,
         fid: FuncId,
-        func: &Function,
+        pctx: &ProgramContext,
         ctx: &GrowCtx<'_>,
-        profile: &Profile,
         state: &mut PartitionState,
     ) {
-        let du = DefUseChains::compute(func);
-        let reach = Reachability::compute(func);
+        let func = pctx.function(fid);
+        let profile = pctx.profile();
+        let du = pctx.defuse(fid);
+        let reach = pctx.reach(fid);
         let mut deps = du.block_deps();
         // Quantise frequencies before comparing so that floating point
         // noise from the profile estimator cannot reorder effectively
@@ -462,6 +569,14 @@ mod tests {
     use super::*;
     use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg};
 
+    fn ctx(p: &Program) -> ProgramContext {
+        ProgramContext::new(p.clone())
+    }
+
+    fn selector(strategy: Strategy) -> TaskSelector {
+        SelectorBuilder::new(strategy).max_targets(4).build()
+    }
+
     fn build(fb: FunctionBuilder, entry: BlockId) -> Program {
         let mut pb = ProgramBuilder::new();
         let m = pb.declare_function("main");
@@ -484,7 +599,7 @@ mod tests {
         fb.set_terminator(b1, Terminator::Halt);
         fb.set_terminator(b2, Terminator::Halt);
         let p = build(fb, b0);
-        let sel = TaskSelector::basic_block().select(&p);
+        let sel = selector(Strategy::BasicBlock).select(&ctx(&p));
         assert!(sel.partition.validate(&sel.program).is_ok());
         assert_eq!(sel.partition.num_tasks(), 3);
         for fp in sel.partition.funcs() {
@@ -507,7 +622,7 @@ mod tests {
         fb.set_terminator(b2, Terminator::Jump { target: b3 });
         fb.set_terminator(b3, Terminator::Halt);
         let p = build(fb, b0);
-        let sel = TaskSelector::control_flow(4).select(&p);
+        let sel = selector(Strategy::ControlFlow).select(&ctx(&p));
         assert!(sel.partition.validate(&sel.program).is_ok());
         assert_eq!(sel.partition.num_tasks(), 1);
     }
@@ -533,7 +648,7 @@ mod tests {
         fb.set_terminator(join, Terminator::Jump { target: exit });
         fb.set_terminator(exit, Terminator::Halt);
         let p = build(fb, producer);
-        let sel = TaskSelector::data_dependence(4).select(&p);
+        let sel = selector(Strategy::DataDependence).select(&ctx(&p));
         assert!(sel.partition.validate(&sel.program).is_ok());
         let fp = &sel.partition.funcs()[0];
         let t_prod = fp.task_of(producer).unwrap();
@@ -558,7 +673,7 @@ mod tests {
         }
         fb.set_terminator(join, Terminator::Halt);
         let p = build(fb, s);
-        let sel = TaskSelector::control_flow(4).select(&p);
+        let sel = selector(Strategy::ControlFlow).select(&ctx(&p));
         assert!(sel.partition.validate(&sel.program).is_ok());
         // Everything still covered despite the infeasible fork.
         let fp = &sel.partition.funcs()[0];
@@ -589,7 +704,7 @@ mod tests {
         );
         fb.set_terminator(exit, Terminator::Halt);
         let p = build(fb, entry);
-        let sel = TaskSelector::control_flow(4).select(&p);
+        let sel = selector(Strategy::ControlFlow).select(&ctx(&p));
         assert!(sel.partition.validate(&sel.program).is_ok());
         let fp = &sel.partition.funcs()[0];
         let t = fp.task_of(head).unwrap();
@@ -623,10 +738,14 @@ mod tests {
         pb.define_function(leaf, fb.finish(l0).unwrap());
         let p = pb.finish(m).unwrap();
         for sel in [
-            TaskSelector::basic_block().select(&p),
-            TaskSelector::control_flow(4).select(&p),
-            TaskSelector::data_dependence(4).select(&p),
-            TaskSelector::control_flow(4).with_task_size(TaskSizeParams::default()).select(&p),
+            selector(Strategy::BasicBlock).select(&ctx(&p)),
+            selector(Strategy::ControlFlow).select(&ctx(&p)),
+            selector(Strategy::DataDependence).select(&ctx(&p)),
+            SelectorBuilder::new(Strategy::ControlFlow)
+                .max_targets(4)
+                .task_size(TaskSizeParams::default())
+                .build()
+                .select(&ctx(&p)),
         ] {
             assert!(sel.partition.validate(&sel.program).is_ok(), "{}", sel.partition.strategy());
         }
@@ -653,8 +772,11 @@ mod tests {
         );
         fb.set_terminator(exit, Terminator::Halt);
         let p = build(fb, entry);
-        let sel =
-            TaskSelector::control_flow(4).with_task_size(TaskSizeParams::default()).select(&p);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .task_size(TaskSizeParams::default())
+            .build()
+            .select(&ctx(&p));
         assert!(sel.program.function(p.entry()).num_blocks() > 3);
         assert!(sel.partition.validate(&sel.program).is_ok());
         assert_eq!(sel.partition.strategy(), "cf+ts");
@@ -663,6 +785,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one")]
     fn zero_targets_is_rejected() {
-        let _ = TaskSelector::control_flow(0);
+        let _ = SelectorBuilder::new(Strategy::ControlFlow).max_targets(0);
     }
 }

@@ -176,7 +176,8 @@ impl fmt::Display for PartitionStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::selector::TaskSelector;
+    use crate::selector::{SelectorBuilder, Strategy};
+    use ms_analysis::ProgramContext;
     use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
 
     fn sample_program() -> Program {
@@ -209,8 +210,13 @@ mod tests {
     fn merged_tasks_include_the_dependence() {
         let p = sample_program();
         let profile = Profile::estimate(&p);
-        let bb = TaskSelector::basic_block().select(&p);
-        let cf = TaskSelector::control_flow(4).select(&p);
+        let bb = SelectorBuilder::new(Strategy::BasicBlock)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
+        let cf = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         let sbb = PartitionStats::compute(&p, &bb.partition, &profile, 4);
         let scf = PartitionStats::compute(&p, &cf.partition, &profile, 4);
         assert!(sbb.num_tasks > scf.num_tasks);
@@ -226,7 +232,10 @@ mod tests {
     fn display_mentions_key_lines() {
         let p = sample_program();
         let profile = Profile::estimate(&p);
-        let sel = TaskSelector::control_flow(4).select(&p);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         let s = PartitionStats::compute(&p, &sel.partition, &profile, 4);
         let text = s.to_string();
         assert!(text.contains("tasks:"));
@@ -237,7 +246,9 @@ mod tests {
     fn size_hist_counts_every_task_and_serialises() {
         let p = sample_program();
         let profile = Profile::estimate(&p);
-        let sel = TaskSelector::basic_block().select(&p);
+        let sel = SelectorBuilder::new(Strategy::BasicBlock)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         let s = PartitionStats::compute(&p, &sel.partition, &profile, 4);
         assert_eq!(s.size_hist.iter().sum::<usize>(), s.num_tasks);
         let j = s.to_json();
@@ -250,7 +261,9 @@ mod tests {
     fn expected_dynamic_size_is_weighted() {
         let p = sample_program();
         let profile = Profile::estimate(&p);
-        let sel = TaskSelector::basic_block().select(&p);
+        let sel = SelectorBuilder::new(Strategy::BasicBlock)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         let s = PartitionStats::compute(&p, &sel.partition, &profile, 4);
         // 4 blocks with total weighted insts (1+1)+1+1+(1+1)... per run:
         // b0: 2 insts, b1/b2: 1 each (half frequency), b3: 1 + halt(0).

@@ -7,11 +7,12 @@
 //! seed printed in its message. Build with `--features heavy-tests` for
 //! a deeper sweep.
 
+use ms_analysis::ProgramContext;
 use ms_ir::{
     BlockId, BranchBehavior, FuncId, FunctionBuilder, Opcode, Program, ProgramBuilder, Reg,
     SplitMix64, Terminator,
 };
-use ms_tasksel::{if_convert, TaskSelector, TaskSizeParams, TaskTarget};
+use ms_tasksel::{if_convert, SelectorBuilder, Strategy, TaskSizeParams, TaskTarget};
 
 /// Cases per property (deterministic; the seed is the case index).
 const CASES: u64 = if cfg!(feature = "heavy-tests") { 384 } else { 96 };
@@ -77,14 +78,17 @@ fn random_program(seed: u64, max_blocks: usize) -> Program {
 fn partitions_are_always_valid() {
     for seed in 0..CASES {
         let program = random_program(seed, 24);
+        let ctx = ProgramContext::new(program);
         for sel in [
-            TaskSelector::basic_block().select(&program),
-            TaskSelector::control_flow(4).select(&program),
-            TaskSelector::control_flow(2).select(&program),
-            TaskSelector::data_dependence(4).select(&program),
-            TaskSelector::data_dependence(4)
-                .with_task_size(TaskSizeParams::default())
-                .select(&program),
+            SelectorBuilder::new(Strategy::BasicBlock).build().select(&ctx),
+            SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx),
+            SelectorBuilder::new(Strategy::ControlFlow).max_targets(2).build().select(&ctx),
+            SelectorBuilder::new(Strategy::DataDependence).max_targets(4).build().select(&ctx),
+            SelectorBuilder::new(Strategy::DataDependence)
+                .max_targets(4)
+                .task_size(TaskSizeParams::default())
+                .build()
+                .select(&ctx),
         ] {
             assert!(
                 sel.partition.validate(&sel.program).is_ok(),
@@ -101,8 +105,11 @@ fn partitions_are_always_valid() {
 fn selection_is_deterministic() {
     for seed in 0..CASES / 2 {
         let program = random_program(seed, 16);
-        let a = TaskSelector::data_dependence(4).select(&program);
-        let b = TaskSelector::data_dependence(4).select(&program);
+        let dd = SelectorBuilder::new(Strategy::DataDependence).max_targets(4).build();
+        // One cold context, one warm: cached analyses must not change
+        // the partition.
+        let a = dd.select(&ProgramContext::new(program.clone()));
+        let b = dd.select(&ProgramContext::new(program));
         let fa = &a.partition.funcs()[0];
         let fb = &b.partition.funcs()[0];
         assert_eq!(fa.tasks().len(), fb.tasks().len(), "seed {seed}");
@@ -118,7 +125,10 @@ fn selection_is_deterministic() {
 fn targets_are_task_entries() {
     for seed in 0..CASES {
         let program = random_program(seed ^ 0x1000, 20);
-        let sel = TaskSelector::control_flow(4).select(&program);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(program));
         let fid = FuncId::new(0);
         let fp = sel.partition.func(fid);
         for (ti, _task) in fp.tasks().iter().enumerate() {
@@ -145,7 +155,10 @@ fn if_conversion_preserves_validity() {
         let max_arm = 1 + (seed as usize % 7);
         let converted = if_convert(&program, max_arm);
         assert!(converted.validate().is_ok(), "seed {seed}");
-        let sel = TaskSelector::control_flow(4).select(&converted);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(converted));
         assert!(sel.partition.validate(&sel.program).is_ok(), "seed {seed}");
     }
 }
@@ -155,7 +168,9 @@ fn if_conversion_preserves_validity() {
 fn basic_block_partition_is_singleton_cover() {
     for seed in 0..CASES {
         let program = random_program(seed ^ 0x3000, 20);
-        let sel = TaskSelector::basic_block().select(&program);
+        let sel = SelectorBuilder::new(Strategy::BasicBlock)
+            .build()
+            .select(&ProgramContext::new(program));
         let func = sel.program.function(FuncId::new(0));
         let reachable = func.reachable_blocks().len();
         let fp = &sel.partition.funcs()[0];

@@ -55,7 +55,7 @@ pub mod text;
 
 pub use block::{BasicBlock, BranchBehavior, Terminator};
 pub use builder::{FunctionBuilder, ProgramBuilder};
-pub use error::BuildError;
+pub use error::{BuildError, IrError};
 pub use inst::{FuClass, Inst, Opcode};
 pub use mem::{AddrGenId, AddrSpec};
 pub use program::{BlockId, BlockRef, FuncId, Function, Program};

@@ -22,7 +22,7 @@
 //! * in-order task retirement with task start/end overheads — completed
 //!   tasks wait for their predecessor (load imbalance).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use ms_analysis::Liveness;
 use ms_ir::{FuClass, Opcode, Program, NUM_REGS};
@@ -63,9 +63,10 @@ pub struct TaskTiming {
 /// # Example
 ///
 /// ```
+/// use ms_analysis::ProgramContext;
 /// use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
 /// use ms_sim::{SimConfig, Simulator};
-/// use ms_tasksel::TaskSelector;
+/// use ms_tasksel::{SelectorBuilder, Strategy};
 /// use ms_trace::TraceGenerator;
 ///
 /// let mut fb = FunctionBuilder::new("main");
@@ -84,7 +85,8 @@ pub struct TaskTiming {
 /// pb.define_function(m, fb.finish(entry)?);
 /// let program = pb.finish(m)?;
 ///
-/// let sel = TaskSelector::control_flow(4).select(&program);
+/// let ctx = ProgramContext::new(program);
+/// let sel = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx);
 /// let trace = TraceGenerator::new(&sel.program, 1).generate(5_000);
 /// let stats = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);
 /// assert!(stats.ipc() > 0.0);
@@ -198,8 +200,9 @@ struct Attempt {
     arb_stall: u64,
     /// Earliest violation.
     violation: Option<Violation>,
-    /// Completion of the dynamically-last write per register.
-    reg_writes: HashMap<usize, u64>,
+    /// Completion of the dynamically-last write per written register,
+    /// in dense register order.
+    reg_writes: Vec<(usize, u64)>,
     /// (addr, complete, pc) per store, program order.
     stores: Vec<(u64, u64, u64)>,
     /// Per-arc ring-wait attribution `(producer task, reg, cycles)`,
@@ -231,16 +234,37 @@ struct Engine<'a> {
     last_store: HashMap<u64, StoreSrc>,
     /// LRU list of synchronised load PCs.
     sync_table: Vec<u64>,
-    /// Per-(PU, cycle) outgoing ring slot usage — link bandwidth is a
-    /// property of the PU's ring port, shared by consecutive tasks it
-    /// runs, not per task.
-    ring_slots: HashMap<(usize, u64), u32>,
+    /// Per-PU outgoing ring slot usage, indexed by cycle — link
+    /// bandwidth is a property of the PU's ring port, shared by
+    /// consecutive tasks it runs, not per task.
+    ring_slots: Vec<Vec<u32>>,
     retire: Vec<u64>,
     /// Cached (targets, entry pc) per static task.
     target_cache: HashMap<(usize, usize), (Vec<TaskTarget>, u64)>,
     /// Per-function liveness (dead register analysis), computed lazily.
     liveness: HashMap<usize, Liveness>,
     reg_forwards: u64,
+    scratch: Scratch,
+}
+
+/// Reusable buffers for [`Engine::exec_task`], allocated once per engine
+/// so the per-instruction hot loop performs no heap allocation.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Completion of the task's last write per dense register; 0 means
+    /// unwritten (no instruction completes at cycle 0).
+    local_reg: Vec<u64>,
+    /// Store address → completion cycle within the current attempt.
+    local_store: HashMap<u64, u64>,
+    /// Issue-slot usage, indexed by cycle − fetch base.
+    issue_slots: Vec<u32>,
+    /// Issue cycle per instruction, program order.
+    issues: Vec<u64>,
+    /// Running maximum of completion cycles, program order.
+    completes_prefix_max: Vec<u64>,
+    /// Distinct cache lines the attempt's memory accesses touched (ARB
+    /// capacity tracking; small, so membership is a linear scan).
+    mem_lines: Vec<u64>,
 }
 
 impl<'a> Engine<'a> {
@@ -266,11 +290,12 @@ impl<'a> Engine<'a> {
             reg_src: vec![None; NUM_REGS],
             last_store: HashMap::new(),
             sync_table: Vec::new(),
-            ring_slots: HashMap::new(),
+            ring_slots: vec![Vec::new(); cfg.num_pus],
             retire: Vec::new(),
             target_cache: HashMap::new(),
             liveness: HashMap::new(),
             reg_forwards: 0,
+            scratch: Scratch { local_reg: vec![0; NUM_REGS], ..Scratch::default() },
         }
     }
 
@@ -318,7 +343,7 @@ impl<'a> Engine<'a> {
 
             // The sequencer reads the task descriptor; a task cache
             // miss delays dispatch by an L2 access.
-            let (_, entry_pc) = self.targets_of(dt);
+            let entry_pc = self.targets_of(dt).1;
             let desc_miss = !self.task_cache.access(entry_pc);
             if desc_miss {
                 dispatch += self.cfg.l2.hit_latency as u64;
@@ -443,11 +468,12 @@ impl<'a> Engine<'a> {
             prev_mispredicted = false;
             if let DynExit::Target(actual) = dt.exit {
                 let (targets, entry_pc) = self.targets_of(dt);
-                let actual_idx = targets.iter().position(|t| *t == actual);
+                let (actual_idx, n_targets, entry_pc) =
+                    (targets.iter().position(|t| *t == actual), targets.len(), *entry_pc);
                 let correct = match actual_idx {
-                    Some(idx) => self.task_pred.predict_and_update(entry_pc, idx, targets.len()),
+                    Some(idx) => self.task_pred.predict_and_update(entry_pc, idx, n_targets),
                     None => {
-                        self.task_pred.predict_and_update(entry_pc, 0, targets.len().max(2));
+                        self.task_pred.predict_and_update(entry_pc, 0, n_targets.max(2));
                         false
                     }
                 };
@@ -529,16 +555,15 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn targets_of(&mut self, dt: &DynTask) -> (Vec<TaskTarget>, u64) {
+    fn targets_of(&mut self, dt: &DynTask) -> &(Vec<TaskTarget>, u64) {
         let key = (dt.func.index(), dt.task.index());
-        if let Some(v) = self.target_cache.get(&key) {
-            return v.clone();
+        if !self.target_cache.contains_key(&key) {
+            let targets = self.partition.targets(self.program, dt.func, dt.task);
+            let entry = self.partition.func(dt.func).task(dt.task).entry();
+            let pc = self.program.block_pc(ms_ir::BlockRef::new(dt.func, entry));
+            self.target_cache.insert(key, (targets, pc));
         }
-        let targets = self.partition.targets(self.program, dt.func, dt.task);
-        let entry = self.partition.func(dt.func).task(dt.task).entry();
-        let pc = self.program.block_pc(ms_ir::BlockRef::new(dt.func, entry));
-        self.target_cache.insert(key, (targets.clone(), pc));
-        (targets, pc)
+        &self.target_cache[&key]
     }
 
     fn sync_insert(&mut self, pc: u64) {
@@ -553,10 +578,6 @@ impl<'a> Engine<'a> {
             self.sync_table.remove(0);
         }
         self.sync_table.push(pc);
-    }
-
-    fn is_synced(&self, pc: u64) -> bool {
-        self.sync_table.contains(&pc)
     }
 
     /// Schedules the task's register forwards onto the ring (bandwidth
@@ -577,24 +598,28 @@ impl<'a> Engine<'a> {
         let term = self.program.function(exit.func).block(exit.block).terminator();
         let filter = self.cfg.dead_reg_analysis && !term.is_call() && !term.is_return();
         let mut outs: Vec<(usize, u64)> = if filter {
-            let live = self.liveness_of(exit.func).live_out(exit.block).clone();
-            a.reg_writes.iter().filter(|(&r, _)| live.contains(r)).map(|(&r, &c)| (r, c)).collect()
+            let live = self.liveness_of(exit.func).live_out(exit.block);
+            a.reg_writes.iter().copied().filter(|&(r, _)| live.contains(r)).collect()
         } else {
-            a.reg_writes.iter().map(|(&r, &c)| (r, c)).collect()
+            a.reg_writes.clone()
         };
         self.reg_forwards += outs.len() as u64;
         outs.sort_by_key(|&(r, c)| (c, r));
         let bw = self.cfg.ring_bandwidth.max(1);
+        let slots = &mut self.ring_slots[pu];
         for (r, ready) in outs {
-            let mut cycle = ready;
+            let mut cycle = ready as usize;
             loop {
-                let used = self.ring_slots.entry((pu, cycle)).or_insert(0);
-                if *used < bw {
-                    *used += 1;
+                if cycle >= slots.len() {
+                    slots.resize(cycle + 64, 0);
+                }
+                if slots[cycle] < bw {
+                    slots[cycle] += 1;
                     break;
                 }
                 cycle += 1;
             }
+            let cycle = cycle as u64;
             if sink.enabled() {
                 sink.event(&SimEvent::FwdSend { task: k, pu, reg: r, ready, sent: cycle });
             }
@@ -615,26 +640,49 @@ impl<'a> Engine<'a> {
         force_sync: bool,
         collect: bool,
     ) -> Attempt {
-        let cfg = self.cfg;
+        // Disjoint field borrows: the loop below holds the scratch
+        // buffers mutably while driving the caches and predictors.
+        let Engine {
+            cfg,
+            program,
+            trace,
+            icache,
+            dcache,
+            gshare,
+            indirect,
+            reg_src,
+            last_store,
+            sync_table,
+            retire,
+            scratch,
+            ..
+        } = self;
+        let (cfg, program, trace) = (*cfg, *program, *trace);
         let p = cfg.num_pus;
         let fetch_base = dispatch + cfg.task_start_overhead as u64;
         let mut fetch_cycle = fetch_base;
         let mut fetched = 0u32;
         let mut cur_line = u64::MAX;
 
-        let mut local_reg: HashMap<usize, u64> = HashMap::new();
-        let mut local_store: HashMap<u64, u64> = HashMap::new(); // addr → complete
-        let mut issue_slots: HashMap<u64, u32> = HashMap::new();
+        let local_reg = &mut scratch.local_reg; // dense reg → complete (0 = unwritten)
+        local_reg.fill(0);
+        let local_store = &mut scratch.local_store; // addr → complete
+        local_store.clear();
+        let issue_slots = &mut scratch.issue_slots; // cycle − fetch_base → issued
+        issue_slots.clear();
         let mut fu_free: [Vec<u64>; 4] = [
             vec![0; cfg.fus.int as usize],
             vec![0; cfg.fus.fp as usize],
             vec![0; cfg.fus.branch as usize],
             vec![0; cfg.fus.mem as usize],
         ];
-        let mut issues: Vec<u64> = Vec::new();
-        let mut completes_prefix_max: Vec<u64> = Vec::new();
+        let issues = &mut scratch.issues;
+        issues.clear();
+        let completes_prefix_max = &mut scratch.completes_prefix_max;
+        completes_prefix_max.clear();
         let mut last_issue = 0u64;
-        let mut mem_lines: HashSet<u64> = HashSet::new();
+        let mem_lines = &mut scratch.mem_lines;
+        mem_lines.clear();
         let mut arb_overflow = false;
         let mut violation: Option<Violation> = None;
         let mut exit_ct_complete: Option<u64> = None;
@@ -650,7 +698,7 @@ impl<'a> Engine<'a> {
             arb_cycle: 0,
             arb_stall: 0,
             violation: None,
-            reg_writes: HashMap::new(),
+            reg_writes: Vec::new(),
             stores: Vec::new(),
             fwd_stalls: Vec::new(),
             w_intra: 0,
@@ -661,16 +709,14 @@ impl<'a> Engine<'a> {
         };
 
         for step_idx in dt.start..dt.end {
-            let step = &self.trace.steps()[step_idx];
+            let step = &trace.steps()[step_idx];
             let is_last_step = step_idx + 1 == dt.end;
-            let insts = self.trace.insts_of_step(step_idx, self.program);
-            let n_insts = insts.len();
-            for (j, di) in insts.into_iter().enumerate() {
+            for di in trace.inst_refs(step_idx, program) {
                 // ---- Fetch ----
                 let line = di.pc / cfg.l1i.line;
                 if line != cur_line {
                     cur_line = line;
-                    let lat = self.icache.access(di.pc);
+                    let lat = icache.access(di.pc);
                     if lat > cfg.l1i.hit_latency {
                         let stall = (lat - cfg.l1i.hit_latency) as u64;
                         fetch_cycle += stall;
@@ -692,13 +738,13 @@ impl<'a> Engine<'a> {
                 // The producing (task, reg) of the latest-arriving ring
                 // value — the arc the stall is blamed on.
                 let mut inter_src: Option<(usize, usize)> = None;
-                for src in &di.srcs {
+                for src in di.srcs {
                     let d = src.dense();
-                    if let Some(&c) = local_reg.get(&d) {
-                        intra_ready = intra_ready.max(c);
-                    } else if let Some(rs) = self.reg_src[d] {
-                        let retired =
-                            self.retire.get(rs.task).map(|&r| r <= dispatch).unwrap_or(true);
+                    let lc = local_reg[d];
+                    if lc != 0 {
+                        intra_ready = intra_ready.max(lc);
+                    } else if let Some(rs) = reg_src[d] {
+                        let retired = retire.get(rs.task).map(|&r| r <= dispatch).unwrap_or(true);
                         if !retired {
                             let m = (k - rs.task) as u64; // 1..P-1 in flight
                             let hops = m.min(p as u64);
@@ -747,13 +793,21 @@ impl<'a> Engine<'a> {
                     (0..units.len()).min_by_key(|&u| units[u]).expect("fu count >= 1")
                 };
                 let mut c = ready.max(fu_free[class_idx][unit]);
-                loop {
-                    let used = issue_slots.entry(c).or_insert(0);
-                    if *used < cfg.issue_width {
-                        *used += 1;
-                        break;
+                {
+                    // Issue cycles never precede the fetch base, so the
+                    // slot table is a dense per-attempt offset vector.
+                    let mut off = (c - fetch_base) as usize;
+                    loop {
+                        if off >= issue_slots.len() {
+                            issue_slots.resize(off + 8, 0);
+                        }
+                        if issue_slots[off] < cfg.issue_width {
+                            issue_slots[off] += 1;
+                            break;
+                        }
+                        off += 1;
                     }
-                    c += 1;
+                    c = fetch_base + off as u64;
                 }
                 a.w_res += c - ready;
                 // Reserve the unit: divides are unpipelined, everything
@@ -772,7 +826,10 @@ impl<'a> Engine<'a> {
                         if op.is_load() {
                             let addr = di.addr.expect("loads carry addresses");
                             // ARB capacity.
-                            mem_lines.insert(addr / cfg.l1d.line);
+                            let line = addr / cfg.l1d.line;
+                            if !mem_lines.contains(&line) {
+                                mem_lines.push(line);
+                            }
                             if mem_lines.len() > cfg.arb_entries_per_pu as usize && c < head_free {
                                 let stall = head_free - c;
                                 a.w_mem += stall;
@@ -790,12 +847,11 @@ impl<'a> Engine<'a> {
                                 a.w_intra += wait;
                                 c += wait;
                                 lat = 1;
-                            } else if let Some(ss) = self.last_store.get(&addr).copied() {
-                                let retired =
-                                    self.retire.get(ss.task).map(|&r| r <= c).unwrap_or(true);
+                            } else if let Some(ss) = last_store.get(&addr).copied() {
+                                let retired = retire.get(ss.task).map(|&r| r <= c).unwrap_or(true);
                                 if retired {
-                                    lat = self.dcache.access(addr) as u64;
-                                } else if self.is_synced(di.pc) || force_sync {
+                                    lat = dcache.access(addr) as u64;
+                                } else if sync_table.contains(&di.pc) || force_sync {
                                     // Synchronised: wait for the store.
                                     let wait = (ss.complete + 1).saturating_sub(c);
                                     a.w_mem += wait;
@@ -818,14 +874,17 @@ impl<'a> Engine<'a> {
                                     lat = cfg.arb_hit_latency as u64;
                                 }
                             } else {
-                                lat = self.dcache.access(addr) as u64;
+                                lat = dcache.access(addr) as u64;
                             }
                             lat = lat.max(base_lat);
                             a.w_mem += lat - 1;
                             complete = c + lat;
                         } else if op.is_store() {
                             let addr = di.addr.expect("stores carry addresses");
-                            mem_lines.insert(addr / cfg.l1d.line);
+                            let line = addr / cfg.l1d.line;
+                            if !mem_lines.contains(&line) {
+                                mem_lines.push(line);
+                            }
                             if mem_lines.len() > cfg.arb_entries_per_pu as usize && c < head_free {
                                 let stall = head_free - c;
                                 a.w_mem += stall;
@@ -858,10 +917,10 @@ impl<'a> Engine<'a> {
                         if !is_last_step {
                             let correct = match step.outcome {
                                 CtOutcome::Branch(taken) => {
-                                    self.gshare[pu].predict_and_update(di.pc, taken)
+                                    gshare[pu].predict_and_update(di.pc, taken)
                                 }
                                 CtOutcome::Switch(arm) => {
-                                    let slot = self.indirect[pu].entry(di.pc).or_insert(arm);
+                                    let slot = indirect[pu].entry(di.pc).or_insert(arm);
                                     let ok = *slot == arm;
                                     *slot = arm;
                                     ok
@@ -900,7 +959,7 @@ impl<'a> Engine<'a> {
                     );
                 }
                 if let Some(dst) = di.dst {
-                    local_reg.insert(dst.dense(), complete);
+                    local_reg[dst.dense()] = complete;
                 }
                 issues.push(c);
                 let pmax = completes_prefix_max.last().copied().unwrap_or(0).max(complete);
@@ -908,7 +967,8 @@ impl<'a> Engine<'a> {
                 last_issue = c;
                 a.insts += 1;
                 a.complete = a.complete.max(complete);
-                if di.is_ct() && is_last_step && j + 1 == n_insts {
+                // A step's CT, when emitted, is its final instruction.
+                if di.is_ct() && is_last_step {
                     exit_ct_complete = Some(complete);
                 }
             }
@@ -916,7 +976,8 @@ impl<'a> Engine<'a> {
         // The exit resolves when the final control transfer completes;
         // a task ending without one (halt) resolves at completion.
         a.resolve = exit_ct_complete.unwrap_or(a.complete);
-        a.reg_writes = local_reg;
+        a.reg_writes =
+            (0..NUM_REGS).filter(|&r| local_reg[r] != 0).map(|r| (r, local_reg[r])).collect();
         a.arb_overflow = arb_overflow;
         a.violation = violation;
         a

@@ -1,11 +1,12 @@
 //! Targeted behavioural tests of engine mechanisms: per-task time lines,
 //! ARB capacity, dead register filtering, and squash accounting.
 
+use ms_analysis::ProgramContext;
 use ms_ir::{
     AddrSpec, BranchBehavior, FunctionBuilder, Opcode, Program, ProgramBuilder, Reg, Terminator,
 };
 use ms_sim::{SimConfig, Simulator};
-use ms_tasksel::TaskSelector;
+use ms_tasksel::{SelectorBuilder, Strategy};
 use ms_trace::TraceGenerator;
 
 fn loop_program(body: usize, trips: u32, mem: Option<(u64, u64)>) -> Program {
@@ -44,7 +45,10 @@ fn loop_program(body: usize, trips: u32, mem: Option<(u64, u64)>) -> Program {
 #[test]
 fn timeline_is_well_ordered() {
     let p = loop_program(12, 20, None);
-    let sel = TaskSelector::control_flow(4).select(&p);
+    let sel = SelectorBuilder::new(Strategy::ControlFlow)
+        .max_targets(4)
+        .build()
+        .select(&ProgramContext::new(p.clone()));
     let trace = TraceGenerator::new(&sel.program, 5).generate(5_000);
     let (stats, timeline) = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition)
         .run_with_timeline(&trace);
@@ -101,7 +105,8 @@ fn arb_overflow_fires_on_huge_memory_footprints() {
     pb.define_function(m, fb.finish(entry).unwrap());
     let p = pb.finish(m).unwrap();
 
-    let sel = TaskSelector::basic_block().select(&p);
+    let sel =
+        SelectorBuilder::new(Strategy::BasicBlock).build().select(&ProgramContext::new(p.clone()));
     let trace = TraceGenerator::new(&sel.program, 1).generate(8_000);
     let stats = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);
     // 40 loads × 64 B stride = 40 distinct 32 B lines > 32 ARB entries.
@@ -111,7 +116,10 @@ fn arb_overflow_fires_on_huge_memory_footprints() {
 #[test]
 fn dead_reg_analysis_only_removes_forwards() {
     let p = loop_program(16, 25, Some((0x2000, 64)));
-    let sel = TaskSelector::control_flow(4).select(&p);
+    let sel = SelectorBuilder::new(Strategy::ControlFlow)
+        .max_targets(4)
+        .build()
+        .select(&ProgramContext::new(p.clone()));
     let trace = TraceGenerator::new(&sel.program, 9).generate(6_000);
     let dead = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);
     let naive = Simulator::new(
@@ -155,7 +163,8 @@ fn squashed_work_is_accounted() {
     pb.define_function(m, fb.finish(entry).unwrap());
     let p = pb.finish(m).unwrap();
 
-    let sel = TaskSelector::basic_block().select(&p);
+    let sel =
+        SelectorBuilder::new(Strategy::BasicBlock).build().select(&ProgramContext::new(p.clone()));
     let trace = TraceGenerator::new(&sel.program, 2).generate(6_000);
     let (stats, timeline) = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition)
         .run_with_timeline(&trace);
@@ -171,7 +180,10 @@ fn squashed_work_is_accounted() {
 #[test]
 fn cache_counters_accumulate() {
     let p = loop_program(16, 25, Some((0x8000, 4096)));
-    let sel = TaskSelector::control_flow(4).select(&p);
+    let sel = SelectorBuilder::new(Strategy::ControlFlow)
+        .max_targets(4)
+        .build()
+        .select(&ProgramContext::new(p.clone()));
     let trace = TraceGenerator::new(&sel.program, 4).generate(10_000);
     let stats = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);
     let (h, m) = stats.l1d;

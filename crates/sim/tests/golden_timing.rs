@@ -6,11 +6,12 @@
 //! cancelled by measuring *marginal* cycles: the same loop at two trip
 //! counts, divided by the trip difference.
 
+use ms_analysis::ProgramContext;
 use ms_ir::{
     BranchBehavior, FunctionBuilder, Inst, Opcode, Program, ProgramBuilder, Reg, Terminator,
 };
 use ms_sim::{SimConfig, Simulator};
-use ms_tasksel::TaskSelector;
+use ms_tasksel::{SelectorBuilder, Strategy};
 use ms_trace::TraceGenerator;
 
 /// Builds `entry → body(loop, exact trips) → exit` with the given body.
@@ -40,7 +41,8 @@ fn loop_program(body_insts: &[Inst], trips: u32) -> Program {
 }
 
 fn cycles(p: &Program, cfg: SimConfig) -> u64 {
-    let sel = TaskSelector::basic_block().select(p);
+    let sel =
+        SelectorBuilder::new(Strategy::BasicBlock).build().select(&ProgramContext::new(p.clone()));
     let trace = TraceGenerator::new(&sel.program, 1).generate_once(100_000);
     Simulator::new(cfg, &sel.program, &sel.partition).run(&trace).total_cycles
 }
@@ -146,7 +148,9 @@ fn ring_forwarding_delays_dependent_consumers() {
     // independent one none, and its spans never get *shorter*.
     let run = |dependent: bool| {
         let p = build(dependent, 10);
-        let sel = TaskSelector::basic_block().select(&p);
+        let sel = SelectorBuilder::new(Strategy::BasicBlock)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         let trace = TraceGenerator::new(&sel.program, 1).generate_once(10_000);
         let (stats, timeline) = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition)
             .run_with_timeline(&trace);
@@ -179,7 +183,8 @@ fn ring_forwarding_delays_dependent_consumers() {
 fn cross_pu_loop_pipeline_beats_single_pu() {
     let body = vec![Opcode::IMul.inst().dst(Reg::int(1)).src(Reg::int(1)).src(Reg::int(1))];
     let p = loop_program(&body, 200);
-    let sel = TaskSelector::basic_block().select(&p);
+    let sel =
+        SelectorBuilder::new(Strategy::BasicBlock).build().select(&ProgramContext::new(p.clone()));
     let trace = TraceGenerator::new(&sel.program, 1).generate_once(10_000);
     let one = Simulator::new(SimConfig::single_pu(), &sel.program, &sel.partition).run(&trace);
     let four = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);

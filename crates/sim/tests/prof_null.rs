@@ -8,8 +8,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use ms_analysis::ProgramContext;
 use ms_sim::{SimConfig, SimStats, Simulator};
-use ms_tasksel::TaskSelector;
+use ms_tasksel::{SelectorBuilder, Strategy};
 use ms_trace::TraceGenerator;
 
 /// The system allocator with a global allocation counter.
@@ -51,7 +52,10 @@ fn simulate(sel: &ms_tasksel::Selection, trace: &ms_trace::Trace) -> SimStats {
 #[test]
 fn disabled_profiling_leaves_simulation_allocations_unchanged() {
     let program = ms_workloads::by_name("compress").unwrap().build();
-    let sel = TaskSelector::control_flow(4).select(&program);
+    let sel = SelectorBuilder::new(Strategy::ControlFlow)
+        .max_targets(4)
+        .build()
+        .select(&ProgramContext::new(program.clone()));
     let trace = TraceGenerator::new(&sel.program, 7).generate(20_000);
 
     // Warm-up run: TLS slots, lazy statics, anything one-time.
@@ -91,7 +95,9 @@ fn enabled_profiling_is_visible_to_the_allocation_counter() {
     // same wrapper does allocate, so the counter is measuring the real
     // code path and a silent always-on regression cannot hide.
     let program = ms_workloads::by_name("li").unwrap().build();
-    let sel = TaskSelector::basic_block().select(&program);
+    let sel = SelectorBuilder::new(Strategy::BasicBlock)
+        .build()
+        .select(&ProgramContext::new(program.clone()));
     let trace = TraceGenerator::new(&sel.program, 7).generate(2_000);
     simulate(&sel, &trace); // warm up
 

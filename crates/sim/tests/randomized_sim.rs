@@ -5,9 +5,10 @@
 //! is deterministic and offline; `--features heavy-tests` runs a deeper
 //! sweep.
 
+use ms_analysis::ProgramContext;
 use ms_ir::SplitMix64;
 use ms_sim::{SimConfig, Simulator};
-use ms_tasksel::TaskSelector;
+use ms_tasksel::{SelectorBuilder, Strategy};
 use ms_trace::TraceGenerator;
 use ms_workloads::suite;
 
@@ -29,9 +30,14 @@ fn simulator_invariants_hold() {
         let w = &suite()[bench];
         let program = w.build();
         let sel = if cf {
-            TaskSelector::control_flow(4).select(&program)
+            SelectorBuilder::new(Strategy::ControlFlow)
+                .max_targets(4)
+                .build()
+                .select(&ProgramContext::new(program.clone()))
         } else {
-            TaskSelector::basic_block().select(&program)
+            SelectorBuilder::new(Strategy::BasicBlock)
+                .build()
+                .select(&ProgramContext::new(program.clone()))
         };
         let trace = TraceGenerator::new(&sel.program, seed).generate(3_000);
         let mut cfg = SimConfig::with_pus(pus);
@@ -68,7 +74,10 @@ fn cycles_grow_with_trace_length() {
 
         let w = &suite()[bench];
         let program = w.build();
-        let sel = TaskSelector::control_flow(4).select(&program);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(program.clone()));
         let short = TraceGenerator::new(&sel.program, seed).generate(1_000);
         let long = TraceGenerator::new(&sel.program, seed).generate(4_000);
         let cfg = SimConfig::four_pu();

@@ -1,10 +1,11 @@
 //! Behavioural tests of the Multiscalar timing engine.
 
+use ms_analysis::ProgramContext;
 use ms_ir::{
     AddrSpec, BranchBehavior, FunctionBuilder, Opcode, Program, ProgramBuilder, Reg, Terminator,
 };
 use ms_sim::{SimConfig, SimStats, Simulator};
-use ms_tasksel::TaskSelector;
+use ms_tasksel::{SelectorBuilder, Strategy};
 use ms_trace::TraceGenerator;
 
 /// A loop whose iterations are data-independent (vector-add-like):
@@ -98,7 +99,10 @@ fn conflicting_loop_program() -> Program {
 }
 
 fn run(program: &Program, config: SimConfig, insts: usize) -> SimStats {
-    let sel = TaskSelector::control_flow(4).select(program);
+    let sel = SelectorBuilder::new(Strategy::ControlFlow)
+        .max_targets(4)
+        .build()
+        .select(&ProgramContext::new(program.clone()));
     let trace = TraceGenerator::new(&sel.program, 99).generate(insts);
     Simulator::new(config, &sel.program, &sel.partition).run(&trace)
 }
@@ -124,7 +128,10 @@ fn simulation_is_deterministic() {
 #[test]
 fn retired_instructions_match_the_trace() {
     let p = parallel_loop_program(4);
-    let sel = TaskSelector::control_flow(4).select(&p);
+    let sel = SelectorBuilder::new(Strategy::ControlFlow)
+        .max_targets(4)
+        .build()
+        .select(&ProgramContext::new(p.clone()));
     let trace = TraceGenerator::new(&sel.program, 7).generate(8_000);
     let s = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);
     assert_eq!(s.total_insts, trace.num_insts() as u64);
@@ -290,8 +297,12 @@ fn branchy_loop_program() -> Program {
 fn basic_block_tasks_underperform_control_flow_tasks() {
     let p = branchy_loop_program();
     let trace_insts = 20_000;
-    let bb = TaskSelector::basic_block().select(&p);
-    let cf = TaskSelector::control_flow(4).select(&p);
+    let bb =
+        SelectorBuilder::new(Strategy::BasicBlock).build().select(&ProgramContext::new(p.clone()));
+    let cf = SelectorBuilder::new(Strategy::ControlFlow)
+        .max_targets(4)
+        .build()
+        .select(&ProgramContext::new(p.clone()));
     let t_bb = TraceGenerator::new(&bb.program, 99).generate(trace_insts);
     let t_cf = TraceGenerator::new(&cf.program, 99).generate(trace_insts);
     let s_bb = Simulator::new(SimConfig::four_pu(), &bb.program, &bb.partition).run(&t_bb);

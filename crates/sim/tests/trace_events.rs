@@ -9,10 +9,11 @@
 //! `compress` and `go` produce control squashes and memory-dependence
 //! violations at the default seed; `fpppp` stresses register forwarding.
 
+use ms_analysis::ProgramContext;
 use ms_sim::{
     JsonlSink, NullSink, SimConfig, SimStats, Simulator, Tee, TimelineSink, TraceAggregator,
 };
-use ms_tasksel::{Selection, TaskSelector};
+use ms_tasksel::{Selection, SelectorBuilder, Strategy};
 use ms_trace::TraceGenerator;
 
 const INSTS: usize = 30_000;
@@ -20,7 +21,10 @@ const SEED: u64 = 0x5eed;
 
 fn select(workload: &str) -> Selection {
     let program = ms_workloads::by_name(workload).unwrap().build();
-    TaskSelector::control_flow(4).select(&program)
+    SelectorBuilder::new(Strategy::ControlFlow)
+        .max_targets(4)
+        .build()
+        .select(&ProgramContext::new(program.clone()))
 }
 
 fn run_traced(sel: &Selection, cfg: SimConfig) -> (SimStats, TraceAggregator, JsonlSink) {

@@ -28,7 +28,8 @@
 //!
 //! ```
 //! use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
-//! use ms_tasksel::TaskSelector;
+//! use ms_analysis::ProgramContext;
+//! use ms_tasksel::{SelectorBuilder, Strategy};
 //! use ms_trace::{split_tasks, TraceGenerator};
 //!
 //! let mut fb = FunctionBuilder::new("main");
@@ -47,7 +48,8 @@
 //! pb.define_function(m, fb.finish(entry)?);
 //! let program = pb.finish(m)?;
 //!
-//! let sel = TaskSelector::control_flow(4).select(&program);
+//! let ctx = ProgramContext::new(program);
+//! let sel = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx);
 //! let trace = TraceGenerator::new(&sel.program, 7).generate(100);
 //! let tasks = split_tasks(&trace, &sel.program, &sel.partition);
 //! assert!(!tasks.is_empty());
@@ -65,4 +67,4 @@ mod step;
 pub use gen::TraceGenerator;
 pub use split::{split_tasks, DynExit, DynTask};
 pub use stats::{measure_profile, DynTaskStats};
-pub use step::{step_is_return, CtOutcome, DynInst, DynInstKind, Trace, TraceStep};
+pub use step::{step_is_return, CtOutcome, DynInst, DynInstKind, DynInstRef, Trace, TraceStep};

@@ -190,8 +190,9 @@ fn expect_task(partition: &TaskPartition, at: BlockRef) -> TaskId {
 mod tests {
     use super::*;
     use crate::gen::TraceGenerator;
+    use ms_analysis::ProgramContext;
     use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, Program, ProgramBuilder, Reg};
-    use ms_tasksel::TaskSelector;
+    use ms_tasksel::{SelectorBuilder, Strategy};
 
     fn loop_program(trips: u32) -> Program {
         let mut pb = ProgramBuilder::new();
@@ -222,7 +223,10 @@ mod tests {
     #[test]
     fn loop_iterations_become_separate_dynamic_tasks() {
         let p = loop_program(5);
-        let sel = TaskSelector::control_flow(4).select(&p);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         let trace = TraceGenerator::new(&sel.program, 1).generate_once(100);
         let tasks = split_tasks(&trace, &sel.program, &sel.partition);
         // entry task + 5 loop-body invocations + exit task.
@@ -242,9 +246,17 @@ mod tests {
     fn dynamic_tasks_tile_the_trace_exactly() {
         let p = loop_program(8);
         for sel in [
-            TaskSelector::basic_block().select(&p),
-            TaskSelector::control_flow(4).select(&p),
-            TaskSelector::data_dependence(4).select(&p),
+            SelectorBuilder::new(Strategy::BasicBlock)
+                .build()
+                .select(&ProgramContext::new(p.clone())),
+            SelectorBuilder::new(Strategy::ControlFlow)
+                .max_targets(4)
+                .build()
+                .select(&ProgramContext::new(p.clone())),
+            SelectorBuilder::new(Strategy::DataDependence)
+                .max_targets(4)
+                .build()
+                .select(&ProgramContext::new(p.clone())),
         ] {
             let trace = TraceGenerator::new(&sel.program, 3).generate(300);
             let tasks = split_tasks(&trace, &sel.program, &sel.partition);
@@ -261,7 +273,10 @@ mod tests {
     #[test]
     fn every_dynamic_task_starts_at_its_static_entry() {
         let p = loop_program(6);
-        let sel = TaskSelector::control_flow(4).select(&p);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         let trace = TraceGenerator::new(&sel.program, 5).generate(400);
         let tasks = split_tasks(&trace, &sel.program, &sel.partition);
         for t in &tasks {
@@ -291,7 +306,10 @@ mod tests {
         pb.define_function(leaf, fb.finish(l0).unwrap());
         let p = pb.finish(m).unwrap();
 
-        let sel = TaskSelector::control_flow(4).select(&p);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         let trace = TraceGenerator::new(&sel.program, 1).generate_once(100);
         let tasks = split_tasks(&trace, &sel.program, &sel.partition);
         assert_eq!(tasks.len(), 3);
@@ -322,8 +340,11 @@ mod tests {
         pb.define_function(tiny, fb.finish(l0).unwrap());
         let p = pb.finish(m).unwrap();
 
-        let sel =
-            TaskSelector::control_flow(4).with_task_size(TaskSizeParams::default()).select(&p);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .task_size(TaskSizeParams::default())
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         assert!(sel.partition.is_included_call(m, ms_ir::BlockId::new(0)));
         let trace = TraceGenerator::new(&sel.program, 1).generate_once(50);
         let tasks = split_tasks(&trace, &sel.program, &sel.partition);

@@ -100,10 +100,11 @@ mod tests {
     use super::*;
     use crate::gen::TraceGenerator;
     use crate::split::split_tasks;
+    use ms_analysis::ProgramContext;
     use ms_ir::{
         BlockRef, BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator,
     };
-    use ms_tasksel::TaskSelector;
+    use ms_tasksel::{SelectorBuilder, Strategy};
 
     fn looped_call_program() -> Program {
         let mut pb = ProgramBuilder::new();
@@ -158,7 +159,10 @@ mod tests {
     #[test]
     fn dyn_task_stats_count_instructions_and_cts() {
         let p = looped_call_program();
-        let sel = TaskSelector::control_flow(4).select(&p);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(p.clone()));
         let trace = TraceGenerator::new(&sel.program, 2).generate(500);
         let tasks = split_tasks(&trace, &sel.program, &sel.partition);
         let stats = DynTaskStats::compute(&tasks, &trace, &sel.program);

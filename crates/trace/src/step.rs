@@ -91,6 +91,30 @@ impl DynInst {
     }
 }
 
+/// A borrowed view of one dynamic instruction — [`DynInst`] without the
+/// copied-out operand list. [`Trace::inst_refs`] yields these so the
+/// simulator's per-instruction loop allocates nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct DynInstRef<'p> {
+    /// Instruction address.
+    pub pc: u64,
+    /// Operation kind.
+    pub kind: DynInstKind,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Source registers, borrowed from the program.
+    pub srcs: &'p [Reg],
+    /// Concrete memory address for loads/stores.
+    pub addr: Option<u64>,
+}
+
+impl DynInstRef<'_> {
+    /// Whether this is a control transfer.
+    pub fn is_ct(&self) -> bool {
+        matches!(self.kind, DynInstKind::Ct)
+    }
+}
+
 /// A correct-path dynamic instruction stream, stored as a sequence of
 /// block executions.
 ///
@@ -130,12 +154,35 @@ impl Trace {
     ///
     /// Panics if `idx` is out of range.
     pub fn insts_of_step(&self, idx: usize, program: &Program) -> Vec<DynInst> {
+        self.inst_refs(idx, program)
+            .map(|r| DynInst {
+                pc: r.pc,
+                kind: r.kind,
+                dst: r.dst,
+                srcs: r.srcs.to_vec(),
+                addr: r.addr,
+            })
+            .collect()
+    }
+
+    /// The dynamic instructions of step `idx` as borrowed views —
+    /// [`Trace::insts_of_step`] without the materialisation. The
+    /// simulator's hot loop runs on this; a step's control transfer, if
+    /// it emits one, is always the final instruction yielded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn inst_refs<'p>(
+        &'p self,
+        idx: usize,
+        program: &'p Program,
+    ) -> impl Iterator<Item = DynInstRef<'p>> {
         let step = &self.steps[idx];
         let blk = program.function(step.block.func).block(step.block.block);
         let pc0 = program.block_pc(step.block);
-        let mut out = Vec::with_capacity(blk.insts().len() + 1);
         let mut mem_i = 0usize;
-        for (i, inst) in blk.insts().iter().enumerate() {
+        let ops = blk.insts().iter().enumerate().map(move |(i, inst)| {
             let addr = if inst.opcode().is_mem() {
                 let a = step.mem_addrs.get(mem_i).copied();
                 mem_i += 1;
@@ -143,24 +190,22 @@ impl Trace {
             } else {
                 None
             };
-            out.push(DynInst {
+            DynInstRef {
                 pc: pc0 + 4 * i as u64,
                 kind: DynInstKind::Op(inst.opcode()),
                 dst: inst.dst_reg(),
-                srcs: inst.srcs().to_vec(),
+                srcs: inst.srcs(),
                 addr,
-            });
-        }
-        if blk.terminator().emits_ct_inst() {
-            out.push(DynInst {
-                pc: pc0 + 4 * blk.insts().len() as u64,
-                kind: DynInstKind::Ct,
-                dst: None,
-                srcs: blk.terminator().cond_regs().to_vec(),
-                addr: None,
-            });
-        }
-        out
+            }
+        });
+        let ct = blk.terminator().emits_ct_inst().then(|| DynInstRef {
+            pc: pc0 + 4 * blk.insts().len() as u64,
+            kind: DynInstKind::Ct,
+            dst: None,
+            srcs: blk.terminator().cond_regs(),
+            addr: None,
+        });
+        ops.chain(ct)
     }
 }
 

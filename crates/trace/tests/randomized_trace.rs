@@ -6,7 +6,8 @@
 //! suite is deterministic and offline; `--features heavy-tests` runs a
 //! deeper sweep.
 
-use ms_tasksel::TaskSelector;
+use ms_analysis::ProgramContext;
+use ms_tasksel::{SelectorBuilder, Strategy};
 use ms_trace::{split_tasks, CtOutcome, TraceGenerator};
 use ms_workloads::{fill_block, OpMix, RegPool};
 
@@ -95,9 +96,17 @@ fn dynamic_tasks_tile_and_start_at_entries() {
 
         let p = build_program(seed, diamonds, trips, body);
         for sel in [
-            TaskSelector::basic_block().select(&p),
-            TaskSelector::control_flow(4).select(&p),
-            TaskSelector::data_dependence(4).select(&p),
+            SelectorBuilder::new(Strategy::BasicBlock)
+                .build()
+                .select(&ProgramContext::new(p.clone())),
+            SelectorBuilder::new(Strategy::ControlFlow)
+                .max_targets(4)
+                .build()
+                .select(&ProgramContext::new(p.clone())),
+            SelectorBuilder::new(Strategy::DataDependence)
+                .max_targets(4)
+                .build()
+                .select(&ProgramContext::new(p.clone())),
         ] {
             let trace = TraceGenerator::new(&sel.program, seed).generate(1_500);
             let tasks = split_tasks(&trace, &sel.program, &sel.partition);

@@ -71,10 +71,11 @@ fn main() {
 
     println!("{program}");
 
+    let ctx = ProgramContext::new(program);
     for sel in [
-        TaskSelector::basic_block().select(&program),
-        TaskSelector::control_flow(4).select(&program),
-        TaskSelector::data_dependence(4).select(&program),
+        SelectorBuilder::new(Strategy::BasicBlock).build().select(&ctx),
+        SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx),
+        SelectorBuilder::new(Strategy::DataDependence).max_targets(4).build().select(&ctx),
     ] {
         let fp = &sel.partition.funcs()[0];
         println!("── {} tasks ──", sel.partition.strategy());

@@ -13,14 +13,16 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_string());
     let strategy = std::env::args().nth(2).unwrap_or_else(|| "cf".to_string());
     let workload = multiscalar::workloads::by_name(&name).expect("known benchmark name");
-    let program = workload.build();
+    let ctx = ProgramContext::new(workload.build());
     let sel = match strategy.as_str() {
-        "bb" => TaskSelector::basic_block().select(&program),
-        "cf" => TaskSelector::control_flow(4).select(&program),
-        "dd" => TaskSelector::data_dependence(4).select(&program),
-        "ts" => TaskSelector::data_dependence(4)
-            .with_task_size(TaskSizeParams::default())
-            .select(&program),
+        "bb" => SelectorBuilder::new(Strategy::BasicBlock).build().select(&ctx),
+        "cf" => SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx),
+        "dd" => SelectorBuilder::new(Strategy::DataDependence).max_targets(4).build().select(&ctx),
+        "ts" => SelectorBuilder::new(Strategy::DataDependence)
+            .max_targets(4)
+            .task_size(TaskSizeParams::default())
+            .build()
+            .select(&ctx),
         other => panic!("unknown strategy `{other}` (bb|cf|dd|ts)"),
     };
     print!("{}", to_dot(&sel.program, &sel.partition, sel.program.entry()));

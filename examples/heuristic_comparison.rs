@@ -10,17 +10,27 @@ use multiscalar::prelude::*;
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "perl".to_string());
     let workload = multiscalar::workloads::by_name(&name).expect("known benchmark name");
-    let program = workload.build();
+    // One shared context: the CFG analyses are computed once and reused
+    // by all four strategies instead of once per strategy.
+    let ctx = ProgramContext::new(workload.build());
 
     let strategies: Vec<(&str, Selection)> = vec![
-        ("basic block", TaskSelector::basic_block().select(&program)),
-        ("control flow", TaskSelector::control_flow(4).select(&program)),
-        ("data dependence", TaskSelector::data_dependence(4).select(&program)),
+        ("basic block", SelectorBuilder::new(Strategy::BasicBlock).build().select(&ctx)),
+        (
+            "control flow",
+            SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx),
+        ),
+        (
+            "data dependence",
+            SelectorBuilder::new(Strategy::DataDependence).max_targets(4).build().select(&ctx),
+        ),
         (
             "dd + task size",
-            TaskSelector::data_dependence(4)
-                .with_task_size(TaskSizeParams::default())
-                .select(&program),
+            SelectorBuilder::new(Strategy::DataDependence)
+                .max_targets(4)
+                .task_size(TaskSizeParams::default())
+                .build()
+                .select(&ctx),
         ),
     ];
 

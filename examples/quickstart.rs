@@ -27,8 +27,10 @@ fn main() {
     );
 
     // 2. Partition it into Multiscalar tasks with the control flow
-    //    heuristic (the paper's N = 4 target limit).
-    let sel = TaskSelector::control_flow(4).select(&program);
+    //    heuristic (the paper's N = 4 target limit). The context computes
+    //    each analysis lazily, once, and shares it between consumers.
+    let ctx = ProgramContext::new(program);
+    let sel = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx);
     sel.partition.validate(&sel.program).expect("partition invariants hold");
     println!("tasks: {} ({} strategy)", sel.partition.num_tasks(), sel.partition.strategy());
 

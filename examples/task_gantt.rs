@@ -13,7 +13,10 @@ fn main() {
     let pus: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     let workload = multiscalar::workloads::by_name(&name).expect("known benchmark name");
     let program = workload.build();
-    let sel = TaskSelector::data_dependence(4).select(&program);
+    let sel = SelectorBuilder::new(Strategy::DataDependence)
+        .max_targets(4)
+        .build()
+        .select(&ProgramContext::new(program));
     let trace = TraceGenerator::new(&sel.program, 0x5eed).generate(2_000);
     let (stats, timeline) = Simulator::new(SimConfig::with_pus(pus), &sel.program, &sel.partition)
         .run_with_timeline(&trace);

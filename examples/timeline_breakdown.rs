@@ -16,9 +16,13 @@ fn main() {
         "bench", "part", "start", "useful", "intra", "inter", "mem", "imbal", "ctrl", "memsq"
     );
     for w in multiscalar::workloads::suite() {
+        let ctx = ProgramContext::new(w.build());
         for (label, sel) in [
-            ("bb", TaskSelector::basic_block().select(&w.build())),
-            ("dd", TaskSelector::data_dependence(4).select(&w.build())),
+            ("bb", SelectorBuilder::new(Strategy::BasicBlock).build().select(&ctx)),
+            (
+                "dd",
+                SelectorBuilder::new(Strategy::DataDependence).max_targets(4).build().select(&ctx),
+            ),
         ] {
             let trace = TraceGenerator::new(&sel.program, 0x5eed).generate(60_000);
             let stats =

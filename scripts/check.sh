@@ -11,10 +11,12 @@
 # 3. rustdoc with warnings denied (missing docs and broken intra-doc
 #    links fail the build),
 # 4. formatting,
-# 5. docs gate: the metric tables in EXPERIMENTS.md / docs/METRICS.md /
+# 5. public-API snapshot: every `pub` declaration must match
+#    tests/api_snapshot.txt (MS_BLESS=1 to re-bless deliberately),
+# 6. docs gate: the metric tables in EXPERIMENTS.md / docs/METRICS.md /
 #    docs/PROFILING.md must only name fields that still exist in the
 #    source,
-# 6. perf smoke: `run -- perf --reps 1` must emit a BENCH document that
+# 7. perf smoke: `run -- perf --reps 1` must emit a BENCH document that
 #    passes its own schema validation (docs/PROFILING.md). Opt-in perf
 #    regression gate: set MS_PERF_BASELINE to a BENCH_*.json to also
 #    fail on phase regressions against it.
@@ -32,6 +34,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> public API snapshot (tests/api_snapshot.txt)"
+# An unreviewed signature change to the typed public surface fails here;
+# deliberate changes are re-blessed with MS_BLESS=1 and show up in the diff.
+cargo test --release -q --test api_snapshot
 
 echo "==> docs gate (metric tables vs. source)"
 # Every backticked snake_case name opening a markdown table row in the

@@ -17,8 +17,10 @@
 //!
 //! // A SPEC95-shaped synthetic workload.
 //! let program = multiscalar::workloads::by_name("tomcatv").unwrap().build();
+//! // Analyses are computed lazily and shared through the context.
+//! let ctx = ProgramContext::new(program);
 //! // Partition with the control flow heuristic (max 4 task targets).
-//! let sel = TaskSelector::control_flow(4).select(&program);
+//! let sel = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx);
 //! // Generate a dynamic trace and simulate the paper's 4-PU machine.
 //! let trace = TraceGenerator::new(&sel.program, 7).generate(20_000);
 //! let stats = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);
@@ -34,9 +36,11 @@ pub use ms_workloads as workloads;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use ms_analysis::Profile;
+    pub use ms_analysis::{Profile, ProgramContext};
     pub use ms_ir::{Program, ProgramBuilder};
     pub use ms_sim::{SimConfig, SimStats, Simulator};
-    pub use ms_tasksel::{Selection, TaskPartition, TaskSelector, TaskSizeParams};
+    pub use ms_tasksel::{
+        Selection, SelectorBuilder, Strategy, TaskPartition, TaskSelector, TaskSizeParams,
+    };
     pub use ms_trace::{split_tasks, Trace, TraceGenerator};
 }

@@ -21,12 +21,14 @@ fn fp_suite_heuristics_beat_basic_blocks_on_4_pus() {
     let mut wins = 0;
     let mut total = 0;
     for w in multiscalar::workloads::fp_suite() {
-        let program = w.build();
-        let bb = TaskSelector::basic_block().select(&program);
-        let cf = TaskSelector::control_flow(4).select(&program);
-        let ts = TaskSelector::data_dependence(4)
-            .with_task_size(TaskSizeParams::default())
-            .select(&program);
+        let ctx = ProgramContext::new(w.build());
+        let bb = SelectorBuilder::new(Strategy::BasicBlock).build().select(&ctx);
+        let cf = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx);
+        let ts = SelectorBuilder::new(Strategy::DataDependence)
+            .max_targets(4)
+            .task_size(TaskSizeParams::default())
+            .build()
+            .select(&ctx);
         let bb_ipc = ipc(&bb, SimConfig::four_pu(), 40_000);
         let best =
             ipc(&cf, SimConfig::four_pu(), 40_000).max(ipc(&ts, SimConfig::four_pu(), 40_000));
@@ -46,9 +48,9 @@ fn task_size_shapes_match_table1() {
     let mut int_sizes = Vec::new();
     let mut fp_sizes = Vec::new();
     for w in multiscalar::workloads::suite() {
-        let program = w.build();
-        let bb = TaskSelector::basic_block().select(&program);
-        let cf = TaskSelector::control_flow(4).select(&program);
+        let ctx = ProgramContext::new(w.build());
+        let bb = SelectorBuilder::new(Strategy::BasicBlock).build().select(&ctx);
+        let cf = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx);
         let s_bb = stats(&bb, SimConfig::eight_pu(), 30_000);
         let s_cf = stats(&cf, SimConfig::eight_pu(), 30_000);
         assert!(
@@ -79,8 +81,8 @@ fn task_size_shapes_match_table1() {
 #[test]
 fn normalized_branch_misprediction_is_bounded_by_task_misprediction() {
     for name in ["go", "gcc", "li", "perl"] {
-        let program = multiscalar::workloads::by_name(name).unwrap().build();
-        let cf = TaskSelector::control_flow(4).select(&program);
+        let ctx = ProgramContext::new(multiscalar::workloads::by_name(name).unwrap().build());
+        let cf = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx);
         let s = stats(&cf, SimConfig::eight_pu(), 40_000);
         assert!(
             s.br_mispred_pct_normalized() <= s.task_mispred_pct() + 1e-9,
@@ -98,9 +100,9 @@ fn window_spans_match_table1_shape() {
     let mut int_spans = Vec::new();
     let mut fp_spans = Vec::new();
     for w in multiscalar::workloads::suite() {
-        let program = w.build();
-        let bb = TaskSelector::basic_block().select(&program);
-        let dd = TaskSelector::data_dependence(4).select(&program);
+        let ctx = ProgramContext::new(w.build());
+        let bb = SelectorBuilder::new(Strategy::BasicBlock).build().select(&ctx);
+        let dd = SelectorBuilder::new(Strategy::DataDependence).max_targets(4).build().select(&ctx);
         let s_bb = stats(&bb, SimConfig::eight_pu(), 30_000);
         let s_dd = stats(&dd, SimConfig::eight_pu(), 30_000);
         assert!(
@@ -133,11 +135,14 @@ fn window_spans_match_table1_shape() {
 #[test]
 fn task_size_transforms_its_responders() {
     for name in ["compress", "fpppp"] {
-        let program = multiscalar::workloads::by_name(name).unwrap().build();
-        let plain = TaskSelector::data_dependence(4).select(&program);
-        let ts = TaskSelector::data_dependence(4)
-            .with_task_size(TaskSizeParams::default())
-            .select(&program);
+        let ctx = ProgramContext::new(multiscalar::workloads::by_name(name).unwrap().build());
+        let plain =
+            SelectorBuilder::new(Strategy::DataDependence).max_targets(4).build().select(&ctx);
+        let ts = SelectorBuilder::new(Strategy::DataDependence)
+            .max_targets(4)
+            .task_size(TaskSizeParams::default())
+            .build()
+            .select(&ctx);
         let plain_stats = stats(&plain, SimConfig::four_pu(), 40_000);
         let ts_stats = stats(&ts, SimConfig::four_pu(), 40_000);
         assert!(
@@ -161,8 +166,8 @@ fn task_size_transforms_its_responders() {
 fn memory_speculation_squashes_and_synchronises() {
     // compress's hash table and global counters produce genuine
     // cross-task memory dependences.
-    let program = multiscalar::workloads::by_name("compress").unwrap().build();
-    let sel = TaskSelector::basic_block().select(&program);
+    let ctx = ProgramContext::new(multiscalar::workloads::by_name("compress").unwrap().build());
+    let sel = SelectorBuilder::new(Strategy::BasicBlock).build().select(&ctx);
     let trace = TraceGenerator::new(&sel.program, 0x5eed).generate(60_000);
     let s = Simulator::new(SimConfig::eight_pu(), &sel.program, &sel.partition).run(&trace);
     assert!(s.violations > 0, "compress must violate at least once");

@@ -2,17 +2,20 @@
 //! (build → select → trace → split → simulate) under every strategy.
 
 use multiscalar::prelude::*;
-use multiscalar::tasksel::TaskSelector as Sel;
 
 #[test]
 fn every_workload_runs_end_to_end_under_every_strategy() {
     for w in multiscalar::workloads::suite() {
-        let program = w.build();
+        let ctx = ProgramContext::new(w.build());
         for sel in [
-            Sel::basic_block().select(&program),
-            Sel::control_flow(4).select(&program),
-            Sel::data_dependence(4).select(&program),
-            Sel::data_dependence(4).with_task_size(TaskSizeParams::default()).select(&program),
+            SelectorBuilder::new(Strategy::BasicBlock).build().select(&ctx),
+            SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(&ctx),
+            SelectorBuilder::new(Strategy::DataDependence).max_targets(4).build().select(&ctx),
+            SelectorBuilder::new(Strategy::DataDependence)
+                .max_targets(4)
+                .task_size(TaskSizeParams::default())
+                .build()
+                .select(&ctx),
         ] {
             sel.partition
                 .validate(&sel.program)
@@ -76,7 +79,10 @@ fn window_span_formula_tracks_measurement() {
     // ballpark as the time-averaged measurement.
     for name in ["applu", "go", "perl"] {
         let program = multiscalar::workloads::by_name(name).unwrap().build();
-        let sel = TaskSelector::control_flow(4).select(&program);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(program));
         let trace = TraceGenerator::new(&sel.program, 9).generate(40_000);
         let stats = Simulator::new(SimConfig::eight_pu(), &sel.program, &sel.partition).run(&trace);
         let formula = stats.window_span_formula();
@@ -94,9 +100,11 @@ fn transformed_programs_stay_traceable() {
     // generator and splitter still agree on.
     for name in ["compress", "fpppp", "li"] {
         let program = multiscalar::workloads::by_name(name).unwrap().build();
-        let sel = TaskSelector::control_flow(4)
-            .with_task_size(TaskSizeParams::default())
-            .select(&program);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .task_size(TaskSizeParams::default())
+            .build()
+            .select(&ProgramContext::new(program));
         assert!(sel.program.validate().is_ok());
         let trace = TraceGenerator::new(&sel.program, 5).generate(10_000);
         let tasks = split_tasks(&trace, &sel.program, &sel.partition);
@@ -109,7 +117,10 @@ fn transformed_programs_stay_traceable() {
 fn single_pu_is_a_lower_bound_for_loop_parallel_codes() {
     for name in ["swim", "mgrid", "wave5"] {
         let program = multiscalar::workloads::by_name(name).unwrap().build();
-        let sel = TaskSelector::control_flow(4).select(&program);
+        let sel = SelectorBuilder::new(Strategy::ControlFlow)
+            .max_targets(4)
+            .build()
+            .select(&ProgramContext::new(program));
         let trace = TraceGenerator::new(&sel.program, 21).generate(30_000);
         let one = Simulator::new(SimConfig::single_pu(), &sel.program, &sel.partition).run(&trace);
         let eight = Simulator::new(SimConfig::eight_pu(), &sel.program, &sel.partition).run(&trace);

@@ -14,7 +14,10 @@ fn golden_msir_parses_and_runs() {
     assert_eq!(program.num_functions(), 1);
     assert_eq!(program.addr_gens().len(), 4);
 
-    let sel = TaskSelector::data_dependence(4).select(&program);
+    let sel = SelectorBuilder::new(Strategy::DataDependence)
+        .max_targets(4)
+        .build()
+        .select(&ProgramContext::new(program));
     sel.partition.validate(&sel.program).expect("partition invariants");
     let trace = TraceGenerator::new(&sel.program, 1).generate(5_000);
     let stats = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition).run(&trace);
@@ -33,8 +36,9 @@ fn golden_msir_round_trips() {
 fn if_converted_programs_execute_fewer_control_transfers() {
     let program = parse_program(GOLDEN).expect("golden file parses");
     let converted = multiscalar::tasksel::if_convert(&program, 8);
-    let sel_a = TaskSelector::control_flow(4).select(&program);
-    let sel_b = TaskSelector::control_flow(4).select(&converted);
+    let cf = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build();
+    let sel_a = cf.select(&ProgramContext::new(program));
+    let sel_b = cf.select(&ProgramContext::new(converted));
     let t_a = TraceGenerator::new(&sel_a.program, 3).generate(20_000);
     let t_b = TraceGenerator::new(&sel_b.program, 3).generate(20_000);
     let s_a = Simulator::new(SimConfig::four_pu(), &sel_a.program, &sel_a.partition).run(&t_a);
