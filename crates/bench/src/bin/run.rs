@@ -34,6 +34,12 @@
 //! cargo run -p ms-bench --release --bin run -- perf-validate BENCH_abc1234.json
 //! ```
 //!
+//! Fuzz mode (differential conformance — see `docs/CONFORMANCE.md`):
+//!
+//! ```text
+//! cargo run -p ms-bench --release --bin run -- fuzz --seeds 500
+//! ```
+//!
 //! All flags live in `ms_bench::cli` and are shared across subcommands
 //! (`--out DIR`, `--jobs N`, `--strategy`, `--reps`, …).
 
@@ -42,10 +48,12 @@ use std::path::Path;
 use ms_analysis::ProgramContext;
 use ms_bench::cli::{self, Flags};
 use ms_bench::error::closest;
+use ms_bench::fuzzcmd;
 use ms_bench::perfcmd::{self, PerfOptions};
 use ms_bench::sweeps::{run_sweep, SweepSpec, SWEEP_NAMES};
 use ms_bench::tracecmd::trace_selection;
 use ms_bench::{run_selection, BenchError, DEFAULT_TRACE_INSTS};
+use ms_conform::FuzzParams;
 use ms_ir::Program;
 use ms_sim::SimConfig;
 use ms_workloads::{by_name, suite};
@@ -104,15 +112,21 @@ fn unknown_benchmark(name: &str) -> ! {
     std::process::exit(2);
 }
 
-/// `run -- list`: the typed sweep registry and the workload suite.
-fn run_list() {
-    println!("sweeps (per-cell metrics artifacts under --out):");
-    for spec in SweepSpec::ALL {
-        println!("  {:<12} schema v{}  {}", spec.name(), spec.schema_version(), spec.describe());
+/// `run -- fuzz`: the differential conformance fuzz loop (see
+/// `docs/CONFORMANCE.md`), minimal repros written under `<out>/fuzz/`.
+fn run_fuzz(flags: &Flags) {
+    let params = FuzzParams {
+        max_blocks: flags.max_blocks,
+        insts: flags.insts.unwrap_or(FuzzParams::default().insts),
+        inject: flags.inject,
+    };
+    let report = fuzzcmd::run_fuzz(flags.seeds, flags.seed, &params, flags.jobs, &flags.out);
+    for (path, body) in &report.artifacts {
+        write_or_die(path, body);
     }
-    println!("benchmarks (single runs; also the sweeps' workloads):");
-    for w in suite() {
-        println!("  {}", w.name);
+    print!("{}", report.text);
+    if !report.failures.is_empty() {
+        std::process::exit(1);
     }
 }
 
@@ -302,7 +316,8 @@ fn main() {
         return;
     }
     match cmd {
-        "list" => run_list(),
+        "list" => print!("{}", cli::list_text()),
+        "fuzz" => run_fuzz(&flags),
         "perf" => run_perf(&flags),
         "perf-validate" => match positionals.get(1) {
             Some(path) => run_perf_validate(path),

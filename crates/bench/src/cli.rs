@@ -59,7 +59,18 @@ pub struct Flags {
     /// `--bench-out FILE`: where `perf` writes the `BENCH_*.json`
     /// (default `BENCH_<gitshort>.json` in the current directory).
     pub bench_out: Option<PathBuf>,
+    /// `--seeds N`: fuzz cases for `fuzz` (default
+    /// [`DEFAULT_FUZZ_SEEDS`]).
+    pub seeds: u64,
+    /// `--max-blocks N`: generated-program size cap for `fuzz`.
+    pub max_blocks: usize,
+    /// `--inject`: enable the engine's test-only fault injection so the
+    /// fuzz loop demonstrably fails (a self-test of the harness).
+    pub inject: bool,
 }
+
+/// Default fuzz cases per `run -- fuzz` sweep.
+pub const DEFAULT_FUZZ_SEEDS: u64 = 100;
 
 impl Default for Flags {
     fn default() -> Self {
@@ -81,6 +92,9 @@ impl Default for Flags {
             max_regress: DEFAULT_MAX_REGRESS_PCT,
             noise_floor_ns: DEFAULT_NOISE_FLOOR_NS,
             bench_out: None,
+            seeds: DEFAULT_FUZZ_SEEDS,
+            max_blocks: ms_conform::FuzzParams::default().max_blocks,
+            inject: false,
         }
     }
 }
@@ -157,6 +171,23 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<(Vec<String>, Flags),
                     .map_err(|e| BenchError::Usage(format!("--noise-floor-ns: {e}")))?
             }
             "--bench-out" => flags.bench_out = Some(PathBuf::from(value("--bench-out")?)),
+            "--seeds" => {
+                flags.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| BenchError::Usage(format!("--seeds: {e}")))?;
+                if flags.seeds == 0 {
+                    return Err(BenchError::Usage("--seeds must be at least 1".into()));
+                }
+            }
+            "--max-blocks" => {
+                flags.max_blocks = value("--max-blocks")?
+                    .parse()
+                    .map_err(|e| BenchError::Usage(format!("--max-blocks: {e}")))?;
+                if flags.max_blocks == 0 {
+                    return Err(BenchError::Usage("--max-blocks must be at least 1".into()));
+                }
+            }
+            "--inject" => flags.inject = true,
             "-h" | "--help" => positionals.insert(0, "help".to_string()),
             other if !other.starts_with("--") => positionals.push(other.to_string()),
             other => {
@@ -186,6 +217,10 @@ subcommands
                          + <out>/perf/pipeline.chrome.json      [perf schema v{perf}]
   perf-validate <file>   check a BENCH_*.json against the perf schema, exit non-zero
                          on a mismatch
+  fuzz                   differential conformance fuzzing: random programs x all four
+                         heuristics vs the sequential reference model; minimal repros
+                         -> <out>/fuzz/seed<seed>-<strategy>.msir, exit non-zero on
+                         any failure (see docs/CONFORMANCE.md)
   list                   enumerate sweeps (with schema versions) and benchmarks
   help                   this text
 
@@ -195,6 +230,8 @@ single-run flags  --strategy bb|cf|dd|ts  --pus N  --in-order  --insts N  --seed
 perf flags        --reps N (default {reps})  --insts N  --bench-out FILE
                   --baseline FILE  --max-regress PCT (default {regress})
                   --noise-floor-ns N (default {floor})
+fuzz flags        --seeds N (default {seeds})  --max-blocks N (default {blocks})
+                  --insts N  --seed N (base seed)  --inject (fault-injection self-test)
 
 The perf-regression gate: `run -- perf --baseline BENCH_old.json` exits non-zero
 if any phase slower than the noise floor regressed by more than --max-regress
@@ -207,7 +244,31 @@ percent. docs/PROFILING.md documents the BENCH_*.json trajectory convention.
         reps = DEFAULT_PERF_REPS,
         regress = DEFAULT_MAX_REGRESS_PCT,
         floor = DEFAULT_NOISE_FLOOR_NS,
+        seeds = DEFAULT_FUZZ_SEEDS,
+        blocks = ms_conform::FuzzParams::default().max_blocks,
     )
+}
+
+/// The `run -- list` text: the typed sweep registry and the workload
+/// suite (factored out of the binary so the golden test can pin it).
+pub fn list_text() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("sweeps (per-cell metrics artifacts under --out):\n");
+    for spec in crate::sweeps::SweepSpec::ALL {
+        let _ = writeln!(
+            out,
+            "  {:<12} schema v{}  {}",
+            spec.name(),
+            spec.schema_version(),
+            spec.describe()
+        );
+    }
+    out.push_str("benchmarks (single runs; also the sweeps' workloads):\n");
+    for w in ms_workloads::suite() {
+        let _ = writeln!(out, "  {}", w.name);
+    }
+    out
 }
 
 #[cfg(test)]

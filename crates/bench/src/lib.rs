@@ -15,8 +15,12 @@
 //! The `run -- perf` subcommand ([`perfcmd`]) runs the canonical cells
 //! under the `ms-prof` pipeline profiler, writes the schema-versioned
 //! `BENCH_<gitshort>.json` perf trajectory, and gates against a
-//! baseline (`--baseline`). Every subcommand shares one flag parser
-//! ([`cli`]) and one timing policy ([`microbench`]).
+//! baseline (`--baseline`). The `run -- fuzz` subcommand ([`fuzzcmd`])
+//! drives the `ms-conform` differential fuzz loop — random programs
+//! through every heuristic under the conformance checker, minimal
+//! reproducers written as `.msir` artifacts (see `docs/CONFORMANCE.md`).
+//! Every subcommand shares one flag parser ([`cli`]) and one timing
+//! policy ([`microbench`]).
 //!
 //! This crate is the *reporting* stage of the data flow — everything
 //! upstream (IR → selection → trace → simulation) stays in the library
@@ -30,6 +34,7 @@
 
 pub mod cli;
 pub mod error;
+pub mod fuzzcmd;
 pub mod harness;
 pub mod json;
 pub mod microbench;

@@ -1,0 +1,116 @@
+//! Differential comparison: the engine's committed outcome (as recorded
+//! by [`CheckSink`]) against the sequential [`Reference`] model.
+//!
+//! The [`CheckSink`] judges the event stream against itself and against
+//! the run's [`SimStats`]; this module judges both against an
+//! *independent* oracle. A self-consistent engine bug — one that
+//! miscounts but reconciles its own events and counters — passes every
+//! streaming check and fails here.
+
+use ms_sim::{CheckSink, SimStats};
+
+use crate::reference::Reference;
+
+/// Cap on reported differences (mirrors the sink's own error cap).
+const MAX_DIFFS: usize = 64;
+
+/// Compares the engine's recorded outcome against the reference model.
+/// Returns one message per disagreement; empty means conformant.
+pub fn diff(reference: &Reference, check: &CheckSink, stats: &SimStats) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut dropped = 0u64;
+    let mut push = |out: &mut Vec<String>, msg: String| {
+        if out.len() < MAX_DIFFS {
+            out.push(msg);
+        } else {
+            dropped += 1;
+        }
+    };
+
+    if reference.tasks.len() != stats.num_dyn_tasks {
+        push(
+            &mut out,
+            format!(
+                "reference sees {} dynamic tasks, engine committed {}",
+                reference.tasks.len(),
+                stats.num_dyn_tasks
+            ),
+        );
+    }
+    if reference.total_insts != stats.total_insts {
+        push(
+            &mut out,
+            format!(
+                "reference counts {} insts, engine retired {}",
+                reference.total_insts, stats.total_insts
+            ),
+        );
+    }
+    if reference.total_ct_insts != stats.ct_insts {
+        push(
+            &mut out,
+            format!(
+                "reference counts {} ct insts, engine retired {}",
+                reference.total_ct_insts, stats.ct_insts
+            ),
+        );
+    }
+
+    // Per-task identity: the engine must dispatch the same static task of
+    // the same function that the sequential walk enters.
+    for (rt, d) in reference.tasks.iter().zip(check.dispatches()) {
+        if (rt.func, rt.static_task) != (d.func, d.static_task) {
+            push(
+                &mut out,
+                format!(
+                    "task {}: reference enters fn {} task {}, engine dispatched fn {} task {}",
+                    d.task, rt.func, rt.static_task, d.func, d.static_task
+                ),
+            );
+        }
+    }
+
+    // Per-task instruction counts: what each commit retires must equal
+    // the program-order walk of its step range.
+    for (rt, c) in reference.tasks.iter().zip(check.commits()) {
+        if rt.insts != c.insts {
+            push(
+                &mut out,
+                format!(
+                    "task {}: reference walks {} insts, engine committed {}",
+                    c.task, rt.insts, c.insts
+                ),
+            );
+        }
+    }
+
+    // Forwarded registers must be registers the producing task writes.
+    for &(task, reg) in check.sends() {
+        let Some(rt) = reference.tasks.get(task) else { continue };
+        if rt.writes >> reg & 1 == 0 {
+            push(&mut out, format!("task {task}: forwarded reg {reg} that the task never writes"));
+        }
+    }
+
+    // Every memory squash must blame a (store_pc, load_pc) pair the
+    // sequential walk identifies as a real cross-task conflict.
+    for sq in check.mem_squashes() {
+        if !reference.mem_conflicts.contains(&(sq.store_pc, sq.load_pc)) {
+            push(
+                &mut out,
+                format!(
+                    "task {}: {} squash blames store {:#x} → load {:#x}, not a conflict in program order",
+                    sq.task,
+                    if sq.cascade { "cascade" } else { "mem" },
+                    sq.store_pc,
+                    sq.load_pc
+                ),
+            );
+        }
+    }
+
+    if dropped > 0 {
+        out.push(format!("… {dropped} further differences dropped"));
+    }
+    out
+}

@@ -1,0 +1,65 @@
+//! The conformance suite proper: real workloads and randomly generated
+//! programs, all four heuristics, full three-layer check.
+
+use ms_analysis::ProgramContext;
+use ms_conform::{check_selection, fuzz_seed, strategies, FuzzParams};
+use ms_sim::SimConfig;
+
+/// Workload sweep size: enough trace to exercise squash/replay paths,
+/// small enough to keep the tier-1 suite fast.
+const WORKLOAD_INSTS: usize = 20_000;
+
+#[cfg(not(feature = "heavy-tests"))]
+const FUZZ_SEEDS: u64 = 40;
+#[cfg(feature = "heavy-tests")]
+const FUZZ_SEEDS: u64 = 200;
+
+#[test]
+fn workloads_conform_under_every_heuristic() {
+    for name in ["compress", "go", "fpppp", "li"] {
+        let program = ms_workloads::by_name(name).unwrap().build();
+        let ctx = ProgramContext::new(program);
+        for (label, selector) in strategies() {
+            let sel = selector.select(&ctx);
+            let run = check_selection(&sel, SimConfig::four_pu(), WORKLOAD_INSTS, 0x5eed);
+            assert!(
+                run.errors.is_empty(),
+                "{name}/{label}: {} violations, first: {}",
+                run.errors.len(),
+                run.errors[0]
+            );
+            assert!(run.stats.num_dyn_tasks > 0);
+        }
+    }
+}
+
+#[test]
+fn workloads_conform_on_one_pu_and_eight_pus() {
+    // Conformance must not depend on the machine shape: the committed
+    // outcome is the same sequential execution at any PU count.
+    let program = ms_workloads::by_name("compress").unwrap().build();
+    let ctx = ProgramContext::new(program);
+    let (_, selector) = strategies().into_iter().nth(2).unwrap();
+    let sel = selector.select(&ctx);
+    for cfg in [SimConfig::single_pu(), SimConfig::eight_pu()] {
+        let run = check_selection(&sel, cfg, WORKLOAD_INSTS, 7);
+        assert!(run.errors.is_empty(), "first: {}", run.errors[0]);
+    }
+}
+
+#[test]
+fn random_programs_conform_under_every_heuristic() {
+    let params = FuzzParams::default();
+    let mut failures = Vec::new();
+    for seed in 0..FUZZ_SEEDS {
+        failures.extend(fuzz_seed(seed, &params));
+    }
+    assert!(
+        failures.is_empty(),
+        "{} seeds failed, first: seed {} ({}) — {}",
+        failures.len(),
+        failures[0].seed,
+        failures[0].strategy,
+        failures[0].errors.first().map(String::as_str).unwrap_or("?")
+    );
+}

@@ -7,12 +7,16 @@
 //! seed printed in its message. Build with `--features heavy-tests` for
 //! a deeper sweep.
 
+use std::collections::BTreeMap;
+
 use ms_analysis::ProgramContext;
 use ms_ir::{
     BlockId, BranchBehavior, FuncId, FunctionBuilder, Opcode, Program, ProgramBuilder, Reg,
     SplitMix64, Terminator,
 };
-use ms_tasksel::{if_convert, SelectorBuilder, Strategy, TaskSizeParams, TaskTarget};
+use ms_tasksel::{
+    if_convert, Selection, SelectorBuilder, Strategy, TaskId, TaskSizeParams, TaskTarget,
+};
 
 /// Cases per property (deterministic; the seed is the case index).
 const CASES: u64 = if cfg!(feature = "heavy-tests") { 384 } else { 96 };
@@ -160,6 +164,145 @@ fn if_conversion_preserves_validity() {
             .build()
             .select(&ProgramContext::new(converted));
         assert!(sel.partition.validate(&sel.program).is_ok(), "seed {seed}");
+    }
+}
+
+/// All four heuristics of the paper's evaluation, as `(label, selection)`
+/// for one program context.
+fn all_heuristics(ctx: &ProgramContext) -> [(&'static str, Selection); 4] {
+    [
+        ("bb", SelectorBuilder::new(Strategy::BasicBlock).build().select(ctx)),
+        ("cf", SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build().select(ctx)),
+        ("dd", SelectorBuilder::new(Strategy::DataDependence).max_targets(4).build().select(ctx)),
+        (
+            "ts",
+            SelectorBuilder::new(Strategy::DataDependence)
+                .max_targets(4)
+                .task_size(TaskSizeParams::default())
+                .build()
+                .select(ctx),
+        ),
+    ]
+}
+
+/// The structural invariants every heuristic must satisfy on every
+/// function of a selection: exact cover of the reachable blocks (each in
+/// exactly one task), the hardware target limit, and terminal edges
+/// (loop entry/exit, retreating, non-included call fall-through) only
+/// ever landing on task entries.
+fn assert_partition_invariants(label: &str, seed: u64, sel: &Selection, max_targets: usize) {
+    for fp in sel.partition.funcs() {
+        let fid = fp.func();
+        let func = sel.program.function(fid);
+        let reachable = func.reachable_blocks();
+
+        // Exact cover: each reachable block in exactly one task.
+        let mut owner: BTreeMap<BlockId, usize> = BTreeMap::new();
+        for (ti, t) in fp.tasks().iter().enumerate() {
+            for &b in t.blocks() {
+                let prev = owner.insert(b, ti);
+                assert!(
+                    prev.is_none(),
+                    "seed {seed} [{label}] fn {fid}: block {b} in tasks {} and {ti}",
+                    prev.unwrap()
+                );
+            }
+        }
+        for &b in &reachable {
+            let ti = owner.get(&b).copied();
+            assert!(ti.is_some(), "seed {seed} [{label}] fn {fid}: reachable block {b} in no task");
+            assert_eq!(
+                fp.task_of(b).map(|t| t.index()),
+                ti,
+                "seed {seed} [{label}] fn {fid}: task_of({b}) disagrees with the block sets"
+            );
+        }
+        assert_eq!(
+            owner.len(),
+            reachable.len(),
+            "seed {seed} [{label}] fn {fid}: tasks cover unreachable blocks"
+        );
+
+        // Hardware limit: at most N successor targets per task.
+        for ti in 0..fp.tasks().len() {
+            let targets = sel.partition.targets(&sel.program, fid, TaskId::new(ti as u32));
+            assert!(
+                targets.len() <= max_targets,
+                "seed {seed} [{label}] fn {fid}: task {ti} has {} targets (limit {max_targets})",
+                targets.len()
+            );
+        }
+
+        // Boundary edges land on task heads. Terminal edges (loop
+        // entry/exit, retreating, call/return) stop task growth, but on
+        // an irreducible CFG a block can still join a task through
+        // another path — so the checkable consequence is at the
+        // sequencer level: wherever control *leaves* a task, it lands on
+        // an entry the sequencer can dispatch.
+        assert!(
+            fp.task_at_entry(func.entry()).is_some(),
+            "seed {seed} [{label}] fn {fid}: function entry heads no task"
+        );
+        for &u in &reachable {
+            let tu = fp.task_of(u).expect("u is covered");
+            for v in func.successors(u) {
+                if fp.task_of(v) != Some(tu) {
+                    assert!(
+                        fp.task_at_entry(v).is_some(),
+                        "seed {seed} [{label}] fn {fid}: boundary edge {u}->{v} \
+                         lands on a non-entry"
+                    );
+                }
+            }
+            // A non-included call is a hard boundary: the sequencer
+            // dispatches the callee's entry task, and the matching
+            // return resumes at `ret_to` — both must head tasks.
+            if let Terminator::Call { callee, ret_to } = func.block(u).terminator() {
+                if !sel.partition.is_included_call(fid, u) {
+                    assert!(
+                        fp.task_at_entry(*ret_to).is_some(),
+                        "seed {seed} [{label}] fn {fid}: call at {u} returns to \
+                         {ret_to}, which heads no task"
+                    );
+                    let centry = sel.program.function(*callee).entry();
+                    assert!(
+                        sel.partition.func(*callee).task_at_entry(centry).is_some(),
+                        "seed {seed} [{label}] fn {fid}: callee {callee} entry \
+                         heads no task"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Every heuristic satisfies the partition invariants on arbitrary
+/// single-function CFGs.
+#[test]
+fn every_heuristic_satisfies_partition_invariants() {
+    for seed in 0..CASES {
+        let program = random_program(seed ^ 0x4000, 20);
+        let ctx = ProgramContext::new(program);
+        for (label, sel) in all_heuristics(&ctx) {
+            assert_partition_invariants(label, seed, &sel, 4);
+        }
+    }
+}
+
+/// The same invariants hold across call boundaries: multi-function
+/// programs (from the fuzzer's generator) with calls, returns, and
+/// included calls under the task-size heuristic.
+#[test]
+fn every_heuristic_satisfies_partition_invariants_with_calls() {
+    use ms_ir::gen::{GenParams, ProgSpec};
+    let params = GenParams { helper_prob: 1.0, ..GenParams::default() };
+    for seed in 0..CASES / 2 {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0xca11_ca11);
+        let spec = ProgSpec::random(&mut rng, &params);
+        let ctx = ProgramContext::new(spec.build());
+        for (label, sel) in all_heuristics(&ctx) {
+            assert_partition_invariants(label, seed, &sel, 4);
+        }
     }
 }
 

@@ -1,0 +1,421 @@
+//! Random program generation for conformance fuzzing.
+//!
+//! A [`ProgSpec`] is a compact, always-buildable description of a small
+//! program: blocks hold instruction specs and a terminator spec whose
+//! targets are plain indices taken modulo the block count, so *any*
+//! edit — dropping a block, dropping an instruction, simplifying a
+//! terminator — yields another valid spec. That closure under editing is
+//! what makes the conformance fuzzer's shrink loop trivial: every
+//! reduction candidate builds and runs, and the shrinker only has to ask
+//! whether it still fails.
+//!
+//! Programs are one entry function plus an optional call-free helper,
+//! with loads and stores aimed at a handful of shared global cells so
+//! cross-task memory dependences (the ARB's job) actually occur. All
+//! randomness comes from the caller's [`SplitMix64`], keeping fuzz runs
+//! reproducible per seed.
+
+use crate::builder::{FunctionBuilder, ProgramBuilder};
+use crate::inst::Opcode;
+use crate::mem::{AddrGenId, AddrSpec};
+use crate::program::{BlockId, Function, Program};
+use crate::reg::Reg;
+use crate::rng::SplitMix64;
+use crate::{BranchBehavior, Terminator};
+
+/// Size knobs for [`ProgSpec::random`].
+#[derive(Debug, Clone)]
+pub struct GenParams {
+    /// Upper bound on blocks in the entry function (≥ 2).
+    pub max_blocks: usize,
+    /// Upper bound on straight-line instructions per block.
+    pub max_insts: usize,
+    /// Number of shared global memory cells loads/stores target.
+    pub mem_cells: usize,
+    /// Probability of generating a helper function (callable from the
+    /// entry function).
+    pub helper_prob: f64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams { max_blocks: 16, max_insts: 5, mem_cells: 6, helper_prob: 0.4 }
+    }
+}
+
+/// One straight-line instruction in a [`BlockSpec`]. Register operands
+/// are small indices mapped into the integer/float files at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstSpec {
+    /// Integer ALU op `dst ← f(src)`.
+    Alu {
+        /// Destination register index.
+        dst: u8,
+        /// Source register index.
+        src: u8,
+    },
+    /// Floating point op `dst ← f(src)`.
+    Fp {
+        /// Destination register index.
+        dst: u8,
+        /// Source register index.
+        src: u8,
+    },
+    /// Load from shared cell `cell` into `dst`.
+    Load {
+        /// Destination register index.
+        dst: u8,
+        /// Shared memory cell index (taken modulo the cell count).
+        cell: u8,
+    },
+    /// Store `src` to shared cell `cell`.
+    Store {
+        /// Source register index.
+        src: u8,
+        /// Shared memory cell index (taken modulo the cell count).
+        cell: u8,
+    },
+}
+
+/// One block's terminator. Targets are indices into the owning
+/// function's block list, taken modulo its length at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermSpec {
+    /// Unconditional jump.
+    Jump {
+        /// Destination block index.
+        target: usize,
+    },
+    /// Conditional branch, taken with probability `taken_pct`/100.
+    Branch {
+        /// Taken destination index.
+        taken: usize,
+        /// Fall-through destination index.
+        fall: usize,
+        /// Taken probability in percent (clamped to 0..=100).
+        taken_pct: u8,
+    },
+    /// Loop-style back branch averaging `trips` iterations.
+    LoopBranch {
+        /// Taken (loop back) destination index.
+        taken: usize,
+        /// Fall-through (exit) destination index.
+        fall: usize,
+        /// Average trip count (≥ 1 enforced at build).
+        trips: u8,
+    },
+    /// Three-way switch.
+    Switch {
+        /// Destination indices.
+        targets: [usize; 3],
+    },
+    /// Call the helper function, resuming at `ret_to`. Built as a jump
+    /// when the spec has no helper or the block is in the helper itself.
+    Call {
+        /// Resumption block index.
+        ret_to: usize,
+    },
+    /// Return from the function.
+    Return,
+    /// Program end (built as `Return` inside the helper).
+    Halt,
+}
+
+/// One block: straight-line instruction specs plus a terminator spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Straight-line instructions, in order.
+    pub insts: Vec<InstSpec>,
+    /// The block's terminator.
+    pub term: TermSpec,
+}
+
+/// A shrinkable random-program specification (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgSpec {
+    /// Blocks of the entry function (never empty; block 0 is the entry).
+    pub main: Vec<BlockSpec>,
+    /// Blocks of the call-free helper function (empty = no helper).
+    pub helper: Vec<BlockSpec>,
+    /// Number of shared global memory cells (≥ 1 at build time).
+    pub mem_cells: usize,
+}
+
+impl ProgSpec {
+    /// Draws a random spec from `rng` under the given size bounds.
+    pub fn random(rng: &mut SplitMix64, params: &GenParams) -> ProgSpec {
+        let n_main = rng.gen_range(2usize..=params.max_blocks.max(2));
+        let has_helper = rng.gen_bool(params.helper_prob);
+        let n_helper =
+            if has_helper { rng.gen_range(1usize..=(params.max_blocks / 2).max(1)) } else { 0 };
+        let main =
+            (0..n_main).map(|_| random_block(rng, params, n_main, has_helper, true)).collect();
+        let helper =
+            (0..n_helper).map(|_| random_block(rng, params, n_helper, false, false)).collect();
+        ProgSpec { main, helper, mem_cells: params.mem_cells.max(1) }
+    }
+
+    /// Total blocks across both functions (the shrinker's size metric).
+    pub fn num_blocks(&self) -> usize {
+        self.main.len() + self.helper.len()
+    }
+
+    /// Total straight-line instructions (tie-break size metric).
+    pub fn num_insts(&self) -> usize {
+        self.main.iter().chain(&self.helper).map(|b| b.insts.len()).sum()
+    }
+
+    /// Builds the executable program. Never fails: target indices wrap
+    /// modulo the block count and every block gets a terminator, so
+    /// every spec — including every shrink candidate — is structurally
+    /// valid.
+    pub fn build(&self) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let cells: Vec<AddrGenId> = (0..self.mem_cells.max(1))
+            .map(|i| pb.add_addr_gen(AddrSpec::Global { addr: 0x1000 + 16 * i as u64 }))
+            .collect();
+        let main_id = pb.declare_function("fz_main");
+        let helper_id =
+            if self.helper.is_empty() { None } else { Some(pb.declare_function("fz_helper")) };
+        pb.define_function(main_id, build_func("fz_main", &self.main, &cells, helper_id, true));
+        if let Some(h) = helper_id {
+            pb.define_function(h, build_func("fz_helper", &self.helper, &cells, None, false));
+        }
+        pb.finish(main_id).expect("spec-built programs are always structurally valid")
+    }
+
+    /// All one-step reduction candidates, most aggressive first: drop
+    /// the helper, drop a block, drop an instruction, simplify a
+    /// terminator. Every candidate is strictly smaller (blocks, then
+    /// instructions, then terminator complexity) and still builds.
+    pub fn reductions(&self) -> Vec<ProgSpec> {
+        let mut out = Vec::new();
+        if !self.helper.is_empty() {
+            let mut cand = self.clone();
+            cand.helper.clear();
+            for b in &mut cand.main {
+                if let TermSpec::Call { ret_to } = b.term {
+                    b.term = TermSpec::Jump { target: ret_to };
+                }
+            }
+            out.push(cand);
+        }
+        for (func_idx, func) in [&self.main, &self.helper].into_iter().enumerate() {
+            let min_blocks = if func_idx == 0 { 1 } else { 0 };
+            if func.len() > min_blocks.max(1) {
+                for drop in 0..func.len() {
+                    let mut cand = self.clone();
+                    let f = if func_idx == 0 { &mut cand.main } else { &mut cand.helper };
+                    f.remove(drop);
+                    remap_targets(f, drop);
+                    out.push(cand);
+                }
+            }
+            for (bi, block) in func.iter().enumerate() {
+                for ii in 0..block.insts.len() {
+                    let mut cand = self.clone();
+                    let f = if func_idx == 0 { &mut cand.main } else { &mut cand.helper };
+                    f[bi].insts.remove(ii);
+                    out.push(cand);
+                }
+                let simpler = match block.term {
+                    TermSpec::Branch { taken, .. } | TermSpec::LoopBranch { taken, .. } => {
+                        Some(TermSpec::Jump { target: taken })
+                    }
+                    TermSpec::Switch { targets } => Some(TermSpec::Jump { target: targets[0] }),
+                    TermSpec::Call { ret_to } => Some(TermSpec::Jump { target: ret_to }),
+                    TermSpec::Jump { .. } | TermSpec::Return | TermSpec::Halt => None,
+                };
+                if let Some(term) = simpler {
+                    let mut cand = self.clone();
+                    let f = if func_idx == 0 { &mut cand.main } else { &mut cand.helper };
+                    f[bi].term = term;
+                    out.push(cand);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Redirects targets after block `dropped` was removed: indices past it
+/// shift down, indices equal to it fall back to the entry.
+fn remap_targets(blocks: &mut [BlockSpec], dropped: usize) {
+    let remap = |t: &mut usize| {
+        if *t > dropped {
+            *t -= 1;
+        } else if *t == dropped {
+            *t = 0;
+        }
+    };
+    for b in blocks {
+        match &mut b.term {
+            TermSpec::Jump { target } => remap(target),
+            TermSpec::Branch { taken, fall, .. } | TermSpec::LoopBranch { taken, fall, .. } => {
+                remap(taken);
+                remap(fall);
+            }
+            TermSpec::Switch { targets } => targets.iter_mut().for_each(remap),
+            TermSpec::Call { ret_to } => remap(ret_to),
+            TermSpec::Return | TermSpec::Halt => {}
+        }
+    }
+}
+
+fn random_block(
+    rng: &mut SplitMix64,
+    params: &GenParams,
+    n_blocks: usize,
+    can_call: bool,
+    is_main: bool,
+) -> BlockSpec {
+    let n_insts = rng.gen_range(0usize..=params.max_insts.max(1));
+    let insts = (0..n_insts)
+        .map(|_| {
+            let dst = rng.gen_range(0u8..12);
+            let src = rng.gen_range(0u8..12);
+            let cell = rng.gen_range(0u8..params.mem_cells.max(1) as u8);
+            match rng.gen_range(0u32..10) {
+                0..=3 => InstSpec::Alu { dst, src },
+                4 | 5 => InstSpec::Fp { dst, src },
+                6 | 7 => InstSpec::Load { dst, cell },
+                _ => InstSpec::Store { src, cell },
+            }
+        })
+        .collect();
+    let t = |rng: &mut SplitMix64| rng.gen_range(0usize..n_blocks);
+    let term = match rng.gen_range(0u32..12) {
+        0 | 1 => TermSpec::Jump { target: t(rng) },
+        2..=4 => {
+            TermSpec::Branch { taken: t(rng), fall: t(rng), taken_pct: rng.gen_range(0u8..=100) }
+        }
+        5 | 6 => TermSpec::LoopBranch { taken: t(rng), fall: t(rng), trips: rng.gen_range(1u8..9) },
+        7 => TermSpec::Switch { targets: [t(rng), t(rng), t(rng)] },
+        8 if can_call => TermSpec::Call { ret_to: t(rng) },
+        8 | 9 => TermSpec::Jump { target: t(rng) },
+        10 if !is_main => TermSpec::Return,
+        _ => TermSpec::Halt,
+    };
+    BlockSpec { insts, term }
+}
+
+fn build_func(
+    name: &str,
+    blocks: &[BlockSpec],
+    cells: &[AddrGenId],
+    helper: Option<crate::FuncId>,
+    is_main: bool,
+) -> Function {
+    assert!(!blocks.is_empty(), "a function spec needs at least one block");
+    let n = blocks.len();
+    let mut fb = FunctionBuilder::new(name);
+    let ids: Vec<BlockId> = (0..n).map(|_| fb.add_block()).collect();
+    let tgt = |i: usize| ids[i % n];
+    for (bi, spec) in blocks.iter().enumerate() {
+        let blk = ids[bi];
+        for inst in &spec.insts {
+            let built = match *inst {
+                InstSpec::Alu { dst, src } => {
+                    Opcode::IAdd.inst().dst(Reg::int(2 + dst % 12)).src(Reg::int(2 + src % 12))
+                }
+                InstSpec::Fp { dst, src } => {
+                    Opcode::FAdd.inst().dst(Reg::fp(dst % 12)).src(Reg::fp(src % 12))
+                }
+                InstSpec::Load { dst, cell } => Opcode::Load
+                    .inst()
+                    .dst(Reg::int(2 + dst % 12))
+                    .src(Reg::int(1))
+                    .mem(cells[cell as usize % cells.len()]),
+                InstSpec::Store { src, cell } => Opcode::Store
+                    .inst()
+                    .src(Reg::int(2 + src % 12))
+                    .mem(cells[cell as usize % cells.len()]),
+            };
+            fb.push_inst(blk, built);
+        }
+        let term = match spec.term {
+            TermSpec::Jump { target } => Terminator::Jump { target: tgt(target) },
+            TermSpec::Branch { taken, fall, taken_pct } => Terminator::Branch {
+                taken: tgt(taken),
+                fall: tgt(fall),
+                cond: vec![Reg::int(1)],
+                behavior: BranchBehavior::Taken(f64::from(taken_pct.min(100)) / 100.0),
+            },
+            TermSpec::LoopBranch { taken, fall, trips } => Terminator::Branch {
+                taken: tgt(taken),
+                fall: tgt(fall),
+                cond: vec![Reg::int(1)],
+                behavior: BranchBehavior::Loop { avg_trips: u32::from(trips.max(1)), jitter: 0 },
+            },
+            TermSpec::Switch { targets } => Terminator::Switch {
+                targets: targets.iter().map(|&i| tgt(i)).collect(),
+                weights: vec![3, 2, 1],
+                cond: vec![Reg::int(1)],
+            },
+            TermSpec::Call { ret_to } => match helper {
+                Some(callee) => Terminator::Call { callee, ret_to: tgt(ret_to) },
+                None => Terminator::Jump { target: tgt(ret_to) },
+            },
+            TermSpec::Return => Terminator::Return,
+            TermSpec::Halt if is_main => Terminator::Halt,
+            TermSpec::Halt => Terminator::Return,
+        };
+        fb.set_terminator(blk, term);
+    }
+    fb.finish(ids[0]).expect("spec-built functions are always structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_specs_build_valid_programs() {
+        let params = GenParams::default();
+        for seed in 0..64 {
+            let mut rng = SplitMix64::seed_from_u64(seed ^ 0xf022_5eed);
+            let spec = ProgSpec::random(&mut rng, &params);
+            let program = spec.build();
+            assert!(program.validate().is_ok(), "seed {seed}: {:?}", program.validate());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = GenParams::default();
+        let mut a = SplitMix64::seed_from_u64(9);
+        let mut b = SplitMix64::seed_from_u64(9);
+        assert_eq!(ProgSpec::random(&mut a, &params), ProgSpec::random(&mut b, &params));
+    }
+
+    #[test]
+    fn every_reduction_is_smaller_and_still_builds() {
+        let params = GenParams::default();
+        for seed in 0..32 {
+            let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5111_1111);
+            let spec = ProgSpec::random(&mut rng, &params);
+            for cand in spec.reductions() {
+                assert_ne!(cand, spec, "seed {seed}: reduction did not change the spec");
+                assert!(cand.num_blocks() <= spec.num_blocks(), "seed {seed}");
+                assert!(cand.num_insts() <= spec.num_insts(), "seed {seed}");
+                assert!(cand.build().validate().is_ok(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_reaches_a_single_block() {
+        // Greedily accepting every reduction must terminate at a minimal
+        // spec (no infinite reduction chains).
+        let mut rng = SplitMix64::seed_from_u64(0xdead);
+        let mut spec = ProgSpec::random(&mut rng, &GenParams::default());
+        let mut steps = 0;
+        while let Some(next) = spec.reductions().into_iter().next() {
+            spec = next;
+            steps += 1;
+            assert!(steps < 10_000, "reduction chain did not terminate");
+        }
+        assert_eq!(spec.num_blocks(), 1);
+        assert!(spec.helper.is_empty());
+    }
+}

@@ -46,6 +46,7 @@ mod block;
 mod builder;
 mod display;
 mod error;
+pub mod gen;
 mod inst;
 mod mem;
 mod program;

@@ -1,0 +1,119 @@
+//! Property and known-answer tests for [`ms_ir::SplitMix64`] — the one
+//! RNG behind every stochastic choice in the reproduction.
+//!
+//! Everything downstream (workload construction, branch sampling, the
+//! fuzz loop) assumes two things of this generator: per-seed streams are
+//! bit-identical across platforms, and `gen_range` is exact at its edge
+//! cases. A silent change here would invalidate every golden file and
+//! every "reproduce from the seed in the failure message" workflow, so
+//! the reference stream is pinned as data.
+
+use ms_ir::SplitMix64;
+
+/// First four outputs per seed. The seed-0 row matches Vigna's public
+/// SplitMix64 reference vectors; the rest pin this implementation.
+const KNOWN_ANSWERS: [(u64, [u64; 4]); 5] = [
+    (0x0, [0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f, 0xf88bb8a8724c81ec]),
+    (0x1, [0x910a2dec89025cc1, 0xbeeb8da1658eec67, 0xf893a2eefb32555e, 0x71c18690ee42c90b]),
+    (0x1234567, [0x3a34ce6380fc0bc5, 0xc05a677850dc981a, 0x9e32cdf7948370bd, 0xa7765f796f00bbef]),
+    (0x5eed, [0x09f1fd9d03f0a9b4, 0x553274161bbf8475, 0x5d5bca4696b343b3, 0x70d29b6c7d22528d]),
+    (u64::MAX, [0xe4d971771b652c20, 0xe99ff867dbf682c9, 0x382ff84cb27281e9, 0x6d1db36ccba982d2]),
+];
+
+#[test]
+fn known_answer_vectors() {
+    for (seed, expect) in KNOWN_ANSWERS {
+        let mut r = SplitMix64::seed_from_u64(seed);
+        for (i, &want) in expect.iter().enumerate() {
+            let got = r.next_u64();
+            assert_eq!(got, want, "seed {seed:#x}, draw {i}: got {got:#018x}");
+        }
+    }
+}
+
+#[test]
+fn single_element_ranges_are_constant() {
+    let mut r = SplitMix64::seed_from_u64(42);
+    for _ in 0..100 {
+        assert_eq!(r.gen_range(7u8..8), 7);
+        assert_eq!(r.gen_range(0u64..1), 0);
+        assert_eq!(r.gen_range(9usize..=9), 9);
+        assert_eq!(r.gen_range(u64::MAX..=u64::MAX), u64::MAX);
+    }
+}
+
+#[test]
+fn inclusive_ranges_reach_both_endpoints() {
+    let mut r = SplitMix64::seed_from_u64(7);
+    let (mut lo_hits, mut hi_hits) = (0u32, 0u32);
+    for _ in 0..4000 {
+        let x = r.gen_range(0u8..=3);
+        assert!(x <= 3);
+        lo_hits += u32::from(x == 0);
+        hi_hits += u32::from(x == 3);
+    }
+    assert!(lo_hits > 0, "lower endpoint never sampled");
+    assert!(hi_hits > 0, "upper endpoint (inclusive) never sampled");
+}
+
+#[test]
+fn full_span_inclusive_range_works() {
+    // `0..=u64::MAX` has span + 1 == 0 in u64 arithmetic — the one case
+    // that must bypass the rejection sampler entirely.
+    let mut r = SplitMix64::seed_from_u64(11);
+    let mut reference = SplitMix64::seed_from_u64(11);
+    for _ in 0..64 {
+        assert_eq!(r.gen_range(0u64..=u64::MAX), reference.next_u64());
+    }
+    // Offset full-width inclusive ranges still cover high values.
+    let mut r = SplitMix64::seed_from_u64(13);
+    let any_high = (0..256).any(|_| r.gen_range(1u64..=u64::MAX) > u64::MAX / 2);
+    assert!(any_high);
+}
+
+#[test]
+fn integer_ranges_are_exactly_bounded() {
+    let mut r = SplitMix64::seed_from_u64(23);
+    for _ in 0..2000 {
+        let a = r.gen_range(250u8..=255);
+        assert!((250..=255).contains(&a), "u8 near-max: {a}");
+        let b = r.gen_range((usize::MAX - 4)..usize::MAX);
+        assert!(((usize::MAX - 4)..usize::MAX).contains(&b));
+        let c = r.gen_range(0u16..=u16::MAX);
+        let _ = c; // any u16 is in range by type
+    }
+}
+
+#[test]
+fn float_ranges_are_half_open_and_scaled() {
+    let mut r = SplitMix64::seed_from_u64(31);
+    for _ in 0..4000 {
+        let x = r.gen_range(0.0f64..1.0);
+        assert!((0.0..1.0).contains(&x));
+        let y = r.gen_range(-2.5f64..2.5);
+        assert!((-2.5..2.5).contains(&y));
+        let z = r.gen_range(1e9f64..1e9 + 1.0);
+        assert!((1e9..1e9 + 1.0).contains(&z));
+    }
+    // The distribution actually spans the range (not stuck at one end).
+    let mut r = SplitMix64::seed_from_u64(37);
+    let draws: Vec<f64> = (0..1000).map(|_| r.gen_range(10.0f64..20.0)).collect();
+    assert!(draws.iter().any(|&x| x < 12.0));
+    assert!(draws.iter().any(|&x| x > 18.0));
+}
+
+#[test]
+fn gen_range_is_unbiased_over_a_small_modulus() {
+    // 3 does not divide 2^64: the rejection sampler must not favour the
+    // low residues. With 30k draws each bucket expects 10k; a naive
+    // `next_u64() % 3` would pass too, but a broken rejection zone
+    // (off-by-one) skews visibly.
+    let mut r = SplitMix64::seed_from_u64(41);
+    let mut buckets = [0u32; 3];
+    for _ in 0..30_000 {
+        buckets[r.gen_range(0usize..3)] += 1;
+    }
+    for (i, &b) in buckets.iter().enumerate() {
+        assert!((9_500..=10_500).contains(&b), "bucket {i}: {b}");
+    }
+}

@@ -105,6 +105,14 @@ pub struct SimConfig {
     pub l2: CacheParams,
     /// Main memory latency in cycles (paper: 58).
     pub mem_latency: u32,
+    /// **Test-only fault injection**: when set, the engine deliberately
+    /// under-reports every third task's committed instruction count by
+    /// one. The perturbation is self-consistent (events and counters
+    /// still reconcile), so only a *differential* oracle — the
+    /// sequential reference model in `ms-conform` — can catch it. Exists
+    /// to prove the conformance fuzzer detects real engine bugs; never
+    /// set in experiments. Off in every preset.
+    pub inject_commit_undercount: bool,
 }
 
 impl SimConfig {
@@ -138,6 +146,7 @@ impl SimConfig {
             l1d: CacheParams { size: l1_size, assoc: 2, line: 32, hit_latency: 1 },
             l2: CacheParams { size: 4 * 1024 * 1024, assoc: 2, line: 64, hit_latency: 12 },
             mem_latency: 58,
+            inject_commit_undercount: false,
         }
     }
 
@@ -188,6 +197,15 @@ impl SimConfig {
     #[must_use]
     pub fn without_dead_reg_analysis(mut self) -> Self {
         self.dead_reg_analysis = false;
+        self
+    }
+
+    /// Arms the test-only commit-undercount fault (see
+    /// [`SimConfig::inject_commit_undercount`]). Used by the conformance
+    /// fuzzer's self-test; never by experiments.
+    #[must_use]
+    pub fn with_injected_commit_undercount(mut self) -> Self {
+        self.inject_commit_undercount = true;
         self
     }
 }

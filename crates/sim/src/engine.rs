@@ -363,7 +363,7 @@ impl<'a> Engine<'a> {
             // Execute, re-executing on memory dependence violations.
             let head_free = if k == 0 { 0 } else { self.retire[k - 1] + 1 };
             let mut attempts = 0u32;
-            let attempt = loop {
+            let mut attempt = loop {
                 attempts += 1;
                 let force_sync = attempts > MAX_ATTEMPTS;
                 let a = self.exec_task(k, dt, dispatch, pu, head_free, force_sync, sink.enabled());
@@ -407,6 +407,13 @@ impl<'a> Engine<'a> {
                     _ => break a,
                 }
             };
+            if self.cfg.inject_commit_undercount && k % 3 == 2 {
+                // Test-only fault (see `SimConfig::inject_commit_undercount`):
+                // a self-consistent miscount — commit event and counters
+                // agree with each other but not with the trace — that only
+                // the differential reference model can detect.
+                attempt.insts = attempt.insts.saturating_sub(1);
+            }
 
             // Retirement: commit work (end overhead) happens on the
             // task's own PU and overlaps across PUs; the retire token

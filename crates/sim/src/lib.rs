@@ -32,7 +32,10 @@
 //!   through a [`TraceSink`] passed to [`Simulator::run_with_sink`].
 //!   Sinks: [`JsonlSink`] (schema-versioned JSONL), [`TraceAggregator`]
 //!   (attribution tables), [`TimelineSink`] (per-task timeline),
-//!   [`NullSink`] (off — the default, zero cost), [`Tee`] (fan-out).
+//!   [`CheckSink`] (streaming invariant checker + stats reconciliation
+//!   — the engine half of the `ms-conform` differential harness, see
+//!   `docs/CONFORMANCE.md`), [`NullSink`] (off — the default, zero
+//!   cost), [`Tee`] (fan-out).
 //!   Event semantics and the reconciliation invariants against
 //!   [`SimStats`] are documented in `docs/TRACING.md`.
 //!
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod check;
 mod config;
 mod engine;
 mod event;
@@ -52,6 +56,7 @@ mod sink;
 mod stats;
 
 pub use cache::{Cache, Hierarchy};
+pub use check::{CheckSink, CommitRec, DispatchRec, MemSquashRec};
 pub use config::{CacheParams, FuCounts, SimConfig};
 pub use engine::{Simulator, TaskTiming};
 pub use event::{NullSink, SimEvent, SquashCause, Tee, TraceSink, TRACE_SCHEMA_VERSION};

@@ -11,7 +11,8 @@
 
 use ms_analysis::ProgramContext;
 use ms_sim::{
-    JsonlSink, NullSink, SimConfig, SimStats, Simulator, Tee, TimelineSink, TraceAggregator,
+    CheckSink, JsonlSink, NullSink, SimConfig, SimStats, Simulator, Tee, TimelineSink,
+    TraceAggregator,
 };
 use ms_tasksel::{Selection, SelectorBuilder, Strategy};
 use ms_trace::TraceGenerator;
@@ -66,6 +67,34 @@ fn aggregator_reconciles_with_stats() {
     }
     assert!(saw_ctrl, "no workload exercised control squashes — test is vacuous");
     assert!(saw_mem, "no workload exercised memory violations — test is vacuous");
+}
+
+/// The checking sink accepts every real run while teeing into the
+/// aggregator, and both reconcile against the same `SimStats` — the
+/// checker's invariants and the aggregator's counters describe one
+/// event stream.
+#[test]
+fn check_sink_reconciles_alongside_the_aggregator() {
+    for workload in ["compress", "go", "fpppp", "li"] {
+        let sel = select(workload);
+        let trace = TraceGenerator::new(&sel.program, SEED).generate(INSTS);
+        let mut check = CheckSink::new();
+        let mut agg = TraceAggregator::new();
+        let stats = Simulator::new(SimConfig::four_pu(), &sel.program, &sel.partition)
+            .run_with_sink(&trace, &mut Tee::new(&mut check, &mut agg));
+        let errors = check.finish(&stats);
+        assert!(errors.is_empty(), "{workload}: {} violations, first: {}", errors.len(), errors[0]);
+        // The two sinks agree with the stats — and therefore each other.
+        assert_eq!(agg.spans.len(), check.commits().len(), "{workload}: commit records");
+        assert_eq!(
+            agg.mem_squashes + agg.cascade_squashes,
+            check.mem_squashes().len() as u64,
+            "{workload}: mem squash records"
+        );
+        assert_eq!(agg.fwd_sends, check.sends().len() as u64, "{workload}: send records");
+        let committed: u64 = check.commits().iter().map(|c| c.insts).sum();
+        assert_eq!(committed, stats.total_insts, "{workload}: committed insts");
+    }
 }
 
 /// The attribution tables' rows sum back to the counters they explain

@@ -19,7 +19,9 @@
 # 7. perf smoke: `run -- perf --reps 1` must emit a BENCH document that
 #    passes its own schema validation (docs/PROFILING.md). Opt-in perf
 #    regression gate: set MS_PERF_BASELINE to a BENCH_*.json to also
-#    fail on phase regressions against it.
+#    fail on phase regressions against it,
+# 8. conformance fuzz smoke: 25 random programs x 4 heuristics must
+#    match the sequential reference model (docs/CONFORMANCE.md).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -70,5 +72,10 @@ fi
 # shellcheck disable=SC2086  # smoke_args is a flat flag list by construction
 cargo run -p ms-bench --release --bin run -q -- perf $smoke_args
 cargo run -p ms-bench --release --bin run -q -- perf-validate "$smoke_dir/BENCH_smoke.json"
+
+echo "==> conformance fuzz smoke (run -- fuzz --seeds 25)"
+# Differential check: engine vs the sequential reference model on random
+# programs under every heuristic; failures shrink to .msir repros.
+cargo run -p ms-bench --release --bin run -q -- fuzz --seeds 25 --out target/fuzz-smoke
 
 echo "All checks passed."

@@ -23,6 +23,7 @@ const SOURCE_ROOTS: &[&str] = &[
     "crates/trace/src",
     "crates/sim/src",
     "crates/workloads/src",
+    "crates/conform/src",
     "crates/bench/src",
 ];
 
