@@ -40,6 +40,14 @@
 //! cargo run -p ms-bench --release --bin run -- fuzz --seeds 500
 //! ```
 //!
+//! Gap mode (heuristics vs the exact-partition oracle — see
+//! `docs/POLICIES.md`, which also documents `run -- policies`):
+//!
+//! ```text
+//! cargo run -p ms-bench --release --bin run -- gap li
+//! cargo run -p ms-bench --release --bin run -- gap all --oracle-max-blocks 12
+//! ```
+//!
 //! All flags live in `ms_bench::cli` and are shared across subcommands
 //! (`--out DIR`, `--jobs N`, `--strategy`, `--reps`, …).
 
@@ -49,6 +57,7 @@ use ms_analysis::ProgramContext;
 use ms_bench::cli::{self, Flags};
 use ms_bench::error::closest;
 use ms_bench::fuzzcmd;
+use ms_bench::gapcmd::{self, GapOptions};
 use ms_bench::perfcmd::{self, PerfOptions};
 use ms_bench::sweeps::{run_sweep, SweepSpec, SWEEP_NAMES};
 use ms_bench::tracecmd::trace_selection;
@@ -143,6 +152,29 @@ fn write_or_die(path: &Path, body: &str) {
         eprintln!("error: cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
+}
+
+/// `run -- gap <benchmark> | all`: the heuristic-vs-optimal table (see
+/// `docs/POLICIES.md`).
+fn run_gap(bench: &str, flags: &Flags) {
+    let opts = GapOptions {
+        targets: flags.targets,
+        oracle_max_blocks: flags.oracle_max_blocks,
+        insts: flags.insts.unwrap_or(DEFAULT_TRACE_INSTS),
+        seed: flags.seed,
+        config: sim_config(flags),
+    };
+    if bench == "all" {
+        for (i, w) in suite().iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", gapcmd::run_gap(w, &opts).text);
+        }
+        return;
+    }
+    let Some(w) = by_name(bench) else { unknown_benchmark(bench) };
+    print!("{}", gapcmd::run_gap(&w, &opts).text);
 }
 
 /// Runs one traced simulation (`run -- trace <workload>`): prints the
@@ -317,6 +349,11 @@ fn main() {
     }
     match cmd {
         "list" => print!("{}", cli::list_text()),
+        "policies" => print!("{}", cli::policies_text()),
+        "gap" => {
+            let bench = positionals.get(1).map(String::as_str).unwrap_or("compress");
+            run_gap(bench, &flags);
+        }
         "fuzz" => run_fuzz(&flags),
         "perf" => run_perf(&flags),
         "perf-validate" => match positionals.get(1) {

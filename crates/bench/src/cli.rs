@@ -19,7 +19,7 @@ use crate::Heuristic;
 /// wrapper scripts can pass one flag set everywhere).
 #[derive(Debug, Clone)]
 pub struct Flags {
-    /// `--strategy bb|cf|dd|ts` (default cf).
+    /// `--strategy bb|cf|dd|ts|cost|oracle` (default cf).
     pub strategy: Heuristic,
     /// `--pus N` (default 4).
     pub pus: usize,
@@ -67,6 +67,10 @@ pub struct Flags {
     /// `--inject`: enable the engine's test-only fault injection so the
     /// fuzz loop demonstrably fails (a self-test of the harness).
     pub inject: bool,
+    /// `--oracle-max-blocks N`: largest function (reachable blocks) the
+    /// `oracle` policy and `gap` subcommand partition exactly (default
+    /// [`ms_tasksel::DEFAULT_ORACLE_MAX_BLOCKS`]).
+    pub oracle_max_blocks: usize,
 }
 
 /// Default fuzz cases per `run -- fuzz` sweep.
@@ -95,6 +99,7 @@ impl Default for Flags {
             seeds: DEFAULT_FUZZ_SEEDS,
             max_blocks: ms_conform::FuzzParams::default().max_blocks,
             inject: false,
+            oracle_max_blocks: ms_tasksel::DEFAULT_ORACLE_MAX_BLOCKS,
         }
     }
 }
@@ -116,7 +121,18 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<(Vec<String>, Flags),
                     "cf" => Heuristic::ControlFlow,
                     "dd" => Heuristic::DataDependence,
                     "ts" => Heuristic::TaskSize,
-                    other => return Err(BenchError::Usage(format!("unknown strategy `{other}`"))),
+                    "cost" => Heuristic::Cost,
+                    "oracle" => Heuristic::Oracle,
+                    other => {
+                        let names: Vec<&'static str> =
+                            Heuristic::extended().iter().map(|h| h.label()).collect();
+                        let hint = crate::error::closest(other, &names)
+                            .map(|s| format!(" (did you mean `{s}`?)"))
+                            .unwrap_or_default();
+                        return Err(BenchError::Usage(format!(
+                            "unknown strategy `{other}`{hint}; see `run -- policies`"
+                        )));
+                    }
                 }
             }
             "--pus" => {
@@ -188,6 +204,14 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<(Vec<String>, Flags),
                 }
             }
             "--inject" => flags.inject = true,
+            "--oracle-max-blocks" => {
+                flags.oracle_max_blocks = value("--oracle-max-blocks")?
+                    .parse()
+                    .map_err(|e| BenchError::Usage(format!("--oracle-max-blocks: {e}")))?;
+                if flags.oracle_max_blocks == 0 {
+                    return Err(BenchError::Usage("--oracle-max-blocks must be at least 1".into()));
+                }
+            }
             "-h" | "--help" => positionals.insert(0, "help".to_string()),
             other if !other.starts_with("--") => positionals.push(other.to_string()),
             other => {
@@ -217,21 +241,27 @@ subcommands
                          + <out>/perf/pipeline.chrome.json      [perf schema v{perf}]
   perf-validate <file>   check a BENCH_*.json against the perf schema, exit non-zero
                          on a mismatch
-  fuzz                   differential conformance fuzzing: random programs x all four
+  fuzz                   differential conformance fuzzing: random programs x all
                          heuristics vs the sequential reference model; minimal repros
                          -> <out>/fuzz/seed<seed>-<strategy>.msir, exit non-zero on
                          any failure (see docs/CONFORMANCE.md)
+  gap <benchmark> | all  heuristic-vs-optimal table: every policy against the exact
+                         oracle on the benchmark's small functions (docs/POLICIES.md)
+  policies               the selection-policy registry, one line per policy
   list                   enumerate sweeps (with schema versions) and benchmarks
   help                   this text
 
 shared flags      --out DIR (default target/experiments)   --jobs N (default: cores)
-single-run flags  --strategy bb|cf|dd|ts  --pus N  --in-order  --insts N  --seed N
-                  --targets N  --no-dead-reg  --json  --file path.msir  --dump-ir
+single-run flags  --strategy bb|cf|dd|ts|cost|oracle  --pus N  --in-order  --insts N
+                  --seed N  --targets N  --no-dead-reg  --json  --file path.msir
+                  --dump-ir
 perf flags        --reps N (default {reps})  --insts N  --bench-out FILE
                   --baseline FILE  --max-regress PCT (default {regress})
                   --noise-floor-ns N (default {floor})
 fuzz flags        --seeds N (default {seeds})  --max-blocks N (default {blocks})
                   --insts N  --seed N (base seed)  --inject (fault-injection self-test)
+gap flags         --oracle-max-blocks N (default {oracle})  --insts N  --seed N
+                  --targets N  --pus N
 
 The perf-regression gate: `run -- perf --baseline BENCH_old.json` exits non-zero
 if any phase slower than the noise floor regressed by more than --max-regress
@@ -246,7 +276,26 @@ percent. docs/PROFILING.md documents the BENCH_*.json trajectory convention.
         floor = DEFAULT_NOISE_FLOOR_NS,
         seeds = DEFAULT_FUZZ_SEEDS,
         blocks = ms_conform::FuzzParams::default().max_blocks,
+        oracle = ms_tasksel::DEFAULT_ORACLE_MAX_BLOCKS,
     )
+}
+
+/// The `run -- policies` text: every registered selection policy with
+/// its one-line semantics, straight from the core registry (so the list
+/// can never drift from the code).
+pub fn policies_text() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("selection policies (--strategy NAME; see docs/POLICIES.md):\n");
+    for p in ms_tasksel::policies() {
+        let _ = writeln!(out, "  {:<8} {}", p.name(), p.summary());
+    }
+    let _ = writeln!(
+        out,
+        "  {:<8} {}",
+        "ts", "dd after task-size preprocessing (unroll small loops, include small calls)"
+    );
+    out
 }
 
 /// The `run -- list` text: the typed sweep registry and the workload
@@ -329,9 +378,33 @@ mod tests {
     }
 
     #[test]
+    fn strategy_suggestions_and_new_names() {
+        let (_, flags) = parse_ok(&["compress", "--strategy", "oracle"]);
+        assert_eq!(flags.strategy, Heuristic::Oracle);
+        let (_, flags) = parse_ok(&["compress", "--strategy", "cost", "--oracle-max-blocks", "9"]);
+        assert_eq!(flags.strategy, Heuristic::Cost);
+        assert_eq!(flags.oracle_max_blocks, 9);
+        let err = parse(
+            ["compress".to_string(), "--strategy".to_string(), "oracel".to_string()].into_iter(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("did you mean `oracle`?"), "{err}");
+    }
+
+    #[test]
+    fn policies_text_lists_every_registered_policy() {
+        let text = policies_text();
+        for name in ms_tasksel::policy_names() {
+            assert!(text.contains(name), "policies text must mention `{name}`");
+        }
+    }
+
+    #[test]
     fn help_lists_every_subcommand_and_schema_version() {
         let text = help_text();
-        for cmd in ["sweeps", "trace", "perf", "perf-validate", "list", "help", "all"] {
+        for cmd in
+            ["sweeps", "trace", "perf", "perf-validate", "list", "help", "all", "gap", "policies"]
+        {
             assert!(text.contains(cmd), "help must mention `{cmd}`");
         }
         for sweep in SWEEP_NAMES {

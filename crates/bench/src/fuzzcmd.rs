@@ -2,8 +2,8 @@
 //! `ms-conform`, fanned over worker threads, with minimal reproducers
 //! written as `.msir` artifacts.
 //!
-//! Each seed is one independent fuzz case (random program × all four
-//! heuristics × full three-layer conformance check), so the sweep uses
+//! Each seed is one independent fuzz case (random program × every
+//! selection policy × full three-layer conformance check), so the sweep uses
 //! the same deterministic pool as the experiment grids: results are
 //! bit-identical to a serial run at any `--jobs`. Seeds are derived as
 //! `base + i`, so `--seed` relocates the whole sweep reproducibly and
@@ -63,9 +63,11 @@ pub fn run_fuzz(
     }
     if failures.is_empty() {
         text.push_str(&format!(
-            "fuzz: {seeds} seed(s) x 4 heuristics conform (base seed {base_seed:#x}, \
+            "fuzz: {seeds} seed(s) x {} policies conform (base seed {base_seed:#x}, \
              max {} blocks, {} insts/run)\n",
-            params.max_blocks, params.insts
+            ms_conform::strategies().len(),
+            params.max_blocks,
+            params.insts
         ));
     } else {
         text.push_str(&format!("fuzz: {} of {seeds} seed(s) FAILED\n", {

@@ -19,8 +19,11 @@
 //! drives the `ms-conform` differential fuzz loop — random programs
 //! through every heuristic under the conformance checker, minimal
 //! reproducers written as `.msir` artifacts (see `docs/CONFORMANCE.md`).
-//! Every subcommand shares one flag parser ([`cli`]) and one timing
-//! policy ([`microbench`]).
+//! The `run -- gap` subcommand ([`gapcmd`]) compares every selection
+//! policy against the exact-partition oracle on one benchmark, and
+//! `run -- policies` lists the policy registry (see
+//! `docs/POLICIES.md`). Every subcommand shares one flag parser
+//! ([`cli`]) and one timing policy ([`microbench`]).
 //!
 //! This crate is the *reporting* stage of the data flow — everything
 //! upstream (IR → selection → trace → simulation) stays in the library
@@ -35,6 +38,7 @@
 pub mod cli;
 pub mod error;
 pub mod fuzzcmd;
+pub mod gapcmd;
 pub mod harness;
 pub mod json;
 pub mod microbench;
@@ -70,10 +74,18 @@ pub enum Heuristic {
     /// Data dependence + task size heuristic (the paper applies this
     /// fourth bar to 129.compress and 145.fpppp).
     TaskSize,
+    /// Cost-model policy: dependence-style growth steered by a measured
+    /// squash/stall cost model from a pilot simulation (see
+    /// `docs/POLICIES.md`). Without a model it scores from the static
+    /// profile.
+    Cost,
+    /// Exact-partition oracle for small functions, `cf` fallback above
+    /// the size cutoff (the `run -- gap` upper-bound baseline).
+    Oracle,
 }
 
 impl Heuristic {
-    /// All four, in Figure 5 bar order.
+    /// The paper's four, in Figure 5 bar order.
     pub fn all() -> [Heuristic; 4] {
         [
             Heuristic::BasicBlock,
@@ -83,13 +95,29 @@ impl Heuristic {
         ]
     }
 
-    /// Short label ("bb", "cf", "dd", "ts").
+    /// Every heuristic the harness can run: the paper's four plus the
+    /// registry's `cost` and `oracle` policies.
+    pub fn extended() -> [Heuristic; 6] {
+        [
+            Heuristic::BasicBlock,
+            Heuristic::ControlFlow,
+            Heuristic::DataDependence,
+            Heuristic::TaskSize,
+            Heuristic::Cost,
+            Heuristic::Oracle,
+        ]
+    }
+
+    /// Short label ("bb", "cf", "dd", "ts", "cost", "oracle") — the
+    /// policy-registry name.
     pub fn label(&self) -> &'static str {
         match self {
             Heuristic::BasicBlock => "bb",
             Heuristic::ControlFlow => "cf",
             Heuristic::DataDependence => "dd",
             Heuristic::TaskSize => "ts",
+            Heuristic::Cost => "cost",
+            Heuristic::Oracle => "oracle",
         }
     }
 
@@ -107,6 +135,12 @@ impl Heuristic {
                 .max_targets(n)
                 .task_size(TaskSizeParams::default())
                 .build(),
+            Heuristic::Cost => {
+                SelectorBuilder::named("cost").expect("registered").max_targets(n).build()
+            }
+            Heuristic::Oracle => {
+                SelectorBuilder::named("oracle").expect("registered").max_targets(n).build()
+            }
         }
     }
 }
@@ -151,6 +185,12 @@ mod tests {
     fn heuristic_labels_are_distinct() {
         let labels: Vec<&str> = Heuristic::all().iter().map(|h| h.label()).collect();
         assert_eq!(labels, vec!["bb", "cf", "dd", "ts"]);
+        let ext: Vec<&str> = Heuristic::extended().iter().map(|h| h.label()).collect();
+        assert_eq!(ext, vec!["bb", "cf", "dd", "ts", "cost", "oracle"]);
+        // Every extended label resolves through the selector path.
+        for h in Heuristic::extended() {
+            let _ = h.selector(4);
+        }
     }
 
     #[test]

@@ -43,6 +43,11 @@ fn list_text_is_stable() {
 }
 
 #[test]
+fn policies_text_is_stable() {
+    assert_golden("policies.txt", &cli::policies_text());
+}
+
+#[test]
 fn list_text_names_every_benchmark_and_sweep() {
     // Structural backstop independent of the golden bytes: `list` must
     // enumerate the full registry, whatever the formatting.

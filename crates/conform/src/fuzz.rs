@@ -45,7 +45,8 @@ impl Default for FuzzParams {
 pub struct FuzzFailure {
     /// The failing seed.
     pub seed: u64,
-    /// Label of the failing heuristic ("bb", "cf", "dd", "ts").
+    /// Label of the failing policy ("bb", "cf", "dd", "ts", "cost",
+    /// "oracle").
     pub strategy: &'static str,
     /// The conformance errors of the *minimal* reproducer.
     pub errors: Vec<String>,
@@ -57,9 +58,12 @@ pub struct FuzzFailure {
     pub original_blocks: usize,
 }
 
-/// The four heuristics of the paper's evaluation, labelled as in the
-/// experiment tables.
-pub fn strategies() -> [(&'static str, TaskSelector); 4] {
+/// Every registered selection policy, labelled as in the experiment
+/// tables: the paper's four evaluation bars plus the `cost` and
+/// `oracle` policies (fuzzed without a pilot cost model — the `cost`
+/// policy then scores from the static profile, which is exactly its
+/// fallback path).
+pub fn strategies() -> [(&'static str, TaskSelector); 6] {
     [
         ("bb", SelectorBuilder::new(Strategy::BasicBlock).build()),
         ("cf", SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build()),
@@ -71,12 +75,14 @@ pub fn strategies() -> [(&'static str, TaskSelector); 4] {
                 .task_size(TaskSizeParams::default())
                 .build(),
         ),
+        ("cost", SelectorBuilder::named("cost").expect("registered").max_targets(4).build()),
+        ("oracle", SelectorBuilder::named("oracle").expect("registered").max_targets(4).build()),
     ]
 }
 
 /// Runs one fuzz case: generates the seed's program, pushes it through
-/// all four heuristics under the full conformance check, and shrinks any
-/// failure. Returns one [`FuzzFailure`] per failing heuristic (empty =
+/// every policy under the full conformance check, and shrinks any
+/// failure. Returns one [`FuzzFailure`] per failing policy (empty =
 /// the seed conforms).
 pub fn fuzz_seed(seed: u64, params: &FuzzParams) -> Vec<FuzzFailure> {
     let mut rng = SplitMix64::seed_from_u64(seed ^ FUZZ_SALT);

@@ -1,5 +1,5 @@
 //! The conformance suite proper: real workloads and randomly generated
-//! programs, all four heuristics, full three-layer check.
+//! programs, every selection policy, full three-layer check.
 
 use ms_analysis::ProgramContext;
 use ms_conform::{check_selection, fuzz_seed, strategies, FuzzParams};

@@ -89,12 +89,29 @@ impl Error for PartitionError {}
 pub enum SelectError {
     /// A task partition violated a Multiscalar invariant.
     Partition(PartitionError),
+    /// A policy name did not match the registry
+    /// ([`crate::policies`]); carries the nearest registered name when
+    /// one is plausibly close.
+    UnknownPolicy {
+        /// The name that failed to resolve.
+        name: String,
+        /// The closest registered policy name, if within editing
+        /// distance.
+        suggestion: Option<&'static str>,
+    },
 }
 
 impl fmt::Display for SelectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SelectError::Partition(e) => write!(f, "invalid task partition: {e}"),
+            SelectError::UnknownPolicy { name, suggestion } => {
+                write!(f, "unknown selection policy `{name}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -103,8 +120,38 @@ impl Error for SelectError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SelectError::Partition(e) => Some(e),
+            SelectError::UnknownPolicy { .. } => None,
         }
     }
+}
+
+/// The nearest candidate within a conservative edit distance (at most 3
+/// edits and fewer edits than the name is long), for "did you mean"
+/// suggestions. Mirrors the bench crate's sweep/benchmark suggestions.
+pub(crate) fn closest(name: &str, candidates: &[&'static str]) -> Option<&'static str> {
+    candidates
+        .iter()
+        .map(|c| (edit_distance(name, c), *c))
+        .min()
+        .filter(|&(d, _)| d <= 3 && d < name.len())
+        .map(|(_, c)| c)
+}
+
+/// Levenshtein distance over bytes (names are ASCII).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            let next = (prev + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b.len()]
 }
 
 impl From<PartitionError> for SelectError {

@@ -7,19 +7,25 @@
 //! of the control flow graph. How the compiler draws the task boundaries
 //! determines control-flow speculation accuracy, inter-task data
 //! communication, memory dependence misspeculation, load imbalance and
-//! task overhead. This crate implements the paper's heuristics, selected
-//! through [`SelectorBuilder`] by [`Strategy`]:
+//! task overhead. Every heuristic is a named [`SelectionPolicy`] in a
+//! registry ([`policies`]), selectable by name through
+//! [`SelectorBuilder::named`] or by the closed [`Strategy`] enum:
 //!
-//! * [`Strategy::BasicBlock`] — one task per basic block (baseline),
-//! * [`Strategy::ControlFlow`] — greedy multi-block growth that
+//! * `bb` / [`Strategy::BasicBlock`] — one task per basic block
+//!   (baseline),
+//! * `cf` / [`Strategy::ControlFlow`] — greedy multi-block growth that
 //!   exploits reconvergence to keep at most `N` successor targets,
 //!   terminating at loop boundaries, calls and returns,
-//! * [`Strategy::DataDependence`] — the same growth steered to
+//! * `dd` / [`Strategy::DataDependence`] — the same growth steered to
 //!   include profiled register def-use dependences (and their codependent
 //!   sets) within tasks,
-//! * [`SelectorBuilder::task_size`] — the task-size preprocessing:
-//!   unroll loops smaller than `LOOP_THRESH` and include calls to
-//!   functions dynamically smaller than `CALL_THRESH`.
+//! * `ts` / [`SelectorBuilder::task_size`] — the task-size
+//!   preprocessing: unroll loops smaller than `LOOP_THRESH` and include
+//!   calls to functions dynamically smaller than `CALL_THRESH`,
+//! * `cost` — dependence-style growth steered by a *measured*
+//!   [`CostModel`] from a pilot simulation's squash/stall attribution,
+//! * `oracle` — an exact branch-and-bound partitioner for small
+//!   functions, the upper-bound baseline behind `run -- gap`.
 //!
 //! Selection runs over a shared [`ms_analysis::ProgramContext`], so the
 //! CFG analyses every heuristic consumes (dominators, loops, DFS order,
@@ -67,18 +73,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cost;
 mod dot;
 mod error;
 mod grow;
+mod oracle;
+mod policy;
 mod predicate;
 mod selector;
 mod stats;
 mod task;
 mod transform;
 
+pub use cost::CostModel;
 pub use dot::to_dot;
 pub use error::{PartitionError, SelectError};
 pub use grow::GrowCtx;
+pub use oracle::DEFAULT_ORACLE_MAX_BLOCKS;
+pub use policy::{
+    find_policy, policies, policy_names, BasicBlockPolicy, ControlFlowPolicy, CostPolicy,
+    DataDependencePolicy, OraclePolicy, PolicyView, SelectionPolicy,
+};
 pub use predicate::if_convert;
 pub use selector::{Selection, SelectorBuilder, Strategy, TaskSelector};
 pub use stats::{PartitionStats, SIZE_HIST_BUCKETS};

@@ -1,0 +1,240 @@
+//! The exact-partition oracle behind the `oracle` policy: exhaustive
+//! branch-and-bound over every valid task partition of one (small)
+//! function, minimising the expected number of task-boundary crossings.
+//!
+//! # Search space and objective
+//!
+//! A valid partition (`TaskPartition::validate`) assigns every
+//! reachable block to exactly one connected, single-entry task, with
+//! the function entry and every non-included call's return block as
+//! task entries. The search walks the blocks in reverse postorder;
+//! each block either **joins** the task of its already-assigned
+//! predecessors (legal only when they all share one task — otherwise an
+//! inbound edge would enter a non-entry block) or **opens** a new task
+//! with itself as entry. Single entry is enforced incrementally: when a
+//! block is placed, every already-placed successor in a *different*
+//! task must be that task's entry, which prunes invalid back and cross
+//! edges at the earliest possible node.
+//!
+//! The objective is the sum of profiled global frequencies of the task
+//! entries — the expected dynamic task *invocations*
+//! (`PartitionStats::expected_dynamic_size`'s denominator). Since the
+//! program's total dynamic instruction count is fixed, minimising
+//! invocations maximises expected dynamic task size, the quantity the
+//! paper's heuristics all chase. The oracle is exact for this static
+//! objective, not for simulated IPC: squash and stall behaviour is not
+//! in the search (that is what the `cost` policy measures).
+//!
+//! Tasks of more than one block must respect the hardware
+//! successor-target limit `N`; single-block tasks are exempt, exactly
+//! as the greedy heuristics' fallback behaviour (a lone block whose
+//! terminator fans out past `N` is unavoidable under any partition).
+//!
+//! # Bounds
+//!
+//! The branching factor is at most 2 per block, so a function of `k`
+//! reachable blocks explores at most `2^(k-1)` leaves (far fewer after
+//! forced entries and pruning). The policy only attempts functions with
+//! at most [`DEFAULT_ORACLE_MAX_BLOCKS`] reachable blocks (override
+//! with `SelectorBuilder::oracle_max_blocks`); a cap of
+//! [`NODE_CAP`] search nodes guards adversarial shapes. Oversized or
+//! capped functions fall back to `cf` growth — `run -- gap` reports
+//! gaps over the oracle-eligible functions only.
+
+use std::collections::BTreeSet;
+
+use ms_ir::{BlockId, BlockRef, Terminator};
+
+use crate::policy::PolicyView;
+use crate::task::Task;
+
+/// Default largest reachable-block count the oracle partitions exactly;
+/// chosen so every workload in the suite has oracle-eligible functions
+/// while the worst case stays below `2^13` leaves.
+pub const DEFAULT_ORACLE_MAX_BLOCKS: usize = 14;
+
+/// Safety cap on branch-and-bound nodes; reaching it abandons the
+/// search (the policy then falls back to `cf`).
+const NODE_CAP: usize = 1 << 20;
+
+/// The shared search state.
+struct Search<'a> {
+    view: &'a PolicyView<'a>,
+    /// Reachable blocks in reverse postorder (assignment order).
+    blocks: Vec<BlockId>,
+    /// Blocks that must start a task: the function entry and every
+    /// non-included call's return block.
+    forced: BTreeSet<BlockId>,
+    /// Profiled global frequency per block index (the entry cost).
+    freq: Vec<f64>,
+    /// Current task of each block (by block index).
+    assign: Vec<Option<usize>>,
+    /// Entry block of each open task.
+    entries: Vec<BlockId>,
+    /// Whether each block is currently a task entry.
+    is_entry: Vec<bool>,
+    /// Best complete assignment found so far.
+    best: Option<(f64, Vec<Option<usize>>, Vec<BlockId>)>,
+    nodes: usize,
+}
+
+/// Exhaustively partitions `view`'s function, returning the
+/// minimum-invocation valid partition, or `None` when the function
+/// exceeds the size cutoff or the node cap was hit (callers fall back
+/// to greedy growth).
+pub(crate) fn exact_partition(view: &PolicyView<'_>) -> Option<Vec<Task>> {
+    let func = view.func();
+    let order = view.ctx.order(view.fid);
+    let blocks: Vec<BlockId> = order.rpo().to_vec();
+    if blocks.is_empty() || blocks.len() > view.oracle_max_blocks {
+        return None;
+    }
+    let mut forced = BTreeSet::from([func.entry()]);
+    for &b in &blocks {
+        if let Terminator::Call { ret_to, .. } = func.block(b).terminator() {
+            if !view.grow.included_calls().contains(&b) {
+                forced.insert(*ret_to);
+            }
+        }
+    }
+    let profile = view.ctx.profile();
+    let freq = (0..func.num_blocks())
+        .map(|i| profile.global_block_freq(BlockRef::new(view.fid, BlockId::new(i as u32))))
+        .collect();
+    let mut search = Search {
+        view,
+        blocks,
+        forced,
+        freq,
+        assign: vec![None; func.num_blocks()],
+        entries: Vec::new(),
+        is_entry: vec![false; func.num_blocks()],
+        best: None,
+        nodes: 0,
+    };
+    search.descend(0, 0.0);
+    if search.nodes >= NODE_CAP {
+        return None;
+    }
+    let (_, assign, entries) = search.best?;
+    let mut tasks: Vec<(BlockId, BTreeSet<BlockId>)> =
+        entries.iter().map(|&e| (e, BTreeSet::new())).collect();
+    for &b in search.blocks.iter() {
+        let ti = assign[b.index()].expect("complete assignment covers every reachable block");
+        tasks[ti].1.insert(b);
+    }
+    Some(tasks.into_iter().map(|(e, bs)| Task::new(e, bs)).collect())
+}
+
+impl Search<'_> {
+    /// Whether placing `b` in task `ti` keeps every edge out of `b`
+    /// valid: an already-placed successor in another task must be that
+    /// task's entry (single entry), and a retreating edge must land on a
+    /// task entry even within `b`'s own task — a loop iterates by
+    /// re-dispatching its head task, exactly as the greedy growth's
+    /// terminal-edge rule dictates (without this the search degenerates
+    /// to whole-function tasks that serialise every loop).
+    fn succs_consistent(&self, b: BlockId, ti: usize) -> bool {
+        let func = self.view.func();
+        let order = self.view.ctx.order(self.view.fid);
+        for s in func.successors(b) {
+            if s == b {
+                // A self loop retreats to itself: b must head its task.
+                if self.entries[ti] != b {
+                    return false;
+                }
+                continue;
+            }
+            match self.assign[s.index()] {
+                Some(si) if si != ti && !self.is_entry[s.index()] => return false,
+                Some(si) if si == ti && order.is_retreating_edge(b, s) && self.entries[ti] != s => {
+                    return false
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Branch on block `i` of the assignment order.
+    fn descend(&mut self, i: usize, cost: f64) {
+        self.nodes += 1;
+        if self.nodes >= NODE_CAP {
+            return;
+        }
+        if let Some((best_cost, ..)) = &self.best {
+            if cost >= *best_cost {
+                return; // entry frequencies only ever add cost
+            }
+        }
+        if i == self.blocks.len() {
+            if self.targets_feasible() {
+                self.best = Some((cost, self.assign.clone(), self.entries.clone()));
+            }
+            return;
+        }
+        let b = self.blocks[i];
+        let func = self.view.func();
+        // Join is legal when b is not a forced entry, every assigned
+        // predecessor shares one task, and none of those edges is a
+        // (non-included) call edge — call edges cannot carry intra-task
+        // connectivity, but then b is the call's return block and
+        // forced anyway.
+        if !self.forced.contains(&b) {
+            let mut join: Option<usize> = None;
+            let mut joinable = true;
+            for &p in func.predecessors(b) {
+                let Some(pi) = self.assign[p.index()] else { continue };
+                match join {
+                    None => join = Some(pi),
+                    Some(ti) if ti != pi => {
+                        joinable = false;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if joinable {
+                if let Some(ti) = join {
+                    self.assign[b.index()] = Some(ti);
+                    if self.succs_consistent(b, ti) {
+                        self.descend(i + 1, cost);
+                    }
+                    self.assign[b.index()] = None;
+                }
+            }
+        }
+        // Opening a new task at b is always structurally legal.
+        let ti = self.entries.len();
+        self.entries.push(b);
+        self.assign[b.index()] = Some(ti);
+        self.is_entry[b.index()] = true;
+        if self.succs_consistent(b, ti) {
+            self.descend(i + 1, cost + self.freq[b.index()]);
+        }
+        self.is_entry[b.index()] = false;
+        self.assign[b.index()] = None;
+        self.entries.pop();
+    }
+
+    /// Leaf check: multi-block tasks stay within the hardware target
+    /// limit (singletons are exempt, matching the greedy fallback).
+    fn targets_feasible(&self) -> bool {
+        let func = self.view.func();
+        let included = self.view.grow.included_calls();
+        let mut blocks: Vec<BTreeSet<BlockId>> = vec![BTreeSet::new(); self.entries.len()];
+        for &b in &self.blocks {
+            blocks[self.assign[b.index()].expect("leaf assignment is complete")].insert(b);
+        }
+        for (ti, bs) in blocks.into_iter().enumerate() {
+            if bs.len() <= 1 {
+                continue;
+            }
+            let task = Task::new(self.entries[ti], bs);
+            if task.targets(func, included).len() > self.view.max_targets {
+                return false;
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,549 @@
+//! The selection-policy registry: every partitioning heuristic behind
+//! one [`SelectionPolicy`] trait, discoverable by name.
+//!
+//! A policy partitions **one function** into candidate tasks
+//! ([`SelectionPolicy::do_select`]); the surrounding [`TaskSelector`]
+//! owns everything common to all policies — the optional task-size
+//! preprocessing, the per-function [`GrowCtx`], and the single-entry
+//! repair pass that restores the partition invariants afterwards.
+//! Policies are stateless unit structs registered in a static table
+//! ([`policies`]); per-run inputs (the measured [`CostModel`], the
+//! oracle's size cutoff) travel through the [`PolicyView`] instead, so
+//! a policy can be shared by every selector that names it.
+//!
+//! The registry contains, in listing order:
+//!
+//! | name     | selection                                                    |
+//! |----------|--------------------------------------------------------------|
+//! | `bb`     | one task per basic block (the paper's baseline)              |
+//! | `cf`     | greedy control-flow growth within the target limit (§3.3)    |
+//! | `dd`     | `cf` steered to include profiled register dependences (§3.4) |
+//! | `cost`   | `cf` steered by measured squash/stall attribution            |
+//! | `oracle` | exact minimum-boundary partition of small CFGs               |
+//!
+//! `ts` (the task-size heuristic, §3.2) is *preprocessing* — loop
+//! unrolling plus call inclusion before `dd` runs — so it is selected
+//! through [`SelectorBuilder::named`]`("ts")` rather than registered
+//! here. See `docs/POLICIES.md` for per-policy semantics and the cost
+//! model's inputs.
+//!
+//! [`TaskSelector`]: crate::TaskSelector
+//! [`SelectorBuilder::named`]: crate::SelectorBuilder::named
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use ms_analysis::ProgramContext;
+use ms_ir::{BlockId, BlockRef, FuncId, Function, Terminator};
+
+use crate::cost::CostModel;
+use crate::error::{closest, SelectError};
+use crate::grow::GrowCtx;
+use crate::oracle;
+use crate::task::{Task, TaskTarget};
+
+/// Everything a policy may consult while partitioning one function:
+/// the shared analysis context, the growth context (terminal rules,
+/// target limit, included calls), and the per-run policy inputs.
+#[derive(Debug)]
+pub struct PolicyView<'a> {
+    /// The function being partitioned.
+    pub fid: FuncId,
+    /// Analyses of the (possibly task-size-transformed) program.
+    pub ctx: &'a ProgramContext,
+    /// The growth context over `fid`'s CFG.
+    pub grow: &'a GrowCtx<'a>,
+    /// The hardware successor-target limit `N`.
+    pub max_targets: usize,
+    /// The measured cost model, when the selector carries one (the
+    /// `cost` policy falls back to profile estimates otherwise).
+    pub cost_model: Option<&'a CostModel>,
+    /// Largest reachable-block count the `oracle` policy partitions
+    /// exactly; bigger functions fall back to `cf` growth.
+    pub oracle_max_blocks: usize,
+}
+
+impl PolicyView<'_> {
+    /// The function being partitioned.
+    pub fn func(&self) -> &Function {
+        self.ctx.function(self.fid)
+    }
+}
+
+/// One named partitioning heuristic: turns one function's CFG into a
+/// list of candidate tasks.
+///
+/// Implementations must cover every reachable block (the shared cover
+/// phase in this module does that for the built-in policies); the
+/// selector's repair pass restores single entry afterwards, so a
+/// policy's raw tasks may still have side entries.
+pub trait SelectionPolicy: fmt::Debug + Send + Sync {
+    /// The registry name ("bb", "cf", …), also used as the partition's
+    /// strategy label.
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `run -- policies`.
+    fn summary(&self) -> &'static str;
+
+    /// Partitions one function into candidate tasks (pre-repair).
+    fn do_select(&self, view: &PolicyView<'_>) -> Vec<Task>;
+}
+
+/// One task per basic block.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BasicBlockPolicy;
+
+impl SelectionPolicy for BasicBlockPolicy {
+    fn name(&self) -> &'static str {
+        "bb"
+    }
+
+    fn summary(&self) -> &'static str {
+        "one task per basic block (the paper's baseline)"
+    }
+
+    fn do_select(&self, view: &PolicyView<'_>) -> Vec<Task> {
+        let mut state = PartitionState::new(view.func().num_blocks());
+        cover(view, &mut state, true, None);
+        state.tasks
+    }
+}
+
+/// Greedy control-flow growth within the target limit (§3.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControlFlowPolicy;
+
+impl SelectionPolicy for ControlFlowPolicy {
+    fn name(&self) -> &'static str {
+        "cf"
+    }
+
+    fn summary(&self) -> &'static str {
+        "greedy growth exploiting reconvergence within the target limit (paper 3.3)"
+    }
+
+    fn do_select(&self, view: &PolicyView<'_>) -> Vec<Task> {
+        let mut state = PartitionState::new(view.func().num_blocks());
+        cover(view, &mut state, false, None);
+        state.tasks
+    }
+}
+
+/// Control-flow growth steered to include profiled register
+/// dependences and their codependent sets (§3.4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataDependencePolicy;
+
+impl SelectionPolicy for DataDependencePolicy {
+    fn name(&self) -> &'static str {
+        "dd"
+    }
+
+    fn summary(&self) -> &'static str {
+        "cf growth steered to include profiled register dependences (paper 3.4)"
+    }
+
+    fn do_select(&self, view: &PolicyView<'_>) -> Vec<Task> {
+        let fid = view.fid;
+        let profile = view.ctx.profile();
+        let mut deps = view.ctx.defuse(fid).block_deps();
+        // Quantise frequencies before comparing so that floating point
+        // noise from the profile estimator cannot reorder effectively
+        // tied dependences; ties then break deterministically by ids,
+        // which puts dominating producers (lower block ids in builder
+        // order) first.
+        let qfreq =
+            |b: BlockId| (profile.block_freq(BlockRef::new(fid, b)) * 1024.0).round() as u64;
+        deps.sort_by(|a, b| qfreq(b.1).cmp(&qfreq(a.1)).then_with(|| a.cmp(b)));
+        // The heuristic prioritises by profiled frequency and only acts
+        // on the dependences worth acting on: chasing every cold
+        // dependence would shred the control-flow tasks that already
+        // include most chains (the paper notes the heuristic "has fewer
+        // opportunities" beyond the control flow heuristic, §4.3.1).
+        let cutoff =
+            deps.first().map(|d| profile.block_freq(BlockRef::new(fid, d.1)) * 0.25).unwrap_or(0.0);
+        deps.retain(|d| profile.block_freq(BlockRef::new(fid, d.1)) >= cutoff);
+
+        let mut state = PartitionState::new(view.func().num_blocks());
+        let arcs: Vec<(BlockId, BlockId)> = deps.iter().map(|d| (d.0, d.1)).collect();
+        expand_dependences(view, &mut state, &arcs);
+        cover(view, &mut state, false, None);
+        state.tasks
+    }
+}
+
+/// Control-flow growth steered by *measured* costs: the squash and
+/// stall attribution of a pilot traced run ([`CostModel`]) replaces the
+/// static profile as the steering signal. Stall-heavy def-use arcs are
+/// included within tasks first (the tracer's stall-attribution table),
+/// then cover growth seeds squash-heavy boundaries before cheap ones so
+/// the costly tasks capture their mispredicted exits. Without a model
+/// (or for functions the model never measured) the scores fall back to
+/// profile estimates, which keeps the policy total — fuzzing and the
+/// registry round-trip exercise exactly that path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostPolicy;
+
+impl SelectionPolicy for CostPolicy {
+    fn name(&self) -> &'static str {
+        "cost"
+    }
+
+    fn summary(&self) -> &'static str {
+        "cf growth steered by measured squash/stall attribution (simulate, attribute, reselect)"
+    }
+
+    fn do_select(&self, view: &PolicyView<'_>) -> Vec<Task> {
+        let fid = view.fid;
+        let profile = view.ctx.profile();
+        let measured = view.cost_model.filter(|m| m.has_func(fid));
+        let qfreq =
+            |b: BlockId| (profile.block_freq(BlockRef::new(fid, b)) * 1024.0).round() as u64;
+        let arc_score = |p: BlockId, c: BlockId| match measured {
+            Some(m) => m.arc_cost(fid, p, c),
+            None => qfreq(c),
+        };
+        let mut deps = view.ctx.defuse(fid).block_deps();
+        deps.sort_by(|a, b| arc_score(b.0, b.1).cmp(&arc_score(a.0, a.1)).then_with(|| a.cmp(b)));
+        // Act on the arcs carrying at least a quarter of the worst
+        // arc's cost (the dd cutoff, applied to measured cycles), and
+        // never on arcs that measured zero — an unmeasured arc caused
+        // no stalls, so there is nothing to include.
+        let max_score = deps.first().map(|d| arc_score(d.0, d.1)).unwrap_or(0);
+        deps.retain(|d| {
+            let s = arc_score(d.0, d.1);
+            s > 0 && 4 * s >= max_score
+        });
+
+        let mut state = PartitionState::new(view.func().num_blocks());
+        let arcs: Vec<(BlockId, BlockId)> = deps.iter().map(|d| (d.0, d.1)).collect();
+        expand_dependences(view, &mut state, &arcs);
+        let boundary_score = |b: BlockId| match measured {
+            Some(m) => m.boundary_cost(fid, b),
+            None => (profile.global_block_freq(BlockRef::new(fid, b)) * 1024.0).round() as u64,
+        };
+        cover(view, &mut state, false, Some(&boundary_score));
+        state.tasks
+    }
+}
+
+/// The exact-partition oracle: enumerates every valid task partition of
+/// a small function and keeps one minimising expected task-boundary
+/// crossings (equivalently, maximising expected dynamic task size).
+/// Functions above [`PolicyView::oracle_max_blocks`] reachable blocks
+/// fall back to `cf` growth — the cutoff and the search's objective are
+/// documented in `docs/POLICIES.md`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OraclePolicy;
+
+impl SelectionPolicy for OraclePolicy {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn summary(&self) -> &'static str {
+        "exact minimum-boundary partition of small CFGs (upper-bound oracle)"
+    }
+
+    fn do_select(&self, view: &PolicyView<'_>) -> Vec<Task> {
+        if let Some(tasks) = oracle::exact_partition(view) {
+            return tasks;
+        }
+        let mut state = PartitionState::new(view.func().num_blocks());
+        cover(view, &mut state, false, None);
+        state.tasks
+    }
+}
+
+/// The policy registry, in listing order.
+static POLICIES: [&dyn SelectionPolicy; 5] =
+    [&BasicBlockPolicy, &ControlFlowPolicy, &DataDependencePolicy, &CostPolicy, &OraclePolicy];
+
+/// Every registered policy, in listing order (`run -- policies`).
+pub fn policies() -> &'static [&'static dyn SelectionPolicy] {
+    &POLICIES
+}
+
+/// Every name [`crate::SelectorBuilder::named`] accepts: the registered
+/// policies plus `ts` (dd with task-size preprocessing).
+pub fn policy_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = POLICIES.iter().map(|p| p.name()).collect();
+    names.push("ts");
+    names
+}
+
+/// Resolves a registry name, suggesting the nearest registered name on
+/// a miss (`ts` is not in the registry — it resolves at the
+/// [`crate::SelectorBuilder::named`] level, which also consults this
+/// function's suggestion list).
+pub fn find_policy(name: &str) -> Result<&'static dyn SelectionPolicy, SelectError> {
+    POLICIES.iter().copied().find(|p| p.name() == name).ok_or_else(|| SelectError::UnknownPolicy {
+        name: name.to_string(),
+        suggestion: closest(name, &policy_names()),
+    })
+}
+
+/// Mutable bookkeeping during one function's partitioning.
+#[derive(Debug)]
+pub(crate) struct PartitionState {
+    pub(crate) tasks: Vec<Task>,
+    owner: Vec<Option<usize>>,
+}
+
+impl PartitionState {
+    pub(crate) fn new(num_blocks: usize) -> Self {
+        PartitionState { tasks: Vec::new(), owner: vec![None; num_blocks] }
+    }
+
+    pub(crate) fn owner(&self, b: BlockId) -> Option<usize> {
+        self.owner[b.index()]
+    }
+
+    fn owned_by_other(&self, b: BlockId, ti: usize) -> bool {
+        matches!(self.owner[b.index()], Some(o) if o != ti)
+    }
+
+    pub(crate) fn push(&mut self, task: Task) {
+        let ti = self.tasks.len();
+        for &b in task.blocks() {
+            debug_assert!(self.owner[b.index()].is_none());
+            self.owner[b.index()] = Some(ti);
+        }
+        self.tasks.push(task);
+    }
+
+    /// Replaces task `ti` with a grown/shrunk version, fixing ownership.
+    pub(crate) fn replace(&mut self, ti: usize, task: Task) {
+        for &b in self.tasks[ti].blocks() {
+            self.owner[b.index()] = None;
+        }
+        for &b in task.blocks() {
+            debug_assert!(self.owner[b.index()].is_none());
+            self.owner[b.index()] = Some(ti);
+        }
+        self.tasks[ti] = task;
+    }
+}
+
+/// The paper's `task_selection()` dependence loop: for each
+/// (producer, consumer) arc, in the caller's priority order, expand the
+/// producer's task (or start one at the producer) along the codependent
+/// set. Shared by the `dd` (profile-scored) and `cost`
+/// (attribution-scored) policies.
+fn expand_dependences(
+    view: &PolicyView<'_>,
+    state: &mut PartitionState,
+    arcs: &[(BlockId, BlockId)],
+) {
+    let func = view.func();
+    let reach = view.ctx.reach(view.fid);
+    for &(producer, consumer) in arcs {
+        #[cfg(feature = "selector-debug")]
+        eprintln!("dep {producer} -> {consumer} owner={:?}", state.owner(producer));
+        // The function entry must stay a task entry: dependences
+        // whose codependent set would swallow it are grown from it
+        // during cover instead.
+        match state.owner(producer) {
+            Some(ti) => {
+                let task = &state.tasks[ti];
+                if task.contains(consumer) {
+                    continue;
+                }
+                let entry = task.entry();
+                let initial = task.blocks().clone();
+                let taken = |b: BlockId| state.owned_by_other(b, ti);
+                let steer =
+                    |b: BlockId| reach.is_codependent(b, producer, consumer) && b != func.entry();
+                let grown = view.grow.grow(entry, &initial, &taken, Some(&steer));
+                #[cfg(feature = "selector-debug")]
+                eprintln!("  expanded task {ti} to {:?}", grown.blocks());
+                state.replace(ti, grown);
+            }
+            None => {
+                if producer == func.entry() {
+                    continue;
+                }
+                let taken = |b: BlockId| state.owner(b).is_some();
+                let steer =
+                    |b: BlockId| reach.is_codependent(b, producer, consumer) && b != func.entry();
+                let grown = view.grow.grow(producer, &BTreeSet::new(), &taken, Some(&steer));
+                #[cfg(feature = "selector-debug")]
+                eprintln!("  new task at {producer}: {:?}", grown.blocks());
+                state.push(grown);
+            }
+        }
+    }
+}
+
+/// Covers every remaining reachable block by growing tasks from the
+/// function entry and from each exposed target. `singleton` makes every
+/// task one block (the bb policy); `priority` orders the seed queue by
+/// descending score (the cost policy grows squash-heavy boundaries
+/// first), ties and the default falling back to ascending block id.
+fn cover(
+    view: &PolicyView<'_>,
+    state: &mut PartitionState,
+    singleton: bool,
+    priority: Option<&dyn Fn(BlockId) -> u64>,
+) {
+    let func = view.func();
+    let ctx = view.grow;
+    let mut seeds: BTreeSet<BlockId> = BTreeSet::from([func.entry()]);
+    for t in &state.tasks {
+        collect_seeds(func, ctx, t, &mut seeds);
+    }
+    let pop = |seeds: &mut BTreeSet<BlockId>| -> Option<BlockId> {
+        let s = match priority {
+            // max_by_key returns the *last* maximum; iterate descending
+            // so ties resolve to the lowest block id.
+            Some(p) => seeds.iter().rev().copied().max_by_key(|&b| p(b))?,
+            None => seeds.iter().next().copied()?,
+        };
+        seeds.remove(&s);
+        Some(s)
+    };
+    // The function entry must be a task *entry*: if a dependence task
+    // absorbed it as an interior block, repair will split it out; as
+    // a precaution the dependence phase never includes it.
+    while let Some(s) = pop(&mut seeds) {
+        if state.owner(s).is_some() {
+            continue;
+        }
+        let task = if singleton {
+            Task::singleton(s)
+        } else {
+            let taken = |b: BlockId| state.owner(b).is_some();
+            ctx.grow(s, &BTreeSet::new(), &taken, None)
+        };
+        collect_seeds(func, ctx, &task, &mut seeds);
+        state.push(task);
+    }
+    // Safety net: any reachable block not yet covered becomes a
+    // singleton task (should not trigger; kept for robustness).
+    for b in func.reachable_blocks() {
+        if state.owner(b).is_none() {
+            state.push(Task::singleton(b));
+        }
+    }
+}
+
+/// Seeds from a finished task: every exposed internal target plus the
+/// return blocks of its non-included calls.
+fn collect_seeds(func: &Function, ctx: &GrowCtx<'_>, task: &Task, seeds: &mut BTreeSet<BlockId>) {
+    for target in task.targets(func, ctx.included_calls()) {
+        if let TaskTarget::Block(b) = target {
+            seeds.insert(b);
+        }
+    }
+    for &b in task.blocks() {
+        if let Terminator::Call { ret_to, .. } = func.block(b).terminator() {
+            if !ctx.included_calls().contains(&b) {
+                seeds.insert(*ret_to);
+            }
+        }
+    }
+}
+
+/// Successors of `b` *within* a task, honouring included calls (the same
+/// walk `TaskPartition::validate` uses for connectivity).
+pub(crate) fn intra_task_successors(
+    func: &Function,
+    b: BlockId,
+    included: &BTreeSet<BlockId>,
+) -> Vec<BlockId> {
+    match func.block(b).terminator() {
+        Terminator::Call { ret_to, .. } if included.contains(&b) => vec![*ret_to],
+        Terminator::Call { .. } => Vec::new(),
+        _ => func.successors(b),
+    }
+}
+
+/// Restores the single-entry invariant: while some task has a non-entry
+/// block targeted from outside, split that block (and everything in the
+/// task only reachable through it) into fresh tasks grown within the
+/// removed set. Each split strictly shrinks an existing task, so this
+/// terminates.
+pub(crate) fn repair_single_entry(func: &Function, ctx: &GrowCtx<'_>, state: &mut PartitionState) {
+    while let Some((ti, split_at)) = find_side_entry(func, state) {
+        let task = &state.tasks[ti];
+        let entry = task.entry();
+        // Blocks still reachable from the entry without passing split_at.
+        let mut keep: BTreeSet<BlockId> = BTreeSet::from([entry]);
+        let mut stack = vec![entry];
+        while let Some(x) = stack.pop() {
+            for s in intra_task_successors(func, x, ctx.included_calls()) {
+                if s != split_at && task.contains(s) && keep.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        let removed: BTreeSet<BlockId> =
+            task.blocks().iter().copied().filter(|b| !keep.contains(b)).collect();
+        debug_assert!(removed.contains(&split_at));
+        state.replace(ti, Task::new(entry, keep));
+        // Re-cover the removed blocks with fresh tasks confined to the
+        // removed set (split_at first, so it becomes an entry).
+        let mut order: Vec<BlockId> = vec![split_at];
+        order.extend(removed.iter().copied().filter(|&b| b != split_at));
+        for seed in order {
+            if state.owner(seed).is_some() {
+                continue;
+            }
+            let taken = |b: BlockId| state.owner(b).is_some();
+            let steer = |b: BlockId| removed.contains(&b);
+            let grown = ctx.grow(seed, &BTreeSet::new(), &taken, Some(&steer));
+            state.push(grown);
+        }
+    }
+}
+
+/// Finds a `(task index, block)` violating single entry, if any.
+fn find_side_entry(func: &Function, state: &PartitionState) -> Option<(usize, BlockId)> {
+    for (ti, task) in state.tasks.iter().enumerate() {
+        for &b in task.blocks() {
+            if b == task.entry() {
+                continue;
+            }
+            for &p in func.predecessors(b) {
+                if !task.contains(p) {
+                    return Some((ti, b));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_distinct_and_ordered() {
+        let names: Vec<&str> = policies().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["bb", "cf", "dd", "cost", "oracle"]);
+        assert_eq!(policy_names(), vec!["bb", "cf", "dd", "cost", "oracle", "ts"]);
+    }
+
+    #[test]
+    fn find_policy_resolves_and_suggests() {
+        assert_eq!(find_policy("cf").unwrap().name(), "cf");
+        let err = find_policy("oracel").unwrap_err();
+        assert_eq!(
+            err,
+            SelectError::UnknownPolicy { name: "oracel".into(), suggestion: Some("oracle") }
+        );
+        // Far-off names get no suggestion.
+        match find_policy("zzzzzzzzzz").unwrap_err() {
+            SelectError::UnknownPolicy { suggestion: None, .. } => {}
+            other => panic!("expected no suggestion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn summaries_are_nonempty() {
+        for p in policies() {
+            assert!(!p.summary().is_empty(), "{} needs a summary", p.name());
+        }
+    }
+}

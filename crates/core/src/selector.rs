@@ -1,17 +1,26 @@
-//! The task selector: the paper's three partitioning strategies plus the
-//! optional task-size preprocessing.
+//! The task selector: orchestration around the pluggable
+//! [`SelectionPolicy`] registry — optional task-size preprocessing,
+//! per-function policy dispatch, and single-entry repair.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use ms_analysis::ProgramContext;
-use ms_ir::{BlockId, BlockRef, FuncId, Function, Program, Terminator};
+use ms_ir::{BlockId, FuncId, Program};
 
+use crate::cost::CostModel;
+use crate::error::SelectError;
 use crate::grow::GrowCtx;
-use crate::task::{FuncPartition, Task, TaskPartition, TaskTarget};
+use crate::oracle::DEFAULT_ORACLE_MAX_BLOCKS;
+use crate::policy::{
+    find_policy, repair_single_entry, PartitionState, PolicyView, SelectionPolicy,
+};
+use crate::task::{FuncPartition, Task, TaskPartition};
 use crate::transform::{apply_task_size, TaskSizeParams};
 
-/// Which heuristic family partitions the CFG.
+/// Which paper heuristic family partitions the CFG — the closed,
+/// `Copy` subset of the policy registry (see [`crate::policies`] for
+/// the open, by-name surface that also covers `cost` and `oracle`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// One task per basic block (the paper's baseline).
@@ -26,7 +35,8 @@ pub enum Strategy {
 }
 
 impl Strategy {
-    /// Short label used in reports ("bb", "cf", "dd").
+    /// Short label used in reports ("bb", "cf", "dd") — also the
+    /// strategy's name in the policy registry.
     pub fn label(&self) -> &'static str {
         match self {
             Strategy::BasicBlock => "bb",
@@ -62,8 +72,7 @@ impl Selection {
     }
 }
 
-/// Builds a [`TaskSelector`] from named parts, replacing the old
-/// positional constructors.
+/// Builds a [`TaskSelector`] from named parts.
 ///
 /// # Example
 ///
@@ -71,21 +80,53 @@ impl Selection {
 /// use ms_tasksel::{SelectorBuilder, Strategy};
 ///
 /// let selector = SelectorBuilder::new(Strategy::ControlFlow).max_targets(4).build();
-/// assert_eq!(selector.strategy(), Strategy::ControlFlow);
+/// assert_eq!(selector.policy_name(), "cf");
+/// // Any registered policy is also reachable by name:
+/// let oracle = SelectorBuilder::named("oracle").unwrap().build();
+/// assert_eq!(oracle.policy_name(), "oracle");
 /// ```
 #[derive(Debug, Clone)]
 pub struct SelectorBuilder {
-    strategy: Strategy,
+    policy: &'static dyn SelectionPolicy,
     max_targets: usize,
     task_size: Option<TaskSizeParams>,
     explore_limit: usize,
+    cost_model: Option<CostModel>,
+    oracle_max_blocks: usize,
 }
 
 impl SelectorBuilder {
     /// Starts a builder for `strategy` with the paper's defaults:
     /// target limit 4, no task-size preprocessing, explore limit 64.
     pub fn new(strategy: Strategy) -> Self {
-        SelectorBuilder { strategy, max_targets: 4, task_size: None, explore_limit: 64 }
+        let policy = find_policy(strategy.label()).expect("paper strategies are registered");
+        SelectorBuilder::with_policy(policy)
+    }
+
+    /// Starts a builder for a registered policy instance (see
+    /// [`crate::policies`]).
+    pub fn with_policy(policy: &'static dyn SelectionPolicy) -> Self {
+        SelectorBuilder {
+            policy,
+            max_targets: 4,
+            task_size: None,
+            explore_limit: 64,
+            cost_model: None,
+            oracle_max_blocks: DEFAULT_ORACLE_MAX_BLOCKS,
+        }
+    }
+
+    /// Starts a builder for a policy by registry name ("bb", "cf",
+    /// "dd", "cost", "oracle"), plus "ts" — the data dependence policy
+    /// with default task-size preprocessing, as in the paper's fourth
+    /// evaluation bar. Unknown names report the nearest registered name.
+    pub fn named(name: &str) -> Result<Self, SelectError> {
+        if name == "ts" {
+            return Ok(
+                SelectorBuilder::new(Strategy::DataDependence).task_size(TaskSizeParams::default())
+            );
+        }
+        Ok(SelectorBuilder::with_policy(find_policy(name)?))
     }
 
     /// The hardware successor-target limit `N` (the paper evaluates 4).
@@ -121,13 +162,38 @@ impl SelectorBuilder {
         self
     }
 
+    /// Supplies the measured cost model steering the `cost` policy
+    /// (ignored by the other policies). Without one, the `cost` policy
+    /// scores from the static profile.
+    #[must_use]
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
+    /// Overrides the `oracle` policy's exact-search size cutoff
+    /// (default [`DEFAULT_ORACLE_MAX_BLOCKS`] reachable blocks; larger
+    /// functions fall back to `cf` growth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn oracle_max_blocks(mut self, n: usize) -> Self {
+        assert!(n > 0, "the oracle needs at least one block");
+        self.oracle_max_blocks = n;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> TaskSelector {
         TaskSelector {
-            strategy: self.strategy,
+            policy: self.policy,
             max_targets: self.max_targets,
             task_size: self.task_size,
             explore_limit: self.explore_limit,
+            cost_model: self.cost_model,
+            oracle_max_blocks: self.oracle_max_blocks,
         }
     }
 }
@@ -166,73 +232,18 @@ impl SelectorBuilder {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TaskSelector {
-    strategy: Strategy,
+    policy: &'static dyn SelectionPolicy,
     max_targets: usize,
     task_size: Option<TaskSizeParams>,
     explore_limit: usize,
+    cost_model: Option<CostModel>,
+    oracle_max_blocks: usize,
 }
 
 impl TaskSelector {
-    /// Basic block tasks (the paper's baseline).
-    #[deprecated(since = "0.2.0", note = "use `SelectorBuilder::new(Strategy::BasicBlock)`")]
-    pub fn basic_block() -> Self {
-        SelectorBuilder::new(Strategy::BasicBlock).build()
-    }
-
-    /// Control flow tasks with at most `max_targets` successor targets
-    /// (the paper's hardware limit `N`, 4 in its evaluation).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `max_targets == 0`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SelectorBuilder::new(Strategy::ControlFlow).max_targets(n)`"
-    )]
-    pub fn control_flow(max_targets: usize) -> Self {
-        SelectorBuilder::new(Strategy::ControlFlow).max_targets(max_targets).build()
-    }
-
-    /// Data dependence tasks (control flow rules plus dependence-steered
-    /// growth) with at most `max_targets` successor targets.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `max_targets == 0`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SelectorBuilder::new(Strategy::DataDependence).max_targets(n)`"
-    )]
-    pub fn data_dependence(max_targets: usize) -> Self {
-        SelectorBuilder::new(Strategy::DataDependence).max_targets(max_targets).build()
-    }
-
-    /// Enables the task-size heuristic (loop unrolling + call inclusion)
-    /// as preprocessing.
-    #[deprecated(since = "0.2.0", note = "use `SelectorBuilder::task_size`")]
-    #[must_use]
-    pub fn with_task_size(mut self, params: TaskSizeParams) -> Self {
-        self.task_size = Some(params);
-        self
-    }
-
-    /// Overrides the safety cap on blocks explored per task growth
-    /// (default 64).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `limit == 0`.
-    #[deprecated(since = "0.2.0", note = "use `SelectorBuilder::explore_limit`")]
-    #[must_use]
-    pub fn with_explore_limit(mut self, limit: usize) -> Self {
-        assert!(limit > 0, "explore limit must be positive");
-        self.explore_limit = limit;
-        self
-    }
-
-    /// The configured strategy.
-    pub fn strategy(&self) -> Strategy {
-        self.strategy
+    /// The configured policy's registry name ("bb", "cf", …).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// The configured target limit `N`.
@@ -264,9 +275,9 @@ impl TaskSelector {
             let tasks = self.partition_function(fid, &ctx, included);
             funcs.push(FuncPartition::new(fid, tasks, func.num_blocks()));
         }
-        let label = match (&self.strategy, &self.task_size) {
-            (s, None) => s.label().to_string(),
-            (s, Some(_)) => format!("{}+ts", s.label()),
+        let label = match &self.task_size {
+            None => self.policy.name().to_string(),
+            Some(_) => format!("{}+ts", self.policy.name()),
         };
         let partition = TaskPartition::new(funcs, included_calls, label);
         debug_assert_eq!(partition.validate(&program).map_err(|e| e.to_string()), Ok(()));
@@ -287,18 +298,6 @@ impl TaskSelector {
         Selection { program, partition, ctx }
     }
 
-    /// Partitions a bare program by wrapping it in a throwaway
-    /// [`ProgramContext`]. Analyses are computed from scratch and
-    /// discarded — build a context once and call [`select`](Self::select)
-    /// to share them.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `ProgramContext` and call `select` so analyses are shared"
-    )]
-    pub fn select_program(&self, program: &Program) -> Selection {
-        self.select(&ProgramContext::new(program.clone()))
-    }
-
     fn partition_function(
         &self,
         fid: FuncId,
@@ -314,260 +313,27 @@ impl TaskSelector {
             self.max_targets,
             self.explore_limit,
         );
+        let view = PolicyView {
+            fid,
+            ctx,
+            grow: &grow,
+            max_targets: self.max_targets,
+            cost_model: self.cost_model.as_ref(),
+            oracle_max_blocks: self.oracle_max_blocks,
+        };
         let mut state = PartitionState::new(func.num_blocks());
-
-        if self.strategy == Strategy::DataDependence {
-            self.dependence_phase(fid, ctx, &grow, &mut state);
+        for task in self.policy.do_select(&view) {
+            state.push(task);
         }
-        self.cover_phase(func, &grow, &mut state);
         repair_single_entry(func, &grow, &mut state);
         state.tasks
     }
-
-    /// The paper's `task_selection()` dependence loop: for each register
-    /// dependence in descending profiled frequency, expand the producer's
-    /// task (or start one at the producer) along the codependent set.
-    fn dependence_phase(
-        &self,
-        fid: FuncId,
-        pctx: &ProgramContext,
-        ctx: &GrowCtx<'_>,
-        state: &mut PartitionState,
-    ) {
-        let func = pctx.function(fid);
-        let profile = pctx.profile();
-        let du = pctx.defuse(fid);
-        let reach = pctx.reach(fid);
-        let mut deps = du.block_deps();
-        // Quantise frequencies before comparing so that floating point
-        // noise from the profile estimator cannot reorder effectively
-        // tied dependences; ties then break deterministically by ids,
-        // which puts dominating producers (lower block ids in builder
-        // order) first.
-        let qfreq =
-            |b: BlockId| (profile.block_freq(BlockRef::new(fid, b)) * 1024.0).round() as u64;
-        deps.sort_by(|a, b| qfreq(b.1).cmp(&qfreq(a.1)).then_with(|| a.cmp(b)));
-        // The heuristic prioritises by profiled frequency and only acts
-        // on the dependences worth acting on: chasing every cold
-        // dependence would shred the control-flow tasks that already
-        // include most chains (the paper notes the heuristic "has fewer
-        // opportunities" beyond the control flow heuristic, §4.3.1).
-        let cutoff =
-            deps.first().map(|d| profile.block_freq(BlockRef::new(fid, d.1)) * 0.25).unwrap_or(0.0);
-        deps.retain(|d| profile.block_freq(BlockRef::new(fid, d.1)) >= cutoff);
-        for (producer, consumer, _reg) in deps {
-            #[cfg(feature = "selector-debug")]
-            eprintln!("dep {producer} -> {consumer} ({_reg}) owner={:?}", state.owner(producer));
-            // The function entry must stay a task entry: dependences
-            // whose codependent set would swallow it are grown from it
-            // during cover instead.
-            match state.owner(producer) {
-                Some(ti) => {
-                    let task = &state.tasks[ti];
-                    if task.contains(consumer) {
-                        continue;
-                    }
-                    let entry = task.entry();
-                    let initial = task.blocks().clone();
-                    let taken = |b: BlockId| state.owned_by_other(b, ti);
-                    let steer = |b: BlockId| {
-                        reach.is_codependent(b, producer, consumer) && b != func.entry()
-                    };
-                    let grown = ctx.grow(entry, &initial, &taken, Some(&steer));
-                    #[cfg(feature = "selector-debug")]
-                    eprintln!("  expanded task {ti} to {:?}", grown.blocks());
-                    state.replace(ti, grown);
-                }
-                None => {
-                    if producer == func.entry() {
-                        continue;
-                    }
-                    let taken = |b: BlockId| state.owner(b).is_some();
-                    let steer = |b: BlockId| {
-                        reach.is_codependent(b, producer, consumer) && b != func.entry()
-                    };
-                    let grown = ctx.grow(producer, &BTreeSet::new(), &taken, Some(&steer));
-                    #[cfg(feature = "selector-debug")]
-                    eprintln!("  new task at {producer}: {:?}", grown.blocks());
-                    state.push(grown);
-                }
-            }
-        }
-    }
-
-    /// Covers every remaining reachable block by growing tasks from the
-    /// function entry and from each exposed target.
-    fn cover_phase(&self, func: &Function, ctx: &GrowCtx<'_>, state: &mut PartitionState) {
-        let mut seeds: BTreeSet<BlockId> = BTreeSet::from([func.entry()]);
-        for t in &state.tasks {
-            Self::collect_seeds(func, ctx, t, &mut seeds);
-        }
-        // The function entry must be a task *entry*: if a dependence task
-        // absorbed it as an interior block, repair will split it out; as
-        // a precaution the dependence phase never includes it.
-        while let Some(&s) = seeds.iter().next() {
-            seeds.remove(&s);
-            if state.owner(s).is_some() {
-                continue;
-            }
-            let task = match self.strategy {
-                Strategy::BasicBlock => Task::singleton(s),
-                _ => {
-                    let taken = |b: BlockId| state.owner(b).is_some();
-                    ctx.grow(s, &BTreeSet::new(), &taken, None)
-                }
-            };
-            Self::collect_seeds(func, ctx, &task, &mut seeds);
-            state.push(task);
-        }
-        // Safety net: any reachable block not yet covered becomes a
-        // singleton task (should not trigger; kept for robustness).
-        for b in func.reachable_blocks() {
-            if state.owner(b).is_none() {
-                state.push(Task::singleton(b));
-            }
-        }
-    }
-
-    /// Seeds from a finished task: every exposed internal target plus the
-    /// return blocks of its non-included calls.
-    fn collect_seeds(
-        func: &Function,
-        ctx: &GrowCtx<'_>,
-        task: &Task,
-        seeds: &mut BTreeSet<BlockId>,
-    ) {
-        for target in task.targets(func, ctx.included_calls()) {
-            if let TaskTarget::Block(b) = target {
-                seeds.insert(b);
-            }
-        }
-        for &b in task.blocks() {
-            if let Terminator::Call { ret_to, .. } = func.block(b).terminator() {
-                if !ctx.included_calls().contains(&b) {
-                    seeds.insert(*ret_to);
-                }
-            }
-        }
-    }
-}
-
-/// Mutable bookkeeping during one function's partitioning.
-#[derive(Debug)]
-struct PartitionState {
-    tasks: Vec<Task>,
-    owner: Vec<Option<usize>>,
-}
-
-impl PartitionState {
-    fn new(num_blocks: usize) -> Self {
-        PartitionState { tasks: Vec::new(), owner: vec![None; num_blocks] }
-    }
-
-    fn owner(&self, b: BlockId) -> Option<usize> {
-        self.owner[b.index()]
-    }
-
-    fn owned_by_other(&self, b: BlockId, ti: usize) -> bool {
-        matches!(self.owner[b.index()], Some(o) if o != ti)
-    }
-
-    fn push(&mut self, task: Task) {
-        let ti = self.tasks.len();
-        for &b in task.blocks() {
-            debug_assert!(self.owner[b.index()].is_none());
-            self.owner[b.index()] = Some(ti);
-        }
-        self.tasks.push(task);
-    }
-
-    /// Replaces task `ti` with a grown/shrunk version, fixing ownership.
-    fn replace(&mut self, ti: usize, task: Task) {
-        for &b in self.tasks[ti].blocks() {
-            self.owner[b.index()] = None;
-        }
-        for &b in task.blocks() {
-            debug_assert!(self.owner[b.index()].is_none());
-            self.owner[b.index()] = Some(ti);
-        }
-        self.tasks[ti] = task;
-    }
-}
-
-/// Successors of `b` *within* a task, honouring included calls (the same
-/// walk `TaskPartition::validate` uses for connectivity).
-fn intra_task_successors(
-    func: &Function,
-    b: BlockId,
-    included: &BTreeSet<BlockId>,
-) -> Vec<BlockId> {
-    match func.block(b).terminator() {
-        Terminator::Call { ret_to, .. } if included.contains(&b) => vec![*ret_to],
-        Terminator::Call { .. } => Vec::new(),
-        _ => func.successors(b),
-    }
-}
-
-/// Restores the single-entry invariant: while some task has a non-entry
-/// block targeted from outside, split that block (and everything in the
-/// task only reachable through it) into fresh tasks grown within the
-/// removed set. Each split strictly shrinks an existing task, so this
-/// terminates.
-fn repair_single_entry(func: &Function, ctx: &GrowCtx<'_>, state: &mut PartitionState) {
-    while let Some((ti, split_at)) = find_side_entry(func, state) {
-        let task = &state.tasks[ti];
-        let entry = task.entry();
-        // Blocks still reachable from the entry without passing split_at.
-        let mut keep: BTreeSet<BlockId> = BTreeSet::from([entry]);
-        let mut stack = vec![entry];
-        while let Some(x) = stack.pop() {
-            for s in intra_task_successors(func, x, ctx.included_calls()) {
-                if s != split_at && task.contains(s) && keep.insert(s) {
-                    stack.push(s);
-                }
-            }
-        }
-        let removed: BTreeSet<BlockId> =
-            task.blocks().iter().copied().filter(|b| !keep.contains(b)).collect();
-        debug_assert!(removed.contains(&split_at));
-        state.replace(ti, Task::new(entry, keep));
-        // Re-cover the removed blocks with fresh tasks confined to the
-        // removed set (split_at first, so it becomes an entry).
-        let mut order: Vec<BlockId> = vec![split_at];
-        order.extend(removed.iter().copied().filter(|&b| b != split_at));
-        for seed in order {
-            if state.owner(seed).is_some() {
-                continue;
-            }
-            let taken = |b: BlockId| state.owner(b).is_some();
-            let steer = |b: BlockId| removed.contains(&b);
-            let grown = ctx.grow(seed, &BTreeSet::new(), &taken, Some(&steer));
-            state.push(grown);
-        }
-    }
-}
-
-/// Finds a `(task index, block)` violating single entry, if any.
-fn find_side_entry(func: &Function, state: &PartitionState) -> Option<(usize, BlockId)> {
-    for (ti, task) in state.tasks.iter().enumerate() {
-        for &b in task.blocks() {
-            if b == task.entry() {
-                continue;
-            }
-            for &p in func.predecessors(b) {
-                if !task.contains(p) {
-                    return Some((ti, b));
-                }
-            }
-        }
-    }
-    None
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg};
+    use ms_ir::{BranchBehavior, FunctionBuilder, Opcode, ProgramBuilder, Reg, Terminator};
 
     fn ctx(p: &Program) -> ProgramContext {
         ProgramContext::new(p.clone())
@@ -710,11 +476,11 @@ mod tests {
         let t = fp.task_of(head).unwrap();
         assert_eq!(fp.task_of(latch), Some(t));
         let targets = sel.partition.targets(&sel.program, p.entry(), t);
-        assert!(targets.contains(&TaskTarget::Block(head)));
+        assert!(targets.contains(&crate::task::TaskTarget::Block(head)));
     }
 
     /// Multi-function program with calls: everything validates and call
-    /// return blocks are task entries.
+    /// return blocks are task entries, across every registered policy.
     #[test]
     fn calls_split_tasks_and_validate() {
         let mut pb = ProgramBuilder::new();
@@ -737,16 +503,12 @@ mod tests {
         fb.set_terminator(l0, Terminator::Return);
         pb.define_function(leaf, fb.finish(l0).unwrap());
         let p = pb.finish(m).unwrap();
-        for sel in [
-            selector(Strategy::BasicBlock).select(&ctx(&p)),
-            selector(Strategy::ControlFlow).select(&ctx(&p)),
-            selector(Strategy::DataDependence).select(&ctx(&p)),
-            SelectorBuilder::new(Strategy::ControlFlow)
-                .max_targets(4)
-                .task_size(TaskSizeParams::default())
-                .build()
-                .select(&ctx(&p)),
-        ] {
+        let mut sels: Vec<Selection> = crate::policies()
+            .iter()
+            .map(|pol| SelectorBuilder::with_policy(*pol).max_targets(4).build().select(&ctx(&p)))
+            .collect();
+        sels.push(SelectorBuilder::named("ts").unwrap().max_targets(4).build().select(&ctx(&p)));
+        for sel in sels {
             assert!(sel.partition.validate(&sel.program).is_ok(), "{}", sel.partition.strategy());
         }
     }
@@ -780,6 +542,23 @@ mod tests {
         assert!(sel.program.function(p.entry()).num_blocks() > 3);
         assert!(sel.partition.validate(&sel.program).is_ok());
         assert_eq!(sel.partition.strategy(), "cf+ts");
+    }
+
+    /// `named` resolves every registry name and suggests on a typo.
+    #[test]
+    fn named_builder_round_trips_and_suggests() {
+        for name in crate::policy_names() {
+            let sel = SelectorBuilder::named(name).unwrap().build();
+            let expect = if name == "ts" { "dd" } else { name };
+            assert_eq!(sel.policy_name(), expect);
+        }
+        match SelectorBuilder::named("cosr") {
+            Err(SelectError::UnknownPolicy { name, suggestion }) => {
+                assert_eq!(name, "cosr");
+                assert_eq!(suggestion, Some("cost"));
+            }
+            other => panic!("expected UnknownPolicy, got {other:?}"),
+        }
     }
 
     #[test]

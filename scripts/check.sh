@@ -15,13 +15,15 @@
 #    tests/api_snapshot.txt (MS_BLESS=1 to re-bless deliberately),
 # 6. docs gate: the metric tables in EXPERIMENTS.md / docs/METRICS.md /
 #    docs/PROFILING.md must only name fields that still exist in the
-#    source,
+#    source; every relative markdown link must resolve; every docs/*.md
+#    must be routed from docs/INDEX.md,
 # 7. perf smoke: `run -- perf --reps 1` must emit a BENCH document that
 #    passes its own schema validation (docs/PROFILING.md). Opt-in perf
 #    regression gate: set MS_PERF_BASELINE to a BENCH_*.json to also
 #    fail on phase regressions against it,
-# 8. conformance fuzz smoke: 25 random programs x 4 heuristics must
-#    match the sequential reference model (docs/CONFORMANCE.md).
+# 8. conformance fuzz smoke: 25 random programs x every registered
+#    selection policy must match the sequential reference model
+#    (docs/CONFORMANCE.md).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -59,6 +61,33 @@ for doc in EXPERIMENTS.md docs/METRICS.md docs/PROFILING.md; do
         fi
     done
 done
+# Relative markdown links must resolve: a moved or renamed file must
+# take every `[text](path)` pointing at it along. External links
+# (scheme prefixes) and intra-page anchors are out of scope.
+for doc in $(git ls-files '*.md'); do
+    dir=$(dirname "$doc")
+    links=$(grep -o '](\./\{0,1\}[A-Za-z0-9_.-]\{1,\}\.md[#)]' "$doc" \
+        | sed 's/^](//; s/[#)]$//' || true)
+    nested=$(grep -o ']([A-Za-z0-9_-]\{1,\}/[A-Za-z0-9_./-]\{1,\}\.md[#)]' "$doc" \
+        | sed 's/^](//; s/[#)]$//' || true)
+    updir=$(grep -o '](\.\./[A-Za-z0-9_./-]\{1,\}\.md[#)]' "$doc" \
+        | sed 's/^](//; s/[#)]$//' || true)
+    for link in $links $nested $updir; do
+        if [ ! -f "$dir/$link" ]; then
+            echo "$doc links to \`$link\` but $dir/$link does not exist"
+            docs_fail=1
+        fi
+    done
+done
+# Every docs/*.md must be reachable from the index's routing table.
+for doc in docs/*.md; do
+    base=$(basename "$doc")
+    [ "$base" = "INDEX.md" ] && continue
+    if ! grep -q "($base)" docs/INDEX.md; then
+        echo "docs/INDEX.md does not route to $doc"
+        docs_fail=1
+    fi
+done
 [ "$docs_fail" -eq 0 ] || { echo "docs gate failed"; exit 1; }
 
 echo "==> perf smoke (run -- perf --reps 1, schema-validated)"
@@ -75,7 +104,7 @@ cargo run -p ms-bench --release --bin run -q -- perf-validate "$smoke_dir/BENCH_
 
 echo "==> conformance fuzz smoke (run -- fuzz --seeds 25)"
 # Differential check: engine vs the sequential reference model on random
-# programs under every heuristic; failures shrink to .msir repros.
+# programs under every selection policy; failures shrink to .msir repros.
 cargo run -p ms-bench --release --bin run -q -- fuzz --seeds 25 --out target/fuzz-smoke
 
 echo "All checks passed."

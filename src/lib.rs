@@ -40,7 +40,8 @@ pub mod prelude {
     pub use ms_ir::{Program, ProgramBuilder};
     pub use ms_sim::{SimConfig, SimStats, Simulator};
     pub use ms_tasksel::{
-        Selection, SelectorBuilder, Strategy, TaskPartition, TaskSelector, TaskSizeParams,
+        CostModel, Selection, SelectionPolicy, SelectorBuilder, Strategy, TaskPartition,
+        TaskSelector, TaskSizeParams,
     };
     pub use ms_trace::{split_tasks, Trace, TraceGenerator};
 }
