@@ -30,8 +30,16 @@
 //!
 //! ```text
 //! cargo run -p ms-bench --release --bin run -- perf
+//! cargo run -p ms-bench --release --bin run -- perf --baseline best
 //! cargo run -p ms-bench --release --bin run -- perf --baseline BENCH_old.json
 //! cargo run -p ms-bench --release --bin run -- perf-validate BENCH_abc1234.json
+//! ```
+//!
+//! Perf-history mode (the whole trajectory: trend table, dashboard,
+//! cumulative-drift gate — see `docs/PERF-HISTORY.md`):
+//!
+//! ```text
+//! cargo run -p ms-bench --release --bin run -- perf-history
 //! ```
 //!
 //! Fuzz mode (differential conformance — see `docs/CONFORMANCE.md`):
@@ -58,6 +66,7 @@ use ms_bench::cli::{self, Flags};
 use ms_bench::error::closest;
 use ms_bench::fuzzcmd;
 use ms_bench::gapcmd::{self, GapOptions};
+use ms_bench::historycmd::{self, BaselineEntry};
 use ms_bench::perfcmd::{self, PerfOptions};
 use ms_bench::sweeps::{run_sweep, SweepSpec, SWEEP_NAMES};
 use ms_bench::tracecmd::trace_selection;
@@ -251,13 +260,6 @@ fn run_perf(flags: &Flags) {
     println!("[chrome trace -> {}]", chrome_path.display());
 
     let Some(baseline_path) = &flags.baseline else { return };
-    let baseline_text = match std::fs::read_to_string(baseline_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", baseline_path.display());
-            std::process::exit(2);
-        }
-    };
     let parse = |what: &str, text: &str| match ms_prof::jsonv::parse(text) {
         Ok(v) => v,
         Err(e) => {
@@ -265,16 +267,92 @@ fn run_perf(flags: &Flags) {
             std::process::exit(2);
         }
     };
-    let baseline = parse(&baseline_path.display().to_string(), &baseline_text);
     let current = parse("current perf doc", &doc.json);
+
+    // `--baseline best`: auto-select the best-ever comparable baseline
+    // (same machine fingerprint and instruction budget) among the
+    // committed BENCH_*.json files in the current directory — skipping
+    // the document this run just wrote.
+    let (baseline, label) = if baseline_path.as_os_str() == "best" {
+        let current_entry = match BaselineEntry::from_doc(&current, "current") {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let written = std::fs::canonicalize(&bench_path).ok();
+        let candidates = match historycmd::discover(Path::new(".")) {
+            Ok(files) => files,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut entries = Vec::new();
+        for path in candidates {
+            if std::fs::canonicalize(&path).ok() == written && written.is_some() {
+                continue;
+            }
+            let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {file}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match BaselineEntry::from_doc(&parse(&file, &text), &file) {
+                Ok(entry) => entries.push((entry, text)),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        let best = historycmd::best_baseline(
+            &entries.iter().map(|(e, _)| e.clone()).collect::<Vec<_>>(),
+            &current_entry,
+        )
+        .cloned();
+        let Some(best) = best else {
+            println!(
+                "no committed baseline comparable to this machine ({} @ {} insts); \
+                 best-ever gate skipped",
+                current_entry.fingerprint(),
+                current_entry.insts
+            );
+            return;
+        };
+        let text = &entries.iter().find(|(e, _)| e.file == best.file).expect("from entries").1;
+        (parse(&best.file, text), format!("best-ever {} (git {})", best.file, best.git))
+    } else {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", baseline_path.display());
+                std::process::exit(2);
+            }
+        };
+        (
+            parse(&baseline_path.display().to_string(), &baseline_text),
+            baseline_path.display().to_string(),
+        )
+    };
     match perfcmd::compare(&baseline, &current, flags.max_regress, flags.noise_floor_ns) {
         Ok(cmp) => {
-            println!("── regression gate vs {} ──", baseline_path.display());
+            println!("── regression gate vs {label} ──");
             print!("{}", cmp.table);
             if cmp.regressions.is_empty() {
                 println!(
                     "gate passed (threshold {:.1}%, noise floor {} ns)",
                     flags.max_regress, flags.noise_floor_ns
+                );
+            } else if flags.no_gate {
+                eprintln!(
+                    "(--no-gate: {} phase(s) regressed beyond {:.1}%, not gating)",
+                    cmp.regressions.len(),
+                    flags.max_regress
                 );
             } else {
                 eprintln!(
@@ -292,7 +370,56 @@ fn run_perf(flags: &Flags) {
     }
 }
 
-/// `run -- perf-validate <file>`: schema-check one perf document.
+/// `run -- perf-history <dir>`: the trajectory trend engine — stdout
+/// trend table, `<out>/perf/history.html` + `history.json`, exit
+/// non-zero on cumulative drift vs best-ever (`--no-gate` reports
+/// without failing). See `docs/PERF-HISTORY.md`.
+fn run_perf_history(dir: &str, flags: &Flags) {
+    let history = match historycmd::load_history(Path::new(dir)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", history.trend_table(flags.max_regress, flags.noise_floor_ns));
+    let json_path = flags.out.join("perf").join("history.json");
+    let html_path = flags.out.join("perf").join("history.html");
+    write_or_die(&json_path, &(history.to_json(flags.max_regress, flags.noise_floor_ns) + "\n"));
+    write_or_die(&html_path, &history.to_html(flags.max_regress, flags.noise_floor_ns));
+    println!("[history json -> {}]", json_path.display());
+    println!("[history html -> {}]", html_path.display());
+    let drifts = history.cumulative_drift(flags.max_regress, flags.noise_floor_ns);
+    if drifts.is_empty() {
+        println!(
+            "trajectory gate passed (threshold {:.1}%, noise floor {} ns)",
+            flags.max_regress, flags.noise_floor_ns
+        );
+        return;
+    }
+    for d in &drifts {
+        eprintln!(
+            "drift: {} is {:+.1}% over its best-ever {} ns (git {}) at {} ns",
+            d.phase, d.pct, d.best_ns, d.best_git, d.latest_ns
+        );
+    }
+    if flags.no_gate {
+        eprintln!("(--no-gate: {} drifted phase(s) reported, not gating)", drifts.len());
+        return;
+    }
+    eprintln!(
+        "error: {} phase(s) drifted beyond {:.1}% of their best-ever baseline \
+         (--no-gate to report without failing; docs/PERF-HISTORY.md)",
+        drifts.len(),
+        flags.max_regress
+    );
+    std::process::exit(1);
+}
+
+/// `run -- perf-validate <file>`: schema-check one perf or history
+/// document, dispatching on the `format` field (`ms-perf` →
+/// [`perfcmd::validate`], `ms-perf-history` →
+/// [`historycmd::validate_history`]).
 fn run_perf_validate(path: &str) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -308,11 +435,18 @@ fn run_perf_validate(path: &str) {
             std::process::exit(1);
         }
     };
-    if let Err(e) = perfcmd::validate(&doc) {
+    let is_history = doc.get("format").and_then(|f| f.as_str()) == Some(historycmd::HISTORY_FORMAT);
+    let (checked, schema_version) = if is_history {
+        (historycmd::validate_history(&doc), historycmd::HISTORY_SCHEMA_VERSION)
+    } else {
+        (perfcmd::validate(&doc), perfcmd::PERF_SCHEMA_VERSION)
+    };
+    if let Err(e) = checked {
         eprintln!("error: {path}: {e}");
         std::process::exit(1);
     }
-    println!("{path}: valid ms-perf document (schema v{})", perfcmd::PERF_SCHEMA_VERSION);
+    let format = if is_history { historycmd::HISTORY_FORMAT } else { "ms-perf" };
+    println!("{path}: valid {format} document (schema v{schema_version})");
 }
 
 fn main() {
@@ -363,6 +497,10 @@ fn main() {
                 std::process::exit(2);
             }
         },
+        "perf-history" => {
+            let dir = positionals.get(1).map(String::as_str).unwrap_or(".");
+            run_perf_history(dir, &flags);
+        }
         "trace" => {
             let bench = positionals.get(1).map(String::as_str).unwrap_or("compress");
             run_trace(bench, &flags);

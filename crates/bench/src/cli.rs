@@ -48,7 +48,9 @@ pub struct Flags {
     /// [`DEFAULT_PERF_REPS`]).
     pub reps: usize,
     /// `--baseline FILE`: enable the perf-regression gate against a
-    /// previous `BENCH_*.json`.
+    /// previous `BENCH_*.json`; the literal value `best` auto-selects
+    /// the best-ever comparable baseline from the `BENCH_*.json` files
+    /// in the current directory.
     pub baseline: Option<PathBuf>,
     /// `--max-regress PCT`: per-phase regression threshold (default
     /// [`DEFAULT_MAX_REGRESS_PCT`]).
@@ -71,6 +73,9 @@ pub struct Flags {
     /// `oracle` policy and `gap` subcommand partition exactly (default
     /// [`ms_tasksel::DEFAULT_ORACLE_MAX_BLOCKS`]).
     pub oracle_max_blocks: usize,
+    /// `--no-gate`: `perf-history` reports cumulative drift without
+    /// failing the process (the trajectory gate's escape hatch).
+    pub no_gate: bool,
 }
 
 /// Default fuzz cases per `run -- fuzz` sweep.
@@ -100,6 +105,7 @@ impl Default for Flags {
             max_blocks: ms_conform::FuzzParams::default().max_blocks,
             inject: false,
             oracle_max_blocks: ms_tasksel::DEFAULT_ORACLE_MAX_BLOCKS,
+            no_gate: false,
         }
     }
 }
@@ -204,6 +210,7 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<(Vec<String>, Flags),
                 }
             }
             "--inject" => flags.inject = true,
+            "--no-gate" => flags.no_gate = true,
             "--oracle-max-blocks" => {
                 flags.oracle_max_blocks = value("--oracle-max-blocks")?
                     .parse()
@@ -239,8 +246,14 @@ subcommands
                          + .chrome.json, plus attribution tables [trace schema v{trace}]
   perf                   profile the canonical cells -> BENCH_<gitshort>.json
                          + <out>/perf/pipeline.chrome.json      [perf schema v{perf}]
-  perf-validate <file>   check a BENCH_*.json against the perf schema, exit non-zero
-                         on a mismatch
+  perf-validate <file>   check a BENCH_*.json or history.json against its schema
+                         (dispatches on the `format` field), exit non-zero on a
+                         mismatch
+  perf-history [DIR]     aggregate the BENCH_*.json baselines in DIR (default .)
+                         into a trend table + <out>/perf/history.html +
+                         history.json; exit non-zero on cumulative drift vs the
+                         best-ever baseline (docs/PERF-HISTORY.md)
+                                                             [history schema v{history}]
   fuzz                   differential conformance fuzzing: random programs x all
                          heuristics vs the sequential reference model; minimal repros
                          -> <out>/fuzz/seed<seed>-<strategy>.msir, exit non-zero on
@@ -256,21 +269,27 @@ single-run flags  --strategy bb|cf|dd|ts|cost|oracle  --pus N  --in-order  --ins
                   --seed N  --targets N  --no-dead-reg  --json  --file path.msir
                   --dump-ir
 perf flags        --reps N (default {reps})  --insts N  --bench-out FILE
-                  --baseline FILE  --max-regress PCT (default {regress})
-                  --noise-floor-ns N (default {floor})
+                  --baseline FILE|best  --max-regress PCT (default {regress})
+                  --noise-floor-ns N (default {floor})  --no-gate
+perf-history flags --max-regress PCT  --noise-floor-ns N  --no-gate (report
+                  cumulative drift without failing)
 fuzz flags        --seeds N (default {seeds})  --max-blocks N (default {blocks})
                   --insts N  --seed N (base seed)  --inject (fault-injection self-test)
 gap flags         --oracle-max-blocks N (default {oracle})  --insts N  --seed N
                   --targets N  --pus N
 
-The perf-regression gate: `run -- perf --baseline BENCH_old.json` exits non-zero
+The perf-regression gate: `run -- perf --baseline BENCH_old.json` (or `--baseline
+best` to auto-select the best-ever comparable committed baseline) exits non-zero
 if any phase slower than the noise floor regressed by more than --max-regress
-percent. docs/PROFILING.md documents the BENCH_*.json trajectory convention.
+percent; `run -- perf-history` additionally gates drift accumulated across the
+whole trajectory. docs/PROFILING.md documents the BENCH_*.json convention and
+docs/PERF-HISTORY.md the trend engine.
 ",
         sweeps = SWEEP_NAMES.join(" | "),
         metrics = crate::sweeps::SCHEMA_VERSION,
         trace = ms_sim::TRACE_SCHEMA_VERSION,
         perf = crate::perfcmd::PERF_SCHEMA_VERSION,
+        history = crate::historycmd::HISTORY_SCHEMA_VERSION,
         reps = DEFAULT_PERF_REPS,
         regress = DEFAULT_MAX_REGRESS_PCT,
         floor = DEFAULT_NOISE_FLOOR_NS,
@@ -402,9 +421,18 @@ mod tests {
     #[test]
     fn help_lists_every_subcommand_and_schema_version() {
         let text = help_text();
-        for cmd in
-            ["sweeps", "trace", "perf", "perf-validate", "list", "help", "all", "gap", "policies"]
-        {
+        for cmd in [
+            "sweeps",
+            "trace",
+            "perf",
+            "perf-validate",
+            "perf-history",
+            "list",
+            "help",
+            "all",
+            "gap",
+            "policies",
+        ] {
             assert!(text.contains(cmd), "help must mention `{cmd}`");
         }
         for sweep in SWEEP_NAMES {
@@ -413,5 +441,16 @@ mod tests {
         assert!(text.contains(&format!("metrics schema v{}", crate::sweeps::SCHEMA_VERSION)));
         assert!(text.contains(&format!("trace schema v{}", ms_sim::TRACE_SCHEMA_VERSION)));
         assert!(text.contains(&format!("perf schema v{}", crate::perfcmd::PERF_SCHEMA_VERSION)));
+        assert!(text
+            .contains(&format!("history schema v{}", crate::historycmd::HISTORY_SCHEMA_VERSION)));
+    }
+
+    #[test]
+    fn history_flags_parse() {
+        let (pos, flags) = parse_ok(&["perf-history", "/tmp/baselines", "--no-gate"]);
+        assert_eq!(pos, ["perf-history", "/tmp/baselines"]);
+        assert!(flags.no_gate);
+        let (_, flags) = parse_ok(&["perf-history"]);
+        assert!(!flags.no_gate);
     }
 }

@@ -1,0 +1,1036 @@
+//! `run -- perf-history`: the perf-trajectory trend engine.
+//!
+//! [`crate::perfcmd`] writes one `BENCH_<gitshort>.json` per
+//! PR; this module is their consumer. It discovers every committed
+//! `BENCH_*.json` in a directory, validates each against the perf
+//! schema (an invalid file is a hard error, never silently skipped),
+//! orders them along the recorded git history (commit timestamp, with
+//! the git short hash as the tie-break), and renders the whole
+//! trajectory three ways:
+//!
+//! * a **trend table** on stdout — one row per baseline with
+//!   cells/s deltas, then the latest measurement's phases against
+//!   their best-ever medians, sparklines included;
+//! * a dependency-free **HTML dashboard** (`history.html`, inline SVG:
+//!   cells/s trajectory, per-phase sparklines, machine-fingerprint
+//!   legend);
+//! * a schema-versioned **`history.json`** for downstream tooling
+//!   ([`HISTORY_SCHEMA_VERSION`], validated by [`validate_history`]).
+//!
+//! The trajectory also *gates*: the pairwise `run -- perf --baseline`
+//! comparator only sees one step, so a phase can bleed a few percent
+//! per PR forever without tripping it. [`History::cumulative_drift`]
+//! closes that hole — any phase of the latest baseline that sits more
+//! than the threshold above its **best-ever** median (among baselines
+//! with the same machine fingerprint and instruction budget) is
+//! drift, and `run -- perf-history` exits non-zero on it. Baselines
+//! from different machines or budgets are never compared — the
+//! fingerprint travels with every document precisely so numbers are
+//! only compared like-for-like. See `docs/PERF-HISTORY.md`.
+
+use std::path::{Path, PathBuf};
+
+use ms_prof::jsonv::Value;
+
+use crate::json::JsonObj;
+use crate::perfcmd::{self, fmt_ns};
+
+/// Version of the `history.json` document schema (bump on any field
+/// change; documented field-by-field in `docs/PERF-HISTORY.md`).
+pub const HISTORY_SCHEMA_VERSION: u32 = 1;
+
+/// The `format` tag distinguishing a history document from a
+/// `BENCH_*.json` perf document (`ms-perf`) — `run -- perf-validate`
+/// dispatches on it.
+pub const HISTORY_FORMAT: &str = "ms-perf-history";
+
+/// One parsed `BENCH_*.json` baseline, reduced to what the trend
+/// engine needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Source file name (`BENCH_a8e6457.json`).
+    pub file: String,
+    /// The `git` short hash recorded in the document.
+    pub git: String,
+    /// Commit timestamp (unix seconds) of [`BaselineEntry::git`], if
+    /// the hash resolves in the repository the file was found in.
+    pub timestamp: Option<u64>,
+    /// Machine fingerprint: `machine.os`.
+    pub os: String,
+    /// Machine fingerprint: `machine.arch`.
+    pub arch: String,
+    /// Machine fingerprint: `machine.cpus`.
+    pub cpus: u64,
+    /// Timed repetitions behind the medians.
+    pub reps: u64,
+    /// Dynamic instruction budget per cell.
+    pub insts: u64,
+    /// Median end-to-end wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Median wall time charged to top-level spans.
+    pub top_level_ns: u64,
+    /// Cells per second at the median end-to-end time.
+    pub cells_per_s: f64,
+    /// Per-phase medians, in document order.
+    pub phases: Vec<(String, u64)>,
+    /// Per-cell medians, in document order.
+    pub cells: Vec<(String, u64)>,
+}
+
+impl BaselineEntry {
+    /// Parses a validated perf document ([`perfcmd::validate`] runs
+    /// first, so `top_level_ns > total_ns` and every other schema
+    /// violation is rejected here, not silently skipped downstream).
+    pub fn from_doc(doc: &Value, file: &str) -> Result<Self, String> {
+        perfcmd::validate(doc).map_err(|e| format!("{file}: {e}"))?;
+        let u = |key: &str| doc.get(key).and_then(Value::as_u64).expect("validated");
+        let machine = doc.get("machine").expect("validated");
+        let rows = |key: &str, name: &str, num: &str| -> Vec<(String, u64)> {
+            doc.get(key)
+                .and_then(Value::as_arr)
+                .expect("validated")
+                .iter()
+                .map(|row| {
+                    (
+                        row.get(name).and_then(Value::as_str).expect("validated").to_string(),
+                        row.get(num).and_then(Value::as_u64).expect("validated"),
+                    )
+                })
+                .collect()
+        };
+        Ok(BaselineEntry {
+            file: file.to_string(),
+            git: doc.get("git").and_then(Value::as_str).expect("validated").to_string(),
+            timestamp: None,
+            os: machine.get("os").and_then(Value::as_str).expect("validated").to_string(),
+            arch: machine.get("arch").and_then(Value::as_str).expect("validated").to_string(),
+            cpus: machine.get("cpus").and_then(Value::as_u64).expect("validated"),
+            reps: u("reps"),
+            insts: u("insts"),
+            total_ns: u("total_ns"),
+            top_level_ns: u("top_level_ns"),
+            cells_per_s: doc.get("cells_per_s").and_then(Value::as_f64).expect("validated"),
+            phases: rows("phases", "phase", "median_ns"),
+            cells: rows("cells", "id", "median_ns"),
+        })
+    }
+
+    /// The machine fingerprint as one display token (`linux/x86_64/1`).
+    pub fn fingerprint(&self) -> String {
+        format!("{}/{}/{}", self.os, self.arch, self.cpus)
+    }
+
+    /// Whether two baselines may be compared at all: same machine
+    /// fingerprint and same instruction budget. Everything the trend
+    /// engine gates or ranks is filtered through this.
+    pub fn comparable(&self, other: &BaselineEntry) -> bool {
+        self.os == other.os
+            && self.arch == other.arch
+            && self.cpus == other.cpus
+            && self.insts == other.insts
+    }
+
+    /// The median for one phase; `(total)` maps to the end-to-end
+    /// time, mirroring the pairwise comparator's pseudo-phase.
+    pub fn phase_ns(&self, phase: &str) -> Option<u64> {
+        if phase == TOTAL_PHASE {
+            return Some(self.total_ns);
+        }
+        self.phases.iter().find(|(p, _)| p == phase).map(|(_, ns)| *ns)
+    }
+}
+
+/// The pseudo-phase for the end-to-end wall time, shared with the
+/// pairwise comparator's table.
+pub const TOTAL_PHASE: &str = "(total)";
+
+/// Every `BENCH_*.json` directly inside `dir`, sorted by file name
+/// (parse order only — the trajectory order comes from git).
+pub fn discover(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut found = Vec::new();
+    for entry in entries {
+        let path = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("BENCH_") && name.ends_with(".json") && path.is_file() {
+            found.push(path);
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// The commit timestamp (unix seconds) of a short hash, if it resolves
+/// in the repository containing `dir`.
+pub fn commit_timestamp(dir: &Path, git: &str) -> Option<u64> {
+    if git.is_empty() || !git.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return None;
+    }
+    std::process::Command::new("git")
+        .arg("-C")
+        .arg(dir)
+        .args(["show", "-s", "--format=%ct"])
+        .arg(format!("{git}^{{commit}}"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .and_then(|s| s.trim().parse().ok())
+}
+
+/// Orders baselines along the trajectory: by commit timestamp, with
+/// the git short hash as the tie-break (so two baselines sharing a
+/// timestamp — or with no resolvable commit at all — still sort the
+/// same way on every machine). Unresolvable timestamps sort last.
+pub fn order_entries(entries: &mut [BaselineEntry]) {
+    entries.sort_by(|a, b| {
+        let key = |e: &BaselineEntry| (e.timestamp.unwrap_or(u64::MAX), e.git.clone());
+        key(a).cmp(&key(b))
+    });
+}
+
+/// The whole perf trajectory: every baseline, in git order.
+#[derive(Debug)]
+pub struct History {
+    /// The ordered baselines (see [`order_entries`]).
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// One cumulative regression found by [`History::cumulative_drift`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Phase name ([`TOTAL_PHASE`] for the end-to-end time).
+    pub phase: String,
+    /// Git short hash of the baseline holding the best-ever median.
+    pub best_git: String,
+    /// Best-ever median, nanoseconds.
+    pub best_ns: u64,
+    /// The latest baseline's median, nanoseconds.
+    pub latest_ns: u64,
+    /// Cumulative slowdown vs best-ever, percent.
+    pub pct: f64,
+}
+
+/// Discovers, parses, validates, timestamps and orders every
+/// `BENCH_*.json` in `dir`. Any invalid document is a hard error
+/// naming the file — a corrupt baseline must be fixed or removed, not
+/// silently dropped from the trajectory.
+pub fn load_history(dir: &Path) -> Result<History, String> {
+    let files = discover(dir)?;
+    if files.is_empty() {
+        return Err(format!("no BENCH_*.json baselines in {}", dir.display()));
+    }
+    let mut entries = Vec::with_capacity(files.len());
+    for path in &files {
+        let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let doc = ms_prof::jsonv::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+        let mut entry = BaselineEntry::from_doc(&doc, &file)?;
+        entry.timestamp = commit_timestamp(dir, &entry.git);
+        entries.push(entry);
+    }
+    order_entries(&mut entries);
+    Ok(History { entries })
+}
+
+/// The best comparable baseline — highest `cells_per_s` among entries
+/// [`comparable`](BaselineEntry::comparable) to `like`, ties broken
+/// toward the lexicographically-smallest git hash. This is what
+/// `run -- perf --baseline best` and `scripts/check.sh` gate against.
+pub fn best_baseline<'a>(
+    entries: &'a [BaselineEntry],
+    like: &BaselineEntry,
+) -> Option<&'a BaselineEntry> {
+    entries
+        .iter()
+        .filter(|e| e.comparable(like))
+        .min_by(|a, b| b.cells_per_s.total_cmp(&a.cells_per_s).then(a.git.cmp(&b.git)))
+}
+
+impl History {
+    /// The newest baseline on the trajectory.
+    pub fn latest(&self) -> Option<&BaselineEntry> {
+        self.entries.last()
+    }
+
+    /// The phase list the trend sections iterate: [`TOTAL_PHASE`]
+    /// first, then the latest baseline's phases in document order.
+    fn trend_phases(&self) -> Vec<String> {
+        let mut out = vec![TOTAL_PHASE.to_string()];
+        if let Some(latest) = self.latest() {
+            out.extend(latest.phases.iter().map(|(p, _)| p.clone()));
+        }
+        out
+    }
+
+    /// Per-phase best-ever: the minimum median among entries *before*
+    /// the latest that are comparable to it, as `(git, ns)`.
+    fn best_before_latest(&self, phase: &str) -> Option<(String, u64)> {
+        let latest = self.latest()?;
+        self.entries[..self.entries.len() - 1]
+            .iter()
+            .filter(|e| e.comparable(latest))
+            .filter_map(|e| e.phase_ns(phase).map(|ns| (e.git.clone(), ns)))
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+
+    /// The trajectory gate: every phase of the latest baseline that
+    /// sits more than `max_regress_pct` percent above its best-ever
+    /// median (among comparable predecessors, noise floor honoured).
+    /// A phase can pass every pairwise ≤30% step and still land here —
+    /// that cumulative bleed is exactly what this catches.
+    pub fn cumulative_drift(&self, max_regress_pct: f64, noise_floor_ns: u64) -> Vec<Drift> {
+        let Some(latest) = self.latest() else { return Vec::new() };
+        let mut out = Vec::new();
+        for phase in self.trend_phases() {
+            let Some((best_git, best_ns)) = self.best_before_latest(&phase) else { continue };
+            let Some(latest_ns) = latest.phase_ns(&phase) else { continue };
+            if best_ns < noise_floor_ns || best_ns == 0 {
+                continue;
+            }
+            let pct = 100.0 * (latest_ns as f64 - best_ns as f64) / best_ns as f64;
+            if pct > max_regress_pct {
+                out.push(Drift { phase, best_git, best_ns, latest_ns, pct });
+            }
+        }
+        out
+    }
+
+    /// The stdout report: one row per baseline (cells/s trajectory),
+    /// then the latest baseline's phases against their best-ever
+    /// medians. Column glossary in `docs/PERF-HISTORY.md`.
+    pub fn trend_table(&self, max_regress_pct: f64, noise_floor_ns: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let Some(latest) = self.latest() else { return out };
+        let comparable = self.entries.iter().filter(|e| e.comparable(latest)).count();
+        let _ = writeln!(
+            out,
+            "── perf history: {} baselines ({} comparable to latest) ──",
+            self.entries.len(),
+            comparable
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:<11} {:<16} {:>7} {:>5} {:>11} {:>9} {:>8} {:>8}",
+            "git", "date", "machine", "insts", "reps", "total", "cells/s", "dprev", "dbest"
+        );
+        let mut best_so_far: Option<f64> = None;
+        let mut prev: Option<f64> = None;
+        for entry in &self.entries {
+            let in_scope = entry.comparable(latest);
+            let dprev = match (in_scope, prev) {
+                (true, Some(p)) if p > 0.0 => {
+                    format!("{:+.1}%", 100.0 * (entry.cells_per_s - p) / p)
+                }
+                _ => "-".to_string(),
+            };
+            let dbest = match (in_scope, best_so_far) {
+                (true, Some(b)) if entry.cells_per_s >= b => "best".to_string(),
+                (true, Some(b)) if b > 0.0 => {
+                    format!("{:+.1}%", 100.0 * (entry.cells_per_s - b) / b)
+                }
+                (true, None) => "best".to_string(),
+                _ => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<10} {:<11} {:<16} {:>7} {:>5} {:>11} {:>9.2} {:>8} {:>8}",
+                entry.git,
+                entry.timestamp.map_or_else(|| "-".to_string(), utc_date),
+                entry.fingerprint(),
+                entry.insts,
+                entry.reps,
+                fmt_ns(entry.total_ns),
+                entry.cells_per_s,
+                dprev,
+                dbest,
+            );
+            if in_scope {
+                prev = Some(entry.cells_per_s);
+                best_so_far =
+                    Some(best_so_far.map_or(entry.cells_per_s, |b| entry.cells_per_s.max(b)));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "── phases: latest {} vs best-ever (drift threshold {:.1}%, noise floor {} ns) ──",
+            latest.git, max_regress_pct, noise_floor_ns
+        );
+        let _ = writeln!(
+            out,
+            "{:<36} {:>8} {:>11} {:<10} {:>11} {:>8}  verdict",
+            "phase", "spark", "best-ever", "@git", "latest", "dcum"
+        );
+        for phase in self.trend_phases() {
+            let series: Vec<Option<u64>> =
+                self.entries.iter().map(|e| e.phase_ns(&phase)).collect();
+            let latest_ns = latest.phase_ns(&phase).expect("phase comes from latest");
+            let (best_col, git_col, dcum, verdict) = match self.best_before_latest(&phase) {
+                None => ("-".to_string(), "-".to_string(), "-".to_string(), "no baseline"),
+                Some((best_git, best_ns)) => {
+                    let pct = if best_ns > 0 {
+                        100.0 * (latest_ns as f64 - best_ns as f64) / best_ns as f64
+                    } else {
+                        0.0
+                    };
+                    let verdict = if best_ns < noise_floor_ns {
+                        "below noise floor"
+                    } else if latest_ns <= best_ns {
+                        "new best"
+                    } else if pct > max_regress_pct {
+                        "DRIFT"
+                    } else {
+                        "ok"
+                    };
+                    (fmt_ns(best_ns), best_git, format!("{pct:+.1}%"), verdict)
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:<36} {:>8} {:>11} {:<10} {:>11} {:>8}  {}",
+                phase,
+                sparkline(&series),
+                best_col,
+                git_col,
+                fmt_ns(latest_ns),
+                dcum,
+                verdict
+            );
+        }
+        out
+    }
+
+    /// The machine-readable trajectory (`history.json`), schema
+    /// [`HISTORY_SCHEMA_VERSION`] — field-by-field table in
+    /// `docs/PERF-HISTORY.md`, checked by [`validate_history`].
+    pub fn to_json(&self, max_regress_pct: f64, noise_floor_ns: u64) -> String {
+        let mut rows = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let mut machine = JsonObj::new();
+            machine.str("os", &e.os).str("arch", &e.arch).num_u64("cpus", e.cpus);
+            let phases: Vec<String> = e
+                .phases
+                .iter()
+                .map(|(p, ns)| {
+                    let mut o = JsonObj::new();
+                    o.str("phase", p).num_u64("median_ns", *ns);
+                    o.finish()
+                })
+                .collect();
+            let cells: Vec<String> = e
+                .cells
+                .iter()
+                .map(|(id, ns)| {
+                    let mut o = JsonObj::new();
+                    o.str("id", id).num_u64("median_ns", *ns);
+                    o.finish()
+                })
+                .collect();
+            let mut o = JsonObj::new();
+            o.str("file", &e.file).str("git", &e.git);
+            match e.timestamp {
+                Some(ts) => o.num_u64("timestamp", ts),
+                None => o.raw("timestamp", "null"),
+            };
+            o.raw("machine", &machine.finish())
+                .num_u64("reps", e.reps)
+                .num_u64("insts", e.insts)
+                .num_u64("total_ns", e.total_ns)
+                .num_u64("top_level_ns", e.top_level_ns)
+                .num_f64("cells_per_s", e.cells_per_s)
+                .raw("phases", &format!("[{}]", phases.join(",")))
+                .raw("cells", &format!("[{}]", cells.join(",")));
+            rows.push(o.finish());
+        }
+        let best = self
+            .latest()
+            .and_then(|latest| best_baseline(&self.entries, latest))
+            .map(|b| {
+                let mut o = JsonObj::new();
+                o.str("git", &b.git).str("file", &b.file).num_f64("cells_per_s", b.cells_per_s);
+                o.finish()
+            })
+            .unwrap_or_else(|| "null".to_string());
+        let drift: Vec<String> = self
+            .cumulative_drift(max_regress_pct, noise_floor_ns)
+            .iter()
+            .map(|d| {
+                let mut o = JsonObj::new();
+                o.str("phase", &d.phase)
+                    .str("best_git", &d.best_git)
+                    .num_u64("best_ns", d.best_ns)
+                    .num_u64("latest_ns", d.latest_ns)
+                    .num_f64("pct", d.pct);
+                o.finish()
+            })
+            .collect();
+        let mut o = JsonObj::new();
+        o.num_u64("schema_version", HISTORY_SCHEMA_VERSION as u64)
+            .str("format", HISTORY_FORMAT)
+            .str("generated_git", &perfcmd::git_short())
+            .num_u64("count", self.entries.len() as u64)
+            .num_f64("max_regress_pct", max_regress_pct)
+            .num_u64("noise_floor_ns", noise_floor_ns)
+            .raw("entries", &format!("[{}]", rows.join(",")))
+            .raw("best", &best)
+            .raw("drift", &format!("[{}]", drift.join(",")));
+        o.finish()
+    }
+
+    /// The static dashboard (`history.html`): no scripts, no external
+    /// assets — inline SVG sparklines over the same data as the trend
+    /// table, openable from a file:// URL forever.
+    pub fn to_html(&self, max_regress_pct: f64, noise_floor_ns: u64) -> String {
+        use std::fmt::Write as _;
+        let mut body = String::new();
+        let Some(latest) = self.latest() else { return String::new() };
+
+        // Machine-fingerprint legend: one colour per fingerprint, in
+        // first-appearance order.
+        const PALETTE: [&str; 5] = ["#2563eb", "#d97706", "#059669", "#9333ea", "#dc2626"];
+        let mut fingerprints: Vec<String> = Vec::new();
+        for e in &self.entries {
+            if !fingerprints.contains(&e.fingerprint()) {
+                fingerprints.push(e.fingerprint());
+            }
+        }
+        let color_of = |e: &BaselineEntry| {
+            let idx = fingerprints.iter().position(|f| *f == e.fingerprint()).unwrap_or(0);
+            PALETTE[idx % PALETTE.len()]
+        };
+
+        let _ = writeln!(
+            body,
+            "<h1>perf trajectory</h1>\n<p class=\"sub\">{} baselines · latest \
+             <code>{}</code> · generated at <code>{}</code> · schema v{} · \
+             <a href=\"history.json\">history.json</a></p>",
+            self.entries.len(),
+            escape_html(&latest.git),
+            escape_html(&perfcmd::git_short()),
+            HISTORY_SCHEMA_VERSION,
+        );
+
+        let drifts = self.cumulative_drift(max_regress_pct, noise_floor_ns);
+        if drifts.is_empty() {
+            let _ = writeln!(
+                body,
+                "<p class=\"ok\">no cumulative drift: every phase of <code>{}</code> is within \
+                 {:.1}% of its best-ever median (noise floor {} ns).</p>",
+                escape_html(&latest.git),
+                max_regress_pct,
+                noise_floor_ns
+            );
+        } else {
+            let _ = writeln!(body, "<div class=\"drift\"><strong>cumulative drift</strong><ul>");
+            for d in &drifts {
+                let _ = writeln!(
+                    body,
+                    "<li><code>{}</code> is {:+.1}% over its best-ever {} \
+                     (<code>{}</code>), now {}</li>",
+                    escape_html(&d.phase),
+                    d.pct,
+                    fmt_ns(d.best_ns),
+                    escape_html(&d.best_git),
+                    fmt_ns(d.latest_ns)
+                );
+            }
+            let _ = writeln!(body, "</ul></div>");
+        }
+
+        // Cells/s trajectory: the headline chart.
+        let _ = writeln!(body, "<h2>cells/s</h2>");
+        let max_rate = self.entries.iter().map(|e| e.cells_per_s).fold(1.0_f64, f64::max);
+        let (w, h, pad) = (640.0, 160.0, 24.0);
+        let x_of = |i: usize| {
+            if self.entries.len() < 2 {
+                w / 2.0
+            } else {
+                pad + (w - 2.0 * pad) * i as f64 / (self.entries.len() - 1) as f64
+            }
+        };
+        let y_of = |rate: f64| h - pad - (h - 2.0 * pad) * rate / (max_rate * 1.1);
+        let points: Vec<String> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| format!("{:.1},{:.1}", x_of(i), y_of(e.cells_per_s)))
+            .collect();
+        let _ = writeln!(
+            body,
+            "<svg viewBox=\"0 0 {w:.0} {h:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" \
+             role=\"img\" aria-label=\"cells per second across baselines\">"
+        );
+        let _ = writeln!(
+            body,
+            "<polyline fill=\"none\" stroke=\"#94a3b8\" stroke-width=\"1.5\" points=\"{}\"/>",
+            points.join(" ")
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = writeln!(
+                body,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"{}\">\
+                 <title>{} · {} · {:.2} cells/s · insts {}</title></circle>",
+                x_of(i),
+                y_of(e.cells_per_s),
+                color_of(e),
+                escape_html(&e.git),
+                escape_html(&e.fingerprint()),
+                e.cells_per_s,
+                e.insts
+            );
+            let _ = writeln!(
+                body,
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" class=\"tick\">{}</text>",
+                x_of(i),
+                h - 4.0,
+                escape_html(&e.git)
+            );
+            let _ = writeln!(
+                body,
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" class=\"val\">{:.1}</text>",
+                x_of(i),
+                y_of(e.cells_per_s) - 8.0,
+                e.cells_per_s
+            );
+        }
+        let _ = writeln!(body, "</svg>");
+        let _ = write!(body, "<p class=\"legend\">");
+        for (i, f) in fingerprints.iter().enumerate() {
+            let _ = write!(
+                body,
+                "<span class=\"chip\" style=\"background:{}\"></span>{} &nbsp; ",
+                PALETTE[i % PALETTE.len()],
+                escape_html(f)
+            );
+        }
+        let _ = writeln!(body, "</p>");
+
+        // Baseline table.
+        let _ = writeln!(
+            body,
+            "<h2>baselines</h2>\n<table><tr><th>git</th><th>date</th><th>machine</th>\
+             <th>insts</th><th>reps</th><th>total</th><th>cells/s</th></tr>"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                body,
+                "<tr><td><code>{}</code></td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td>{}</td><td>{}</td><td>{:.2}</td></tr>",
+                escape_html(&e.git),
+                e.timestamp.map_or_else(|| "-".to_string(), utc_date),
+                escape_html(&e.fingerprint()),
+                e.insts,
+                e.reps,
+                fmt_ns(e.total_ns),
+                e.cells_per_s
+            );
+        }
+        let _ = writeln!(body, "</table>");
+
+        // Per-phase sparklines: latest vs best-ever.
+        let _ = writeln!(
+            body,
+            "<h2>phases</h2>\n<table><tr><th>phase</th><th>trend</th><th>best-ever</th>\
+             <th>latest</th><th>&Delta;cum</th></tr>"
+        );
+        for phase in self.trend_phases() {
+            let series: Vec<Option<u64>> =
+                self.entries.iter().map(|e| e.phase_ns(&phase)).collect();
+            let latest_ns = latest.phase_ns(&phase).expect("phase comes from latest");
+            let (best_cell, delta_cell) = match self.best_before_latest(&phase) {
+                None => ("-".to_string(), "<td>-</td>".to_string()),
+                Some((best_git, best_ns)) => {
+                    let pct = if best_ns > 0 {
+                        100.0 * (latest_ns as f64 - best_ns as f64) / best_ns as f64
+                    } else {
+                        0.0
+                    };
+                    let class = if best_ns < noise_floor_ns {
+                        "quiet"
+                    } else if pct > max_regress_pct {
+                        "bad"
+                    } else if latest_ns <= best_ns {
+                        "good"
+                    } else {
+                        "quiet"
+                    };
+                    (
+                        format!("{} <code>{}</code>", fmt_ns(best_ns), escape_html(&best_git)),
+                        format!("<td class=\"{class}\">{pct:+.1}%</td>"),
+                    )
+                }
+            };
+            let _ = writeln!(
+                body,
+                "<tr><td><code>{}</code></td><td>{}</td><td>{}</td><td>{}</td>{}</tr>",
+                escape_html(&phase),
+                svg_sparkline(&series),
+                best_cell,
+                fmt_ns(latest_ns),
+                delta_cell
+            );
+        }
+        let _ = writeln!(body, "</table>");
+
+        format!(
+            "<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+             <title>perf trajectory</title>\n<style>\n{CSS}\n</style></head>\
+             <body>\n{body}</body></html>\n"
+        )
+    }
+}
+
+const CSS: &str = "body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:60rem;\
+padding:0 1rem;color:#111}\nh1,h2{font-weight:600}\ncode{font:12px ui-monospace,monospace}\n\
+table{border-collapse:collapse;margin:.5rem 0}\ntd,th{border:1px solid #e2e8f0;\
+padding:.25rem .6rem;text-align:left}\nth{background:#f8fafc}\n.sub,.legend{color:#555}\n\
+.tick,.val{font:10px ui-monospace,monospace;fill:#555}\n.chip{display:inline-block;\
+width:.7em;height:.7em;border-radius:50%;margin-right:.3em}\n.ok{color:#059669}\n\
+.good{color:#059669}\n.bad{color:#dc2626;font-weight:600}\n.quiet{color:#555}\n\
+.drift{border:1px solid #dc2626;border-radius:4px;padding:.5rem 1rem;background:#fef2f2}";
+
+/// A unicode sparkline of the series, min-to-max normalised; gaps
+/// (entries missing the phase) render as `·`.
+pub fn sparkline(series: &[Option<u64>]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let present: Vec<u64> = series.iter().flatten().copied().collect();
+    let (Some(&min), Some(&max)) = (present.iter().min(), present.iter().max()) else {
+        return "·".repeat(series.len());
+    };
+    series
+        .iter()
+        .map(|v| match v {
+            None => '·',
+            Some(_) if max == min => GLYPHS[3],
+            Some(v) => GLYPHS[((v - min) * 7 / (max - min)) as usize],
+        })
+        .collect()
+}
+
+/// An inline-SVG sparkline (polyline over the series, latest point
+/// marked) for the HTML dashboard.
+fn svg_sparkline(series: &[Option<u64>]) -> String {
+    use std::fmt::Write as _;
+    let present: Vec<u64> = series.iter().flatten().copied().collect();
+    let (Some(&min), Some(&max)) = (present.iter().min(), present.iter().max()) else {
+        return String::new();
+    };
+    let (w, h, pad) = (120.0, 24.0, 3.0);
+    let x_of = |i: usize| {
+        if series.len() < 2 {
+            w / 2.0
+        } else {
+            pad + (w - 2.0 * pad) * i as f64 / (series.len() - 1) as f64
+        }
+    };
+    let y_of = |v: u64| {
+        if max == min {
+            h / 2.0
+        } else {
+            h - pad - (h - 2.0 * pad) * (v - min) as f64 / (max - min) as f64
+        }
+    };
+    let points: Vec<String> = series
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.map(|v| format!("{:.1},{:.1}", x_of(i), y_of(v))))
+        .collect();
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {w:.0} {h:.0}\" width=\"{w:.0}\" height=\"{h:.0}\">\
+         <polyline fill=\"none\" stroke=\"#2563eb\" stroke-width=\"1.2\" points=\"{}\"/>",
+        points.join(" ")
+    );
+    if let Some((i, Some(v))) = series.iter().copied().enumerate().rev().find(|(_, v)| v.is_some())
+    {
+        let _ = write!(
+            svg,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.5\" fill=\"#2563eb\"/>",
+            x_of(i),
+            y_of(v)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Minimal HTML text escaping for the generated dashboard.
+fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A unix timestamp as a UTC `YYYY-MM-DD` date (civil-from-days,
+/// Gregorian; no clock or timezone dependency).
+pub fn utc_date(ts: u64) -> String {
+    let days = (ts / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+// ------------------------------------------------------------ validation
+
+fn req_u64(doc: &Value, key: &str) -> Result<u64, String> {
+    doc.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing or non-integer `{key}`"))
+}
+
+fn req_str<'a>(doc: &'a Value, key: &str) -> Result<&'a str, String> {
+    doc.get(key).and_then(Value::as_str).ok_or_else(|| format!("missing or non-string `{key}`"))
+}
+
+/// Checks a parsed `history.json` against the history schema
+/// ([`HISTORY_SCHEMA_VERSION`]): version and format tags, the entry
+/// list (each entry re-checked for the `top_level_ns ≤ total_ns`
+/// invariant — a baseline that fails it is rejected, not skipped),
+/// the best pointer and the drift list. `run -- perf-validate`
+/// dispatches here for `format == "ms-perf-history"`.
+pub fn validate_history(doc: &Value) -> Result<(), String> {
+    let version = req_u64(doc, "schema_version")?;
+    if version != HISTORY_SCHEMA_VERSION as u64 {
+        return Err(format!(
+            "schema_version {version} (this tool reads v{HISTORY_SCHEMA_VERSION})"
+        ));
+    }
+    let format = req_str(doc, "format")?;
+    if format != HISTORY_FORMAT {
+        return Err(format!("format `{format}` (expected `{HISTORY_FORMAT}`)"));
+    }
+    req_str(doc, "generated_git")?;
+    doc.get("max_regress_pct")
+        .and_then(Value::as_f64)
+        .ok_or("missing or non-numeric `max_regress_pct`")?;
+    req_u64(doc, "noise_floor_ns")?;
+    let count = req_u64(doc, "count")?;
+    let entries = doc.get("entries").and_then(Value::as_arr).ok_or("missing `entries` array")?;
+    if entries.is_empty() {
+        return Err("empty `entries` array".to_string());
+    }
+    if count != entries.len() as u64 {
+        return Err(format!("count {count} but {} entries", entries.len()));
+    }
+    for entry in entries {
+        let file = req_str(entry, "file")?.to_string();
+        let in_file = |e: String| format!("entry `{file}`: {e}");
+        req_str(entry, "git").map_err(in_file.clone())?;
+        match entry.get("timestamp") {
+            Some(Value::Null) | Some(Value::Num(_)) => {}
+            _ => return Err(in_file("missing or non-numeric `timestamp`".to_string())),
+        }
+        let machine = entry.get("machine").ok_or_else(|| in_file("missing `machine`".into()))?;
+        req_str(machine, "os").map_err(in_file.clone())?;
+        req_str(machine, "arch").map_err(in_file.clone())?;
+        req_u64(machine, "cpus").map_err(in_file.clone())?;
+        req_u64(entry, "reps").map_err(in_file.clone())?;
+        req_u64(entry, "insts").map_err(in_file.clone())?;
+        let total = req_u64(entry, "total_ns").map_err(in_file.clone())?;
+        let top = req_u64(entry, "top_level_ns").map_err(in_file.clone())?;
+        if top > total {
+            return Err(in_file(format!("top_level_ns {top} exceeds total_ns {total}")));
+        }
+        entry
+            .get("cells_per_s")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| in_file("missing or non-numeric `cells_per_s`".into()))?;
+        let phases = entry
+            .get("phases")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| in_file("missing `phases` array".into()))?;
+        if phases.is_empty() {
+            return Err(in_file("empty `phases` array".into()));
+        }
+        for phase in phases {
+            req_str(phase, "phase").map_err(in_file.clone())?;
+            req_u64(phase, "median_ns").map_err(in_file.clone())?;
+        }
+        let cells = entry
+            .get("cells")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| in_file("missing `cells` array".into()))?;
+        for cell in cells {
+            req_str(cell, "id").map_err(in_file.clone())?;
+            req_u64(cell, "median_ns").map_err(in_file.clone())?;
+        }
+    }
+    match doc.get("best") {
+        Some(Value::Null) => {}
+        Some(best) => {
+            req_str(best, "git")?;
+            req_str(best, "file")?;
+            best.get("cells_per_s")
+                .and_then(Value::as_f64)
+                .ok_or("missing or non-numeric `best.cells_per_s`")?;
+        }
+        None => return Err("missing `best`".to_string()),
+    }
+    for drift in doc.get("drift").and_then(Value::as_arr).ok_or("missing `drift` array")? {
+        req_str(drift, "phase")?;
+        req_str(drift, "best_git")?;
+        req_u64(drift, "best_ns")?;
+        req_u64(drift, "latest_ns")?;
+        drift.get("pct").and_then(Value::as_f64).ok_or("missing or non-numeric `drift.pct`")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn entry(git: &str, ts: Option<u64>, total_ns: u64) -> BaselineEntry {
+        BaselineEntry {
+            file: format!("BENCH_{git}.json"),
+            git: git.to_string(),
+            timestamp: ts,
+            os: "linux".to_string(),
+            arch: "x86_64".to_string(),
+            cpus: 1,
+            reps: 5,
+            insts: 60_000,
+            total_ns,
+            top_level_ns: total_ns - total_ns / 100,
+            cells_per_s: 6.0 / (total_ns as f64 / 1e9),
+            phases: vec![
+                ("sim.run".to_string(), total_ns - total_ns / 10),
+                ("tiny".to_string(), 100),
+            ],
+            cells: vec![("compress-cf".to_string(), total_ns / 6)],
+        }
+    }
+
+    #[test]
+    fn ordering_uses_timestamp_then_hash_tie_break() {
+        // Two baselines sharing a timestamp order by git short hash;
+        // an unresolvable timestamp sorts last.
+        let mut entries = vec![
+            entry("beta000", Some(100), 1_000_000),
+            entry("zzz9999", None, 1_000_000),
+            entry("alpha00", Some(100), 1_000_000),
+            entry("newer00", Some(200), 1_000_000),
+        ];
+        order_entries(&mut entries);
+        let gits: Vec<&str> = entries.iter().map(|e| e.git.as_str()).collect();
+        assert_eq!(gits, ["alpha00", "beta000", "newer00", "zzz9999"]);
+        // Stability: re-sorting an already-ordered list changes nothing.
+        let before = entries.clone();
+        order_entries(&mut entries);
+        assert_eq!(entries, before);
+    }
+
+    #[test]
+    fn cumulative_drift_catches_slow_bleed_under_the_step_threshold() {
+        // +20% then +25%: every pairwise step passes a 30% gate, the
+        // +50% cumulative drift does not.
+        let history = History {
+            entries: vec![
+                entry("aaa0001", Some(1), 10_000_000),
+                entry("aaa0002", Some(2), 12_000_000),
+                entry("aaa0003", Some(3), 15_000_000),
+            ],
+        };
+        let step1 = 100.0 * (12.0 - 10.0) / 10.0;
+        let step2 = 100.0 * (15.0 - 12.0) / 12.0;
+        assert!(step1 < 30.0 && step2 < 30.0);
+        let drifts = history.cumulative_drift(30.0, 200_000);
+        assert_eq!(drifts.len(), 2, "{drifts:?}"); // (total) and sim.run
+        assert_eq!(drifts[0].phase, TOTAL_PHASE);
+        assert_eq!(drifts[0].best_git, "aaa0001");
+        assert!((drifts[0].pct - 50.0).abs() < 1e-9);
+        assert_eq!(drifts[1].phase, "sim.run");
+        // The sub-floor `tiny` phase never gates.
+        assert!(drifts.iter().all(|d| d.phase != "tiny"));
+    }
+
+    #[test]
+    fn drift_ignores_incomparable_machines_and_improvements() {
+        let mut other_machine = entry("aaa0001", Some(1), 10_000_000);
+        other_machine.cpus = 64;
+        let history =
+            History { entries: vec![other_machine, entry("aaa0002", Some(2), 20_000_000)] };
+        assert!(history.cumulative_drift(30.0, 200_000).is_empty());
+        let improving = History {
+            entries: vec![
+                entry("aaa0001", Some(1), 15_000_000),
+                entry("aaa0002", Some(2), 10_000_000),
+            ],
+        };
+        assert!(improving.cumulative_drift(30.0, 200_000).is_empty());
+    }
+
+    #[test]
+    fn best_baseline_picks_fastest_comparable() {
+        let entries = vec![
+            entry("aaa0001", Some(1), 20_000_000),
+            entry("aaa0002", Some(2), 10_000_000),
+            entry("aaa0003", Some(3), 15_000_000),
+        ];
+        let like = entry("current", None, 12_000_000);
+        assert_eq!(best_baseline(&entries, &like).unwrap().git, "aaa0002");
+        let mut alien = like.clone();
+        alien.insts = 99;
+        assert!(best_baseline(&entries, &alien).is_none());
+    }
+
+    #[test]
+    fn history_json_round_trips_through_its_validator() {
+        let history = History {
+            entries: vec![
+                entry("aaa0001", Some(1_700_000_000), 10_000_000),
+                entry("aaa0002", None, 12_000_000),
+            ],
+        };
+        let json = history.to_json(30.0, 200_000);
+        let doc = ms_prof::jsonv::parse(&json).expect("history.json parses");
+        validate_history(&doc).expect("history.json validates");
+        // And the validator actually rejects breakage.
+        let bad = json.replace("\"format\":\"ms-perf-history\"", "\"format\":\"nonsense\"");
+        let bad = ms_prof::jsonv::parse(&bad).unwrap();
+        assert!(validate_history(&bad).unwrap_err().contains("format"));
+    }
+
+    #[test]
+    fn sparkline_normalises_and_marks_gaps() {
+        assert_eq!(sparkline(&[Some(0), Some(7), None, Some(3)]), "▁█·▄");
+        assert_eq!(sparkline(&[Some(5), Some(5)]), "▄▄");
+        assert_eq!(sparkline(&[None, None]), "··");
+    }
+
+    #[test]
+    fn utc_dates_are_civil() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(951_782_400), "2000-02-29");
+        assert_eq!(utc_date(1_754_006_400), "2025-08-01");
+    }
+
+    #[test]
+    fn html_is_self_contained_and_escaped() {
+        // The odd phase goes on the *latest* entry — the phase section
+        // iterates the latest baseline's phase list.
+        let mut e = entry("aaa0002", Some(2), 9_000_000);
+        e.phases.push(("weird<&>\"phase".to_string(), 5_000_000));
+        let history = History { entries: vec![entry("aaa0001", Some(1), 10_000_000), e] };
+        let html = history.to_html(30.0, 200_000);
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("weird&lt;&amp;&gt;&quot;phase"));
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http://") && !html.contains("https://"), "no external assets");
+    }
+}

@@ -15,7 +15,12 @@
 //! The `run -- perf` subcommand ([`perfcmd`]) runs the canonical cells
 //! under the `ms-prof` pipeline profiler, writes the schema-versioned
 //! `BENCH_<gitshort>.json` perf trajectory, and gates against a
-//! baseline (`--baseline`). The `run -- fuzz` subcommand ([`fuzzcmd`])
+//! baseline (`--baseline FILE`, or `--baseline best` to auto-select
+//! the best-ever committed baseline). The `run -- perf-history`
+//! subcommand ([`historycmd`]) aggregates every committed baseline
+//! into a trend table, a static HTML dashboard and a machine-readable
+//! `history.json`, gating on cumulative drift vs best-ever (see
+//! `docs/PERF-HISTORY.md`). The `run -- fuzz` subcommand ([`fuzzcmd`])
 //! drives the `ms-conform` differential fuzz loop — random programs
 //! through every heuristic under the conformance checker, minimal
 //! reproducers written as `.msir` artifacts (see `docs/CONFORMANCE.md`).
@@ -40,6 +45,7 @@ pub mod error;
 pub mod fuzzcmd;
 pub mod gapcmd;
 pub mod harness;
+pub mod historycmd;
 pub mod json;
 pub mod microbench;
 pub mod perfcmd;

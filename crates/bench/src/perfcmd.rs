@@ -462,7 +462,7 @@ pub fn compare(
     ))
 }
 
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     let ns = ns as f64;
     if ns >= 1e9 {
         format!("{:.2} s", ns / 1e9)

@@ -1,0 +1,208 @@
+//! End-to-end tests for `run -- perf-history`: a golden trend table
+//! over synthetic multi-baseline fixtures, artifact emission, the
+//! validator dispatch, and — the core promise — a process-level proof
+//! that cumulative drift below the per-step threshold still fails the
+//! trajectory gate.
+//!
+//! The golden file regenerates with:
+//!
+//! ```text
+//! MS_BLESS=1 cargo test -p ms-bench --test history
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ms_bench::historycmd::{BaselineEntry, History};
+use ms_bench::json::JsonObj;
+
+/// A synthetic but schema-complete `BENCH_*.json` document: validates
+/// under `perfcmd::validate`, so the history loader accepts it.
+fn bench_doc(git: &str, total_ns: u64, sim_ns: u64, trace_ns: u64) -> String {
+    let phase = |name: &str, ns: u64| {
+        let mut o = JsonObj::new();
+        o.str("phase", name).num_u64("median_ns", ns).num_u64("count", 6).num_u64("items", 100);
+        o.finish()
+    };
+    let mut machine = JsonObj::new();
+    machine.str("os", "testos").str("arch", "testarch").num_u64("cpus", 2);
+    let mut cell = JsonObj::new();
+    cell.str("id", "compress-cf").num_u64("median_ns", total_ns / 6);
+    let mut o = JsonObj::new();
+    o.num_u64("schema_version", 1)
+        .str("format", "ms-perf")
+        .str("git", git)
+        .raw("machine", &machine.finish())
+        .num_u64("reps", 5)
+        .num_u64("insts", 60_000)
+        .num_u64("total_ns", total_ns)
+        .num_u64("top_level_ns", total_ns - 1_000)
+        .num_f64("cells_per_s", 6.0 / (total_ns as f64 / 1e9))
+        .raw("cells", &format!("[{}]", cell.finish()))
+        .raw(
+            "phases",
+            &format!(
+                "[{},{},{}]",
+                phase("sim.run", sim_ns),
+                phase("tiny.phase", 1_000),
+                phase("trace.generate", trace_ns)
+            ),
+        )
+        .raw("registry", "{\"counters\":[],\"gauges\":[],\"hists\":[]}");
+    o.finish()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ms-history-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_bin(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_run")).args(args).output().expect("spawn run binary")
+}
+
+fn path_str(p: &Path) -> &str {
+    p.to_str().unwrap()
+}
+
+/// Three baselines drifting +20% then +25% on `sim.run` and the total:
+/// every pairwise step clears a 30% gate, the ~50% cumulative drift
+/// must not.
+fn write_drifting_fixtures(dir: &Path) {
+    // Fabricated hashes never resolve to commits, so ordering falls to
+    // the lexicographic git tie-break — names encode the order.
+    for (git, total, sim) in [
+        ("aaa0001", 10_000_000, 8_000_000),
+        ("bbb0002", 12_000_000, 9_600_000),
+        ("ccc0003", 15_000_000, 12_000_000),
+    ] {
+        std::fs::write(dir.join(format!("BENCH_{git}.json")), bench_doc(git, total, sim, 500_000))
+            .unwrap();
+    }
+}
+
+#[test]
+fn injected_cumulative_drift_fails_the_process_and_emits_artifacts() {
+    let dir = tmp_dir("drift");
+    let out = dir.join("exp");
+    write_drifting_fixtures(&dir);
+
+    let gated = run_bin(&["perf-history", path_str(&dir), "--out", path_str(&out)]);
+    assert!(
+        !gated.status.success(),
+        "sub-threshold steps with >30% cumulative drift must fail the gate"
+    );
+    let stderr = String::from_utf8_lossy(&gated.stderr);
+    assert!(stderr.contains("drifted"), "stderr should explain the drift: {stderr}");
+    assert!(stderr.contains("sim.run"), "stderr should name the phase: {stderr}");
+
+    // The artifacts are still written (the dashboard is how you debug
+    // the failure), and history.json passes the validator dispatch.
+    let json = out.join("perf").join("history.json");
+    let html = out.join("perf").join("history.html");
+    assert!(json.exists(), "history.json must be emitted even when gating");
+    assert!(html.exists(), "history.html must be emitted even when gating");
+    let validate = run_bin(&["perf-validate", path_str(&json)]);
+    assert!(validate.status.success(), "{}", String::from_utf8_lossy(&validate.stderr));
+    assert!(String::from_utf8_lossy(&validate.stdout).contains("ms-perf-history"));
+
+    // --no-gate: same report, successful exit.
+    let ungated = run_bin(&["perf-history", path_str(&dir), "--out", path_str(&out), "--no-gate"]);
+    assert!(ungated.status.success(), "--no-gate must report without failing");
+
+    // A wider threshold passes outright.
+    let wide =
+        run_bin(&["perf-history", path_str(&dir), "--out", path_str(&out), "--max-regress", "60"]);
+    assert!(wide.status.success(), "{}", String::from_utf8_lossy(&wide.stderr));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn invalid_baseline_is_a_hard_error_not_a_skip() {
+    let dir = tmp_dir("invalid");
+    write_drifting_fixtures(&dir);
+    // One more baseline violating the top_level_ns <= total_ns
+    // invariant: aggregation must reject the trajectory, not skip it.
+    let broken = bench_doc("ddd0004", 10_000_000, 8_000_000, 500_000)
+        .replace("\"top_level_ns\":9999000", "\"top_level_ns\":99999999");
+    assert!(broken.contains("99999999"), "replacement must hit");
+    std::fs::write(dir.join("BENCH_ddd0004.json"), broken).unwrap();
+
+    let out = run_bin(&["perf-history", path_str(&dir), "--out", path_str(&dir.join("exp"))]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("BENCH_ddd0004.json") && stderr.contains("top_level_ns"),
+        "the error must name the offending file and invariant: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trend_table_is_golden() {
+    // In-memory entries with pinned timestamps: the rendered trend
+    // table (sparklines, deltas, verdicts) is a reviewed artifact.
+    let entry = |git: &str, ts: u64, total_ns: u64, sim_ns: u64| BaselineEntry {
+        file: format!("BENCH_{git}.json"),
+        git: git.to_string(),
+        timestamp: Some(ts),
+        os: "testos".to_string(),
+        arch: "testarch".to_string(),
+        cpus: 2,
+        reps: 5,
+        insts: 60_000,
+        total_ns,
+        top_level_ns: total_ns - 1_000,
+        cells_per_s: 6.0 / (total_ns as f64 / 1e9),
+        phases: vec![
+            ("sim.run".to_string(), sim_ns),
+            ("tiny.phase".to_string(), 1_000),
+            ("trace.generate".to_string(), 500_000),
+        ],
+        cells: vec![("compress-cf".to_string(), total_ns / 6)],
+    };
+    let history = History {
+        entries: vec![
+            entry("aaa0001", 1_754_006_400, 10_000_000, 8_000_000),
+            entry("bbb0002", 1_754_611_200, 9_000_000, 7_000_000),
+            entry("ccc0003", 1_755_216_000, 13_000_000, 10_500_000),
+        ],
+    };
+    let got = history.trend_table(30.0, 200_000);
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/history_trend.txt");
+    if std::env::var_os("MS_BLESS").is_some() {
+        std::fs::write(&path, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).expect("golden file exists (MS_BLESS=1 to create)");
+    assert_eq!(
+        got, want,
+        "trend table changed; if intentional, re-bless with MS_BLESS=1 and \
+         update the column glossary in docs/PERF-HISTORY.md"
+    );
+}
+
+#[test]
+fn tie_broken_ordering_is_stable_in_the_emitted_json() {
+    // Two baselines sharing one commit timestamp (fabricated hashes in
+    // a non-repo temp dir resolve to no timestamp at all — the
+    // all-None case) order by git hash wherever they are rendered.
+    let dir = tmp_dir("tie");
+    std::fs::write(dir.join("BENCH_zzz.json"), bench_doc("zzz", 10_000_000, 8_000_000, 500_000))
+        .unwrap();
+    std::fs::write(dir.join("BENCH_aaa.json"), bench_doc("aaa", 11_000_000, 8_800_000, 500_000))
+        .unwrap();
+    let out = dir.join("exp");
+    let run = run_bin(&["perf-history", path_str(&dir), "--out", path_str(&out), "--no-gate"]);
+    assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+    let json = std::fs::read_to_string(out.join("perf").join("history.json")).unwrap();
+    let a = json.find("\"git\":\"aaa\"").expect("aaa present");
+    let z = json.find("\"git\":\"zzz\"").expect("zzz present");
+    assert!(a < z, "hash tie-break must order aaa before zzz in history.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}
