@@ -56,6 +56,19 @@
 //! cargo run -p ms-bench --release --bin run -- gap all --oracle-max-blocks 12
 //! ```
 //!
+//! Observability (see `docs/OBSERVABILITY.md`): every sweep / perf /
+//! perf-history / trace / fuzz / gap invocation appends a structured
+//! JSONL run record under `target/experiments/runs/`, and the sweep
+//! scheduler renders a live stderr progress line on a terminal
+//! (`--quiet` or `MS_NO_PROGRESS` turn it off; artifacts are identical
+//! either way):
+//!
+//! ```text
+//! cargo run -p ms-bench --release --bin run -- runs --last 10
+//! cargo run -p ms-bench --release --bin run -- runs show <id>
+//! cargo run -p ms-bench --release --bin run -- runs-validate
+//! ```
+//!
 //! All flags live in `ms_bench::cli` and are shared across subcommands
 //! (`--out DIR`, `--jobs N`, `--strategy`, `--reps`, …).
 
@@ -68,11 +81,15 @@ use ms_bench::fuzzcmd;
 use ms_bench::gapcmd::{self, GapOptions};
 use ms_bench::historycmd::{self, BaselineEntry};
 use ms_bench::perfcmd::{self, PerfOptions};
+use ms_bench::progress::{ProgressLine, SweepObserver};
+use ms_bench::runscmd;
 use ms_bench::sweeps::{run_sweep, SweepSpec, SWEEP_NAMES};
 use ms_bench::tracecmd::trace_selection;
 use ms_bench::{run_selection, BenchError, DEFAULT_TRACE_INSTS};
 use ms_conform::FuzzParams;
 use ms_ir::Program;
+use ms_prof::jsonv::Value;
+use ms_prof::ledger::{ProgressSink, ProgressSnapshot, RunLedger, RunMeta};
 use ms_sim::SimConfig;
 use ms_workloads::{by_name, suite};
 
@@ -86,6 +103,58 @@ fn sim_config(flags: &Flags) -> SimConfig {
     }
     cfg
 }
+
+// ------------------------------------------------------------- ledger
+
+/// The parsed parameters a run record's header carries — the
+/// invocation's SimConfig/policy fingerprint, one deterministic set
+/// for every subcommand (meaningless entries are simply defaults).
+fn run_params(flags: &Flags) -> Vec<(String, String)> {
+    let s = |v: String| v;
+    vec![
+        ("strategy".to_string(), flags.strategy.label().to_string()),
+        ("pus".to_string(), s(flags.pus.to_string())),
+        ("in_order".to_string(), s(flags.in_order.to_string())),
+        ("dead_reg".to_string(), s(flags.dead_reg.to_string())),
+        ("targets".to_string(), s(flags.targets.to_string())),
+        ("insts".to_string(), flags.insts.map_or("default".to_string(), |i| i.to_string())),
+        ("seed".to_string(), s(format!("{:#x}", flags.seed))),
+        ("jobs".to_string(), s(flags.jobs.to_string())),
+        ("out".to_string(), s(flags.out.display().to_string())),
+    ]
+}
+
+/// Opens the run record for a ledgered subcommand. A ledger that cannot
+/// open degrades to a warning — telemetry must never fail the science.
+fn open_ledger(cmd: &str, flags: &Flags) -> Option<RunLedger> {
+    let meta = RunMeta {
+        cmd: cmd.to_string(),
+        argv: std::env::args().skip(1).collect(),
+        git: perfcmd::git_short(),
+        params: run_params(flags),
+    };
+    match RunLedger::open(&runscmd::runs_dir(), &meta) {
+        Ok(l) => Some(l),
+        Err(e) => {
+            eprintln!("warning: run ledger disabled: {e}");
+            None
+        }
+    }
+}
+
+fn led_event(led: &mut Option<RunLedger>, kind: &str, fields: Vec<(&str, Value)>) {
+    if let Some(l) = led.as_mut() {
+        l.event(kind, fields);
+    }
+}
+
+fn led_artifact(led: &mut Option<RunLedger>, path: &Path) {
+    if let Some(l) = led.as_mut() {
+        l.artifact(&path.display().to_string());
+    }
+}
+
+// ----------------------------------------------------------- commands
 
 fn run_one(name: &str, program: Program, flags: &Flags) {
     let sel = flags.strategy.selector(flags.targets).select(&ProgramContext::new(program));
@@ -112,7 +181,7 @@ fn run_one(name: &str, program: Program, flags: &Flags) {
     println!("{stats}");
 }
 
-fn unknown_benchmark(name: &str) -> ! {
+fn unknown_benchmark(name: &str) -> i32 {
     // The name could be a misspelled sweep just as well as a misspelled
     // benchmark — suggest the nearest match from either namespace.
     if let Some(s) = closest(name, &SWEEP_NAMES) {
@@ -127,12 +196,12 @@ fn unknown_benchmark(name: &str) -> ! {
         eprintln!("error: {e}");
     }
     eprintln!("(`run -- list` enumerates benchmarks and sweeps; see `run -- help`)");
-    std::process::exit(2);
+    2
 }
 
 /// `run -- fuzz`: the differential conformance fuzz loop (see
 /// `docs/CONFORMANCE.md`), minimal repros written under `<out>/fuzz/`.
-fn run_fuzz(flags: &Flags) {
+fn run_fuzz(flags: &Flags, led: &mut Option<RunLedger>) -> i32 {
     let params = FuzzParams {
         max_blocks: flags.max_blocks,
         insts: flags.insts.unwrap_or(FuzzParams::default().insts),
@@ -141,10 +210,32 @@ fn run_fuzz(flags: &Flags) {
     let report = fuzzcmd::run_fuzz(flags.seeds, flags.seed, &params, flags.jobs, &flags.out);
     for (path, body) in &report.artifacts {
         write_or_die(path, body);
+        led_artifact(led, path);
     }
+    for f in &report.failures {
+        led_event(
+            led,
+            "failure",
+            vec![
+                ("seed", Value::Str(format!("{:#x}", f.seed))),
+                ("strategy", Value::Str(f.strategy.to_string())),
+                ("violations", Value::Num(f.errors.len() as f64)),
+            ],
+        );
+    }
+    led_event(
+        led,
+        "fuzz",
+        vec![
+            ("seeds", Value::Num(report.seeds as f64)),
+            ("failures", Value::Num(report.failures.len() as f64)),
+        ],
+    );
     print!("{}", report.text);
-    if !report.failures.is_empty() {
-        std::process::exit(1);
+    if report.failures.is_empty() {
+        0
+    } else {
+        1
     }
 }
 
@@ -165,7 +256,7 @@ fn write_or_die(path: &Path, body: &str) {
 
 /// `run -- gap <benchmark> | all`: the heuristic-vs-optimal table (see
 /// `docs/POLICIES.md`).
-fn run_gap(bench: &str, flags: &Flags) {
+fn run_gap(bench: &str, flags: &Flags, led: &mut Option<RunLedger>) -> i32 {
     let opts = GapOptions {
         targets: flags.targets,
         oracle_max_blocks: flags.oracle_max_blocks,
@@ -173,24 +264,38 @@ fn run_gap(bench: &str, flags: &Flags) {
         seed: flags.seed,
         config: sim_config(flags),
     };
+    let one = |w: &ms_workloads::Workload, led: &mut Option<RunLedger>| {
+        let report = gapcmd::run_gap(w, &opts);
+        led_event(
+            led,
+            "gap",
+            vec![
+                ("bench", Value::Str(w.name.to_string())),
+                ("rows", Value::Num(report.rows.len() as f64)),
+                ("eligible_funcs", Value::Num(report.eligible_funcs as f64)),
+            ],
+        );
+        print!("{}", report.text);
+    };
     if bench == "all" {
         for (i, w) in suite().iter().enumerate() {
             if i > 0 {
                 println!();
             }
-            print!("{}", gapcmd::run_gap(w, &opts).text);
+            one(w, led);
         }
-        return;
+        return 0;
     }
-    let Some(w) = by_name(bench) else { unknown_benchmark(bench) };
-    print!("{}", gapcmd::run_gap(&w, &opts).text);
+    let Some(w) = by_name(bench) else { return unknown_benchmark(bench) };
+    one(&w, led);
+    0
 }
 
 /// Runs one traced simulation (`run -- trace <workload>`): prints the
 /// attribution tables and writes the JSONL + Chrome trace artifacts under
 /// `<out>/trace/`.
-fn run_trace(bench: &str, flags: &Flags) {
-    let Some(w) = by_name(bench) else { unknown_benchmark(bench) };
+fn run_trace(bench: &str, flags: &Flags, led: &mut Option<RunLedger>) -> i32 {
+    let Some(w) = by_name(bench) else { return unknown_benchmark(bench) };
     let ctx = ProgramContext::new(w.build());
     let sel = flags.strategy.selector(flags.targets).select(&ctx);
     let insts = flags.insts.unwrap_or(DEFAULT_TRACE_INSTS);
@@ -201,6 +306,9 @@ fn run_trace(bench: &str, flags: &Flags) {
     let chrome_path = dir.join(format!("{stem}.chrome.json"));
     write_or_die(&jsonl_path, &art.jsonl);
     write_or_die(&chrome_path, &art.chrome);
+    led_event(led, "cell", vec![("cell", Value::Str(stem.clone()))]);
+    led_artifact(led, &jsonl_path);
+    led_artifact(led, &chrome_path);
     println!(
         "── trace {} [{}] {} PUs {} ──",
         w.name,
@@ -212,16 +320,30 @@ fn run_trace(bench: &str, flags: &Flags) {
     print!("{}", art.tables);
     println!("[event trace  -> {}]", jsonl_path.display());
     println!("[chrome trace -> {}]", chrome_path.display());
+    0
 }
 
-/// Runs the given sweeps, printing each report and noting its artifacts.
-fn run_sweeps(specs: &[SweepSpec], flags: &Flags) {
+/// Runs the given sweeps, printing each report and noting its
+/// artifacts. The scheduler streams telemetry into a [`ProgressSink`]
+/// (returned as the run record's footer snapshot) and, on a terminal,
+/// a live progress line.
+fn run_sweeps(
+    specs: &[SweepSpec],
+    flags: &Flags,
+    led: &mut Option<RunLedger>,
+) -> (i32, ProgressSnapshot) {
+    let sink = ProgressSink::new(flags.jobs.max(1));
+    let label = if specs.len() == 1 { specs[0].name() } else { "sweeps" };
+    let line = ProgressLine::stderr(label, flags.quiet);
+    let tick = || line.tick(&sink);
+    let obs = SweepObserver { sink: &sink, on_tick: &tick };
     for (i, spec) in specs.iter().enumerate() {
         if i > 0 {
             println!();
         }
-        match run_sweep(*spec, flags.jobs, &flags.out) {
+        match run_sweep(*spec, flags.jobs, &flags.out, &obs) {
             Ok(report) => {
+                line.finish();
                 print!("{}", report.text);
                 println!(
                     "[{} cells -> {}/{}/*.json]",
@@ -229,19 +351,45 @@ fn run_sweeps(specs: &[SweepSpec], flags: &Flags) {
                     flags.out.display(),
                     report.name
                 );
+                let dir = flags.out.join(report.name);
+                for id in &report.cell_ids {
+                    led_event(
+                        led,
+                        "cell",
+                        vec![
+                            ("sweep", Value::Str(report.name.to_string())),
+                            ("cell", Value::Str(id.clone())),
+                        ],
+                    );
+                    led_artifact(led, &dir.join(format!("{id}.json")));
+                }
+                led_artifact(led, &dir.join("report.md"));
             }
             Err(e) => {
+                line.finish();
                 eprintln!("error: sweep {}: {e}", spec.name());
-                std::process::exit(1);
+                return (1, sink.snapshot());
             }
         }
     }
+    line.finish();
+    (0, sink.snapshot())
 }
 
 /// `run -- perf`: profile the canonical cells, write the
 /// `BENCH_<gitshort>.json` trajectory point and the Chrome pipeline
 /// view, and (with `--baseline`) gate against a previous document.
-fn run_perf(flags: &Flags) {
+fn run_perf(flags: &Flags, led: &mut Option<RunLedger>) -> i32 {
+    match perf_inner(flags, led) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            2
+        }
+    }
+}
+
+fn perf_inner(flags: &Flags, led: &mut Option<RunLedger>) -> Result<i32, String> {
     let opts = PerfOptions {
         reps: flags.reps,
         insts: flags.insts.unwrap_or(PerfOptions::default().insts),
@@ -258,57 +406,50 @@ fn run_perf(flags: &Flags) {
     write_or_die(&chrome_path, &doc.chrome);
     println!("[perf doc     -> {}]", bench_path.display());
     println!("[chrome trace -> {}]", chrome_path.display());
+    led_artifact(led, &bench_path);
+    led_artifact(led, &chrome_path);
 
-    let Some(baseline_path) = &flags.baseline else { return };
-    let parse = |what: &str, text: &str| match ms_prof::jsonv::parse(text) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("error: {what}: {e}");
-            std::process::exit(2);
+    let current = ms_prof::jsonv::parse(&doc.json).map_err(|e| format!("current perf doc: {e}"))?;
+    if let Some(cells) = current.get("cells").and_then(Value::as_arr) {
+        for cell in cells {
+            if let (Some(id), Some(med)) = (
+                cell.get("id").and_then(Value::as_str),
+                cell.get("median_ns").and_then(Value::as_u64),
+            ) {
+                led_event(
+                    led,
+                    "cell",
+                    vec![
+                        ("cell", Value::Str(id.to_string())),
+                        ("median_ns", Value::Num(med as f64)),
+                    ],
+                );
+            }
         }
-    };
-    let current = parse("current perf doc", &doc.json);
+    }
+
+    let Some(baseline_path) = &flags.baseline else { return Ok(0) };
 
     // `--baseline best`: auto-select the best-ever comparable baseline
     // (same machine fingerprint and instruction budget) among the
     // committed BENCH_*.json files in the current directory — skipping
     // the document this run just wrote.
     let (baseline, label) = if baseline_path.as_os_str() == "best" {
-        let current_entry = match BaselineEntry::from_doc(&current, "current") {
-            Ok(e) => e,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            }
-        };
+        let current_entry =
+            BaselineEntry::from_doc(&current, "current").map_err(|e| e.to_string())?;
         let written = std::fs::canonicalize(&bench_path).ok();
-        let candidates = match historycmd::discover(Path::new(".")) {
-            Ok(files) => files,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            }
-        };
+        let candidates = historycmd::discover(Path::new(".")).map_err(|e| e.to_string())?;
         let mut entries = Vec::new();
         for path in candidates {
             if std::fs::canonicalize(&path).ok() == written && written.is_some() {
                 continue;
             }
             let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
-            let text = match std::fs::read_to_string(&path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("error: cannot read {file}: {e}");
-                    std::process::exit(2);
-                }
-            };
-            match BaselineEntry::from_doc(&parse(&file, &text), &file) {
-                Ok(entry) => entries.push((entry, text)),
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(2);
-                }
-            }
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let doc = ms_prof::jsonv::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+            let entry = BaselineEntry::from_doc(&doc, &file).map_err(|e| e.to_string())?;
+            entries.push((entry, text));
         }
         let best = historycmd::best_baseline(
             &entries.iter().map(|(e, _)| e.clone()).collect::<Vec<_>>(),
@@ -322,64 +463,64 @@ fn run_perf(flags: &Flags) {
                 current_entry.fingerprint(),
                 current_entry.insts
             );
-            return;
+            return Ok(0);
         };
         let text = &entries.iter().find(|(e, _)| e.file == best.file).expect("from entries").1;
-        (parse(&best.file, text), format!("best-ever {} (git {})", best.file, best.git))
+        let doc = ms_prof::jsonv::parse(text).map_err(|e| format!("{}: {e}", best.file))?;
+        (doc, format!("best-ever {} (git {})", best.file, best.git))
     } else {
-        let baseline_text = match std::fs::read_to_string(baseline_path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot read {}: {e}", baseline_path.display());
-                std::process::exit(2);
-            }
-        };
-        (
-            parse(&baseline_path.display().to_string(), &baseline_text),
-            baseline_path.display().to_string(),
-        )
+        let baseline_text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+        let doc = ms_prof::jsonv::parse(&baseline_text)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        (doc, baseline_path.display().to_string())
     };
-    match perfcmd::compare(&baseline, &current, flags.max_regress, flags.noise_floor_ns) {
-        Ok(cmp) => {
-            println!("── regression gate vs {label} ──");
-            print!("{}", cmp.table);
-            if cmp.regressions.is_empty() {
-                println!(
-                    "gate passed (threshold {:.1}%, noise floor {} ns)",
-                    flags.max_regress, flags.noise_floor_ns
-                );
-            } else if flags.no_gate {
-                eprintln!(
-                    "(--no-gate: {} phase(s) regressed beyond {:.1}%, not gating)",
-                    cmp.regressions.len(),
-                    flags.max_regress
-                );
-            } else {
-                eprintln!(
-                    "error: {} phase(s) regressed beyond {:.1}%",
-                    cmp.regressions.len(),
-                    flags.max_regress
-                );
-                std::process::exit(1);
-            }
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
+    let cmp = perfcmd::compare(&baseline, &current, flags.max_regress, flags.noise_floor_ns)
+        .map_err(|e| e.to_string())?;
+    println!("── regression gate vs {label} ──");
+    print!("{}", cmp.table);
+    led_event(
+        led,
+        "gate",
+        vec![
+            ("baseline", Value::Str(label.clone())),
+            ("regressions", Value::Num(cmp.regressions.len() as f64)),
+        ],
+    );
+    if cmp.regressions.is_empty() {
+        println!(
+            "gate passed (threshold {:.1}%, noise floor {} ns)",
+            flags.max_regress, flags.noise_floor_ns
+        );
+        Ok(0)
+    } else if flags.no_gate {
+        eprintln!(
+            "(--no-gate: {} phase(s) regressed beyond {:.1}%, not gating)",
+            cmp.regressions.len(),
+            flags.max_regress
+        );
+        Ok(0)
+    } else {
+        eprintln!(
+            "error: {} phase(s) regressed beyond {:.1}%",
+            cmp.regressions.len(),
+            flags.max_regress
+        );
+        Ok(1)
     }
 }
 
 /// `run -- perf-history <dir>`: the trajectory trend engine — stdout
 /// trend table, `<out>/perf/history.html` + `history.json`, exit
-/// non-zero on cumulative drift vs best-ever (`--no-gate` reports
-/// without failing). See `docs/PERF-HISTORY.md`.
-fn run_perf_history(dir: &str, flags: &Flags) {
+/// non-zero on cumulative drift vs best-ever in any phase **or any
+/// individual cell** (`--no-gate` reports without failing). See
+/// `docs/PERF-HISTORY.md`.
+fn run_perf_history(dir: &str, flags: &Flags, led: &mut Option<RunLedger>) -> i32 {
     let history = match historycmd::load_history(Path::new(dir)) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            return 2;
         }
     };
     print!("{}", history.trend_table(flags.max_regress, flags.noise_floor_ns));
@@ -389,50 +530,84 @@ fn run_perf_history(dir: &str, flags: &Flags) {
     write_or_die(&html_path, &history.to_html(flags.max_regress, flags.noise_floor_ns));
     println!("[history json -> {}]", json_path.display());
     println!("[history html -> {}]", html_path.display());
+    led_artifact(led, &json_path);
+    led_artifact(led, &html_path);
+    for e in &history.entries {
+        led_event(
+            led,
+            "baseline",
+            vec![
+                ("git", Value::Str(e.git.clone())),
+                ("file", Value::Str(e.file.clone())),
+                ("cells_per_s", Value::Num(e.cells_per_s)),
+            ],
+        );
+    }
     let drifts = history.cumulative_drift(flags.max_regress, flags.noise_floor_ns);
-    if drifts.is_empty() {
+    let cell_drifts = history.cell_drift(flags.max_regress, flags.noise_floor_ns);
+    if drifts.is_empty() && cell_drifts.is_empty() {
         println!(
             "trajectory gate passed (threshold {:.1}%, noise floor {} ns)",
             flags.max_regress, flags.noise_floor_ns
         );
-        return;
+        return 0;
     }
     for d in &drifts {
         eprintln!(
             "drift: {} is {:+.1}% over its best-ever {} ns (git {}) at {} ns",
             d.phase, d.pct, d.best_ns, d.best_git, d.latest_ns
         );
+        led_event(
+            led,
+            "drift",
+            vec![("phase", Value::Str(d.phase.clone())), ("pct", Value::Num(d.pct))],
+        );
+    }
+    for d in &cell_drifts {
+        eprintln!(
+            "drift: cell {} is {:+.1}% over its best-ever {} ns (git {}) at {} ns \
+             (aggregate passes; per-cell gate)",
+            d.phase, d.pct, d.best_ns, d.best_git, d.latest_ns
+        );
+        led_event(
+            led,
+            "drift",
+            vec![("cell", Value::Str(d.phase.clone())), ("pct", Value::Num(d.pct))],
+        );
     }
     if flags.no_gate {
-        eprintln!("(--no-gate: {} drifted phase(s) reported, not gating)", drifts.len());
-        return;
+        eprintln!(
+            "(--no-gate: {} drifted phase(s)/cell(s) reported, not gating)",
+            drifts.len() + cell_drifts.len()
+        );
+        return 0;
     }
     eprintln!(
-        "error: {} phase(s) drifted beyond {:.1}% of their best-ever baseline \
+        "error: {} phase(s)/cell(s) drifted beyond {:.1}% of their best-ever baseline \
          (--no-gate to report without failing; docs/PERF-HISTORY.md)",
-        drifts.len(),
+        drifts.len() + cell_drifts.len(),
         flags.max_regress
     );
-    std::process::exit(1);
+    1
 }
 
 /// `run -- perf-validate <file>`: schema-check one perf or history
 /// document, dispatching on the `format` field (`ms-perf` →
 /// [`perfcmd::validate`], `ms-perf-history` →
 /// [`historycmd::validate_history`]).
-fn run_perf_validate(path: &str) {
+fn run_perf_validate(path: &str) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: cannot read {path}: {e}");
-            std::process::exit(2);
+            return 2;
         }
     };
     let doc = match ms_prof::jsonv::parse(&text) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {path}: {e}");
-            std::process::exit(1);
+            return 1;
         }
     };
     let is_history = doc.get("format").and_then(|f| f.as_str()) == Some(historycmd::HISTORY_FORMAT);
@@ -443,81 +618,159 @@ fn run_perf_validate(path: &str) {
     };
     if let Err(e) = checked {
         eprintln!("error: {path}: {e}");
-        std::process::exit(1);
+        return 1;
     }
     let format = if is_history { historycmd::HISTORY_FORMAT } else { "ms-perf" };
     println!("{path}: valid {format} document (schema v{schema_version})");
+    0
+}
+
+/// `run -- runs [show <id>]`: query the run ledger.
+fn run_runs(positionals: &[String], flags: &Flags) -> i32 {
+    let dir = runscmd::runs_dir();
+    match positionals.get(1).map(String::as_str) {
+        None => {
+            print!("{}", runscmd::list_runs(&dir, flags.last, flags.cmd_filter.as_deref()));
+            0
+        }
+        Some("show") => match positionals.get(2) {
+            Some(id) => match runscmd::show_run(&dir, id) {
+                Ok(text) => {
+                    print!("{text}");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    2
+                }
+            },
+            None => {
+                eprintln!("error: `runs show` needs a record id (see `run -- runs`)");
+                2
+            }
+        },
+        Some(other) => {
+            eprintln!("error: unknown runs subcommand `{other}` (try `runs` or `runs show <id>`)");
+            2
+        }
+    }
 }
 
 fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
     let (positionals, flags) = match cli::parse(std::env::args().skip(1)) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             eprint!("{}", cli::help_text());
-            std::process::exit(2);
+            return 2;
         }
     };
     let cmd = positionals.first().map(String::as_str).unwrap_or("all");
     if cmd == "help" {
         print!("{}", cli::help_text());
-        return;
+        return 0;
     }
     if let Some(path) = &flags.file {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("error: cannot read {path}: {e}");
-                std::process::exit(2);
+                return 2;
             }
         };
         let program = match ms_ir::parse_program(&text) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("error: {path}: {e}");
-                std::process::exit(2);
+                return 2;
             }
         };
         run_one(path, program, &flags);
-        return;
+        return 0;
     }
-    match cmd {
-        "list" => print!("{}", cli::list_text()),
-        "policies" => print!("{}", cli::policies_text()),
+
+    // Every artifact-producing subcommand leaves a run record; queries
+    // (`list`, `runs`, validators) and ad-hoc single runs do not.
+    let ledgered = matches!(cmd, "sweeps" | "perf" | "perf-history" | "trace" | "fuzz" | "gap")
+        || SWEEP_NAMES.contains(&cmd);
+    let mut led = if ledgered { open_ledger(cmd, &flags) } else { None };
+
+    let mut progress = ProgressSnapshot::default();
+    let code = match cmd {
+        "list" => {
+            print!("{}", cli::list_text());
+            0
+        }
+        "policies" => {
+            print!("{}", cli::policies_text());
+            0
+        }
+        "runs" => run_runs(&positionals, &flags),
+        "runs-validate" => {
+            let (text, code) = runscmd::validate_runs(
+                &runscmd::runs_dir(),
+                positionals.get(1).map(String::as_str),
+            );
+            print!("{text}");
+            code
+        }
         "gap" => {
             let bench = positionals.get(1).map(String::as_str).unwrap_or("compress");
-            run_gap(bench, &flags);
+            run_gap(bench, &flags, &mut led)
         }
-        "fuzz" => run_fuzz(&flags),
-        "perf" => run_perf(&flags),
+        "fuzz" => run_fuzz(&flags, &mut led),
+        "perf" => run_perf(&flags, &mut led),
         "perf-validate" => match positionals.get(1) {
             Some(path) => run_perf_validate(path),
             None => {
                 eprintln!("error: perf-validate needs a file (see `run -- help`)");
-                std::process::exit(2);
+                2
             }
         },
         "perf-history" => {
             let dir = positionals.get(1).map(String::as_str).unwrap_or(".");
-            run_perf_history(dir, &flags);
+            run_perf_history(dir, &flags, &mut led)
         }
         "trace" => {
             let bench = positionals.get(1).map(String::as_str).unwrap_or("compress");
-            run_trace(bench, &flags);
+            run_trace(bench, &flags, &mut led)
         }
-        "sweeps" => run_sweeps(&SweepSpec::ALL, &flags),
+        "sweeps" => {
+            let (code, snap) = run_sweeps(&SweepSpec::ALL, &flags, &mut led);
+            progress = snap;
+            code
+        }
         name if SWEEP_NAMES.contains(&name) => {
             let spec = SweepSpec::parse(name).expect("name is in SWEEP_NAMES");
-            run_sweeps(&[spec], &flags);
+            let (code, snap) = run_sweeps(&[spec], &flags, &mut led);
+            progress = snap;
+            code
         }
         "all" => {
             for w in suite() {
                 run_one(w.name, w.build(), &flags);
             }
+            0
         }
         name => match by_name(name) {
-            Some(w) => run_one(w.name, w.build(), &flags),
+            Some(w) => {
+                run_one(w.name, w.build(), &flags);
+                0
+            }
             None => unknown_benchmark(name),
         },
+    };
+
+    if let Some(ledger) = led.take() {
+        let outcome = if code == 0 { "ok" } else { "failed" };
+        match ledger.close(outcome, code, &progress) {
+            Ok(path) => println!("[run record   -> {}]", path.display()),
+            Err(e) => eprintln!("warning: run record not closed: {e}"),
+        }
     }
+    code
 }

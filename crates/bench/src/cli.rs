@@ -76,6 +76,13 @@ pub struct Flags {
     /// `--no-gate`: `perf-history` reports cumulative drift without
     /// failing the process (the trajectory gate's escape hatch).
     pub no_gate: bool,
+    /// `--quiet`: suppress the live stderr progress line (equivalent to
+    /// setting `MS_NO_PROGRESS`; artifacts are identical either way).
+    pub quiet: bool,
+    /// `--last N`: how many records `runs` lists (default 20).
+    pub last: usize,
+    /// `--cmd NAME`: filter `runs` to one subcommand's records.
+    pub cmd_filter: Option<String>,
 }
 
 /// Default fuzz cases per `run -- fuzz` sweep.
@@ -106,6 +113,9 @@ impl Default for Flags {
             inject: false,
             oracle_max_blocks: ms_tasksel::DEFAULT_ORACLE_MAX_BLOCKS,
             no_gate: false,
+            quiet: false,
+            last: 20,
+            cmd_filter: None,
         }
     }
 }
@@ -211,6 +221,16 @@ pub fn parse(args: impl Iterator<Item = String>) -> Result<(Vec<String>, Flags),
             }
             "--inject" => flags.inject = true,
             "--no-gate" => flags.no_gate = true,
+            "--quiet" => flags.quiet = true,
+            "--last" => {
+                flags.last = value("--last")?
+                    .parse()
+                    .map_err(|e| BenchError::Usage(format!("--last: {e}")))?;
+                if flags.last == 0 {
+                    return Err(BenchError::Usage("--last must be at least 1".into()));
+                }
+            }
+            "--cmd" => flags.cmd_filter = Some(value("--cmd")?),
             "--oracle-max-blocks" => {
                 flags.oracle_max_blocks = value("--oracle-max-blocks")?
                     .parse()
@@ -261,10 +281,18 @@ subcommands
   gap <benchmark> | all  heuristic-vs-optimal table: every policy against the exact
                          oracle on the benchmark's small functions (docs/POLICIES.md)
   policies               the selection-policy registry, one line per policy
+  runs                   list recorded runs, newest first (every sweep/perf/
+                         perf-history/trace/fuzz/gap invocation leaves a JSONL
+                         run record under target/experiments/runs/)
+                                                              [ledger schema v{ledger}]
+  runs show <id>         replay one run record: header, events, footer
+  runs-validate [FILE]   check run records against the ledger schema, exit
+                         non-zero on any invalid record (docs/OBSERVABILITY.md)
   list                   enumerate sweeps (with schema versions) and benchmarks
   help                   this text
 
 shared flags      --out DIR (default target/experiments)   --jobs N (default: cores)
+                  --quiet (no live progress line; MS_NO_PROGRESS=1 equivalent)
 single-run flags  --strategy bb|cf|dd|ts|cost|oracle  --pus N  --in-order  --insts N
                   --seed N  --targets N  --no-dead-reg  --json  --file path.msir
                   --dump-ir
@@ -277,6 +305,7 @@ fuzz flags        --seeds N (default {seeds})  --max-blocks N (default {blocks})
                   --insts N  --seed N (base seed)  --inject (fault-injection self-test)
 gap flags         --oracle-max-blocks N (default {oracle})  --insts N  --seed N
                   --targets N  --pus N
+runs flags        --last N (default 20)  --cmd NAME (filter to one subcommand)
 
 The perf-regression gate: `run -- perf --baseline BENCH_old.json` (or `--baseline
 best` to auto-select the best-ever comparable committed baseline) exits non-zero
@@ -290,6 +319,7 @@ docs/PERF-HISTORY.md the trend engine.
         trace = ms_sim::TRACE_SCHEMA_VERSION,
         perf = crate::perfcmd::PERF_SCHEMA_VERSION,
         history = crate::historycmd::HISTORY_SCHEMA_VERSION,
+        ledger = ms_prof::ledger::LEDGER_SCHEMA_VERSION,
         reps = DEFAULT_PERF_REPS,
         regress = DEFAULT_MAX_REGRESS_PCT,
         floor = DEFAULT_NOISE_FLOOR_NS,
@@ -432,6 +462,8 @@ mod tests {
             "all",
             "gap",
             "policies",
+            "runs",
+            "runs-validate",
         ] {
             assert!(text.contains(cmd), "help must mention `{cmd}`");
         }
@@ -443,6 +475,21 @@ mod tests {
         assert!(text.contains(&format!("perf schema v{}", crate::perfcmd::PERF_SCHEMA_VERSION)));
         assert!(text
             .contains(&format!("history schema v{}", crate::historycmd::HISTORY_SCHEMA_VERSION)));
+        assert!(
+            text.contains(&format!("ledger schema v{}", ms_prof::ledger::LEDGER_SCHEMA_VERSION))
+        );
+    }
+
+    #[test]
+    fn runs_flags_parse() {
+        let (pos, flags) = parse_ok(&["runs", "--last", "5", "--cmd", "perf", "--quiet"]);
+        assert_eq!(pos, ["runs"]);
+        assert_eq!(flags.last, 5);
+        assert_eq!(flags.cmd_filter.as_deref(), Some("perf"));
+        assert!(flags.quiet);
+        assert!(
+            parse(["runs".to_string(), "--last".to_string(), "0".to_string()].into_iter()).is_err()
+        );
     }
 
     #[test]

@@ -23,10 +23,17 @@
 //! closes that hole — any phase of the latest baseline that sits more
 //! than the threshold above its **best-ever** median (among baselines
 //! with the same machine fingerprint and instruction budget) is
-//! drift, and `run -- perf-history` exits non-zero on it. Baselines
-//! from different machines or budgets are never compared — the
-//! fingerprint travels with every document precisely so numbers are
-//! only compared like-for-like. See `docs/PERF-HISTORY.md`.
+//! drift, and `run -- perf-history` exits non-zero on it.
+//! [`History::cell_drift`] applies the same best-ever rule to every
+//! *individual cell* — a single cell can regress badly while the
+//! aggregate improves (the other cells got faster), and the phase
+//! gate alone would wave it through. Baselines from different
+//! machines or budgets are never compared — the fingerprint travels
+//! with every document precisely so numbers are only compared
+//! like-for-like. Each baseline also carries a one-line *trajectory
+//! annotation* (the `CHANGES.md` summary of the PR that committed it,
+//! recovered from git) shown as hover text on the dashboard's
+//! cells/s points. See `docs/PERF-HISTORY.md`.
 
 use std::path::{Path, PathBuf};
 
@@ -37,7 +44,8 @@ use crate::perfcmd::{self, fmt_ns};
 
 /// Version of the `history.json` document schema (bump on any field
 /// change; documented field-by-field in `docs/PERF-HISTORY.md`).
-pub const HISTORY_SCHEMA_VERSION: u32 = 1;
+/// v2 added the `cell_drift` array (per-cell best-ever gate).
+pub const HISTORY_SCHEMA_VERSION: u32 = 2;
 
 /// The `format` tag distinguishing a history document from a
 /// `BENCH_*.json` perf document (`ms-perf`) — `run -- perf-validate`
@@ -138,6 +146,11 @@ impl BaselineEntry {
         }
         self.phases.iter().find(|(p, _)| p == phase).map(|(_, ns)| *ns)
     }
+
+    /// The median for one canonical cell, by id.
+    pub fn cell_ns(&self, id: &str) -> Option<u64> {
+        self.cells.iter().find(|(c, _)| c == id).map(|(_, ns)| *ns)
+    }
 }
 
 /// The pseudo-phase for the end-to-end wall time, shared with the
@@ -195,6 +208,12 @@ pub fn order_entries(entries: &mut [BaselineEntry]) {
 pub struct History {
     /// The ordered baselines (see [`order_entries`]).
     pub entries: Vec<BaselineEntry>,
+    /// One trajectory annotation per entry (parallel to `entries`):
+    /// the `CHANGES.md` summary line of the PR that committed the
+    /// baseline, recovered by [`load_history`] from the commit that
+    /// added the file. `None` when git can't resolve it. Rendered as
+    /// hover text on the dashboard's cells/s points.
+    pub annotations: Vec<Option<String>>,
 }
 
 /// One cumulative regression found by [`History::cumulative_drift`].
@@ -231,7 +250,45 @@ pub fn load_history(dir: &Path) -> Result<History, String> {
         entries.push(entry);
     }
     order_entries(&mut entries);
-    Ok(History { entries })
+    let annotations = entries.iter().map(|e| annotation_for(dir, &e.file)).collect();
+    Ok(History { entries, annotations })
+}
+
+/// The one-line trajectory annotation for a baseline file: the last
+/// non-empty `CHANGES.md` line as of the commit that *added* the file
+/// — each PR appends its own summary line to `CHANGES.md` and commits
+/// the baseline in the same change, so that line describes the PR the
+/// point on the dashboard belongs to. `None` outside a repo, for an
+/// uncommitted file, or when that commit carries no `CHANGES.md`.
+pub fn annotation_for(dir: &Path, file: &str) -> Option<String> {
+    let git = |args: &[&str]| {
+        std::process::Command::new("git")
+            .arg("-C")
+            .arg(dir)
+            .args(args)
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+    };
+    let adding = git(&["log", "--diff-filter=A", "--format=%H", "-n", "1", "--", file])?;
+    let adding = adding.trim();
+    if adding.is_empty() {
+        return None;
+    }
+    let changes = git(&["show", &format!("{adding}:CHANGES.md")])?;
+    summary_line(&changes)
+}
+
+/// The last non-empty line of a `CHANGES.md` body, truncated to ~120
+/// chars on a character boundary.
+pub fn summary_line(changes: &str) -> Option<String> {
+    let line = changes.lines().rev().map(str::trim).find(|l| !l.is_empty())?;
+    let mut out: String = line.chars().take(120).collect();
+    if line.chars().count() > 120 {
+        out.push('…');
+    }
+    Some(out)
 }
 
 /// The best comparable baseline — highest `cells_per_s` among entries
@@ -292,6 +349,46 @@ impl History {
             let pct = 100.0 * (latest_ns as f64 - best_ns as f64) / best_ns as f64;
             if pct > max_regress_pct {
                 out.push(Drift { phase, best_git, best_ns, latest_ns, pct });
+            }
+        }
+        out
+    }
+
+    /// Per-cell best-ever: the minimum cell median among entries
+    /// *before* the latest that are comparable to it, as `(git, ns)`.
+    fn best_cell_before_latest(&self, id: &str) -> Option<(String, u64)> {
+        let latest = self.latest()?;
+        self.entries[..self.entries.len() - 1]
+            .iter()
+            .filter(|e| e.comparable(latest))
+            .filter_map(|e| e.cell_ns(id).map(|ns| (e.git.clone(), ns)))
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+
+    /// The per-cell trajectory gate: every canonical cell of the
+    /// latest baseline more than `max_regress_pct` percent above its
+    /// best-ever median. Independent of [`History::cumulative_drift`]
+    /// on purpose — a single cell can regress badly while the phase
+    /// aggregate *improves* (every other cell got faster), and only
+    /// this gate catches it. Returned as [`Drift`]s with the cell id
+    /// in the `phase` field.
+    pub fn cell_drift(&self, max_regress_pct: f64, noise_floor_ns: u64) -> Vec<Drift> {
+        let Some(latest) = self.latest() else { return Vec::new() };
+        let mut out = Vec::new();
+        for (id, latest_ns) in &latest.cells {
+            let Some((best_git, best_ns)) = self.best_cell_before_latest(id) else { continue };
+            if best_ns < noise_floor_ns || best_ns == 0 {
+                continue;
+            }
+            let pct = 100.0 * (*latest_ns as f64 - best_ns as f64) / best_ns as f64;
+            if pct > max_regress_pct {
+                out.push(Drift {
+                    phase: id.clone(),
+                    best_git,
+                    best_ns,
+                    latest_ns: *latest_ns,
+                    pct,
+                });
             }
         }
         out
@@ -399,6 +496,50 @@ impl History {
                 verdict
             );
         }
+        let _ = writeln!(
+            out,
+            "── cells: latest {} vs best-ever (per-cell gate, same threshold) ──",
+            latest.git
+        );
+        let _ = writeln!(
+            out,
+            "{:<36} {:>8} {:>11} {:<10} {:>11} {:>8}  verdict",
+            "cell", "spark", "best-ever", "@git", "latest", "dcum"
+        );
+        for (id, latest_ns) in &latest.cells {
+            let series: Vec<Option<u64>> = self.entries.iter().map(|e| e.cell_ns(id)).collect();
+            let (best_col, git_col, dcum, verdict) = match self.best_cell_before_latest(id) {
+                None => ("-".to_string(), "-".to_string(), "-".to_string(), "no baseline"),
+                Some((best_git, best_ns)) => {
+                    let pct = if best_ns > 0 {
+                        100.0 * (*latest_ns as f64 - best_ns as f64) / best_ns as f64
+                    } else {
+                        0.0
+                    };
+                    let verdict = if best_ns < noise_floor_ns {
+                        "below noise floor"
+                    } else if *latest_ns <= best_ns {
+                        "new best"
+                    } else if pct > max_regress_pct {
+                        "DRIFT"
+                    } else {
+                        "ok"
+                    };
+                    (fmt_ns(best_ns), best_git, format!("{pct:+.1}%"), verdict)
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:<36} {:>8} {:>11} {:<10} {:>11} {:>8}  {}",
+                id,
+                sparkline(&series),
+                best_col,
+                git_col,
+                fmt_ns(*latest_ns),
+                dcum,
+                verdict
+            );
+        }
         out
     }
 
@@ -453,19 +594,22 @@ impl History {
                 o.finish()
             })
             .unwrap_or_else(|| "null".to_string());
-        let drift: Vec<String> = self
-            .cumulative_drift(max_regress_pct, noise_floor_ns)
-            .iter()
-            .map(|d| {
-                let mut o = JsonObj::new();
-                o.str("phase", &d.phase)
-                    .str("best_git", &d.best_git)
-                    .num_u64("best_ns", d.best_ns)
-                    .num_u64("latest_ns", d.latest_ns)
-                    .num_f64("pct", d.pct);
-                o.finish()
-            })
-            .collect();
+        let drift_rows = |drifts: &[Drift], key: &str| -> Vec<String> {
+            drifts
+                .iter()
+                .map(|d| {
+                    let mut o = JsonObj::new();
+                    o.str(key, &d.phase)
+                        .str("best_git", &d.best_git)
+                        .num_u64("best_ns", d.best_ns)
+                        .num_u64("latest_ns", d.latest_ns)
+                        .num_f64("pct", d.pct);
+                    o.finish()
+                })
+                .collect()
+        };
+        let drift = drift_rows(&self.cumulative_drift(max_regress_pct, noise_floor_ns), "phase");
+        let cell_drift = drift_rows(&self.cell_drift(max_regress_pct, noise_floor_ns), "id");
         let mut o = JsonObj::new();
         o.num_u64("schema_version", HISTORY_SCHEMA_VERSION as u64)
             .str("format", HISTORY_FORMAT)
@@ -475,7 +619,8 @@ impl History {
             .num_u64("noise_floor_ns", noise_floor_ns)
             .raw("entries", &format!("[{}]", rows.join(",")))
             .raw("best", &best)
-            .raw("drift", &format!("[{}]", drift.join(",")));
+            .raw("drift", &format!("[{}]", drift.join(",")))
+            .raw("cell_drift", &format!("[{}]", cell_drift.join(",")));
         o.finish()
     }
 
@@ -513,22 +658,26 @@ impl History {
         );
 
         let drifts = self.cumulative_drift(max_regress_pct, noise_floor_ns);
-        if drifts.is_empty() {
+        let cell_drifts = self.cell_drift(max_regress_pct, noise_floor_ns);
+        if drifts.is_empty() && cell_drifts.is_empty() {
             let _ = writeln!(
                 body,
-                "<p class=\"ok\">no cumulative drift: every phase of <code>{}</code> is within \
-                 {:.1}% of its best-ever median (noise floor {} ns).</p>",
+                "<p class=\"ok\">no cumulative drift: every phase and cell of <code>{}</code> \
+                 is within {:.1}% of its best-ever median (noise floor {} ns).</p>",
                 escape_html(&latest.git),
                 max_regress_pct,
                 noise_floor_ns
             );
         } else {
             let _ = writeln!(body, "<div class=\"drift\"><strong>cumulative drift</strong><ul>");
-            for d in &drifts {
+            for (d, kind) in
+                drifts.iter().map(|d| (d, "phase")).chain(cell_drifts.iter().map(|d| (d, "cell")))
+            {
                 let _ = writeln!(
                     body,
-                    "<li><code>{}</code> is {:+.1}% over its best-ever {} \
+                    "<li>{} <code>{}</code> is {:+.1}% over its best-ever {} \
                      (<code>{}</code>), now {}</li>",
+                    kind,
                     escape_html(&d.phase),
                     d.pct,
                     fmt_ns(d.best_ns),
@@ -568,17 +717,26 @@ impl History {
             points.join(" ")
         );
         for (i, e) in self.entries.iter().enumerate() {
+            // The trajectory annotation (the PR summary that committed
+            // this baseline) rides along as hover text.
+            let note = self
+                .annotations
+                .get(i)
+                .and_then(|a| a.as_deref())
+                .map(|a| format!(" · {}", escape_html(a)))
+                .unwrap_or_default();
             let _ = writeln!(
                 body,
                 "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"{}\">\
-                 <title>{} · {} · {:.2} cells/s · insts {}</title></circle>",
+                 <title>{} · {} · {:.2} cells/s · insts {}{}</title></circle>",
                 x_of(i),
                 y_of(e.cells_per_s),
                 color_of(e),
                 escape_html(&e.git),
                 escape_html(&e.fingerprint()),
                 e.cells_per_s,
-                e.insts
+                e.insts,
+                note
             );
             let _ = writeln!(
                 body,
@@ -887,12 +1045,28 @@ pub fn validate_history(doc: &Value) -> Result<(), String> {
         req_u64(drift, "latest_ns")?;
         drift.get("pct").and_then(Value::as_f64).ok_or("missing or non-numeric `drift.pct`")?;
     }
+    let cell_drift =
+        doc.get("cell_drift").and_then(Value::as_arr).ok_or("missing `cell_drift` array")?;
+    for drift in cell_drift {
+        req_str(drift, "id")?;
+        req_str(drift, "best_git")?;
+        req_u64(drift, "best_ns")?;
+        req_u64(drift, "latest_ns")?;
+        drift
+            .get("pct")
+            .and_then(Value::as_f64)
+            .ok_or("missing or non-numeric `cell_drift.pct`")?;
+    }
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    pub(crate) fn history(entries: Vec<BaselineEntry>) -> History {
+        History { annotations: vec![None; entries.len()], entries }
+    }
 
     pub(crate) fn entry(git: &str, ts: Option<u64>, total_ns: u64) -> BaselineEntry {
         BaselineEntry {
@@ -938,13 +1112,11 @@ mod tests {
     fn cumulative_drift_catches_slow_bleed_under_the_step_threshold() {
         // +20% then +25%: every pairwise step passes a 30% gate, the
         // +50% cumulative drift does not.
-        let history = History {
-            entries: vec![
-                entry("aaa0001", Some(1), 10_000_000),
-                entry("aaa0002", Some(2), 12_000_000),
-                entry("aaa0003", Some(3), 15_000_000),
-            ],
-        };
+        let history = history(vec![
+            entry("aaa0001", Some(1), 10_000_000),
+            entry("aaa0002", Some(2), 12_000_000),
+            entry("aaa0003", Some(3), 15_000_000),
+        ]);
         let step1 = 100.0 * (12.0 - 10.0) / 10.0;
         let step2 = 100.0 * (15.0 - 12.0) / 12.0;
         assert!(step1 < 30.0 && step2 < 30.0);
@@ -962,16 +1134,67 @@ mod tests {
     fn drift_ignores_incomparable_machines_and_improvements() {
         let mut other_machine = entry("aaa0001", Some(1), 10_000_000);
         other_machine.cpus = 64;
-        let history =
-            History { entries: vec![other_machine, entry("aaa0002", Some(2), 20_000_000)] };
+        let history = history(vec![other_machine, entry("aaa0002", Some(2), 20_000_000)]);
         assert!(history.cumulative_drift(30.0, 200_000).is_empty());
-        let improving = History {
-            entries: vec![
-                entry("aaa0001", Some(1), 15_000_000),
-                entry("aaa0002", Some(2), 10_000_000),
-            ],
-        };
+        assert!(history.cell_drift(30.0, 200_000).is_empty());
+        let improving = history_of(&[("aaa0001", 1, 15_000_000), ("aaa0002", 2, 10_000_000)]);
         assert!(improving.cumulative_drift(30.0, 200_000).is_empty());
+        assert!(improving.cell_drift(30.0, 200_000).is_empty());
+    }
+
+    fn history_of(specs: &[(&str, u64, u64)]) -> History {
+        history(specs.iter().map(|(g, ts, ns)| entry(g, Some(*ts), *ns)).collect())
+    }
+
+    #[test]
+    fn cell_drift_catches_a_regression_hidden_by_an_aggregate_improvement() {
+        // The aggregate improves 12ms → 10ms (a "new best" everywhere
+        // the phase gate looks), but one cell regresses +60%: the
+        // other cells got faster and are masking it.
+        let mut old = entry("aaa0001", Some(1), 12_000_000);
+        old.cells = vec![("compress-cf".to_string(), 1_000_000), ("li-dd".to_string(), 11_000_000)];
+        let mut new = entry("aaa0002", Some(2), 10_000_000);
+        new.cells = vec![("compress-cf".to_string(), 1_600_000), ("li-dd".to_string(), 8_400_000)];
+        let history = history(vec![old, new]);
+        assert!(
+            history.cumulative_drift(30.0, 200_000).is_empty(),
+            "the aggregate gate must pass — that's the point"
+        );
+        let drifts = history.cell_drift(30.0, 200_000);
+        assert_eq!(drifts.len(), 1, "{drifts:?}");
+        assert_eq!(drifts[0].phase, "compress-cf");
+        assert_eq!(drifts[0].best_git, "aaa0001");
+        assert!((drifts[0].pct - 60.0).abs() < 1e-9, "{}", drifts[0].pct);
+        // And the trend table's cells section reports the same story.
+        let table = history.trend_table(30.0, 200_000);
+        assert!(table.contains("── cells:"), "{table}");
+        let cell_row = table.lines().find(|l| l.starts_with("compress-cf")).unwrap();
+        assert!(cell_row.contains("DRIFT"), "{cell_row}");
+        let ok_row = table.lines().find(|l| l.starts_with("li-dd")).unwrap();
+        assert!(ok_row.contains("new best"), "{ok_row}");
+    }
+
+    #[test]
+    fn cell_drift_honours_the_noise_floor_and_comparability() {
+        // A sub-floor cell never gates, however large the ratio.
+        let mut old = entry("aaa0001", Some(1), 10_000_000);
+        old.cells = vec![("tiny-cell".to_string(), 1_000)];
+        let mut new = entry("aaa0002", Some(2), 10_000_000);
+        new.cells = vec![("tiny-cell".to_string(), 100_000)];
+        assert!(history(vec![old, new]).cell_drift(30.0, 200_000).is_empty());
+    }
+
+    #[test]
+    fn summary_lines_come_from_the_changelog_tail() {
+        assert_eq!(
+            summary_line("# Changes\n\nPR 1: first\nPR 2: second\n\n"),
+            Some("PR 2: second".to_string())
+        );
+        assert_eq!(summary_line("\n  \n"), None);
+        let long = format!("PR 3: {}", "x".repeat(200));
+        let s = summary_line(&long).unwrap();
+        assert_eq!(s.chars().count(), 121, "120 chars + ellipsis");
+        assert!(s.ends_with('…'));
     }
 
     #[test]
@@ -990,12 +1213,10 @@ mod tests {
 
     #[test]
     fn history_json_round_trips_through_its_validator() {
-        let history = History {
-            entries: vec![
-                entry("aaa0001", Some(1_700_000_000), 10_000_000),
-                entry("aaa0002", None, 12_000_000),
-            ],
-        };
+        let history = history(vec![
+            entry("aaa0001", Some(1_700_000_000), 10_000_000),
+            entry("aaa0002", None, 12_000_000),
+        ]);
         let json = history.to_json(30.0, 200_000);
         let doc = ms_prof::jsonv::parse(&json).expect("history.json parses");
         validate_history(&doc).expect("history.json validates");
@@ -1025,8 +1246,13 @@ mod tests {
         // iterates the latest baseline's phase list.
         let mut e = entry("aaa0002", Some(2), 9_000_000);
         e.phases.push(("weird<&>\"phase".to_string(), 5_000_000));
-        let history = History { entries: vec![entry("aaa0001", Some(1), 10_000_000), e] };
+        let mut history = history(vec![entry("aaa0001", Some(1), 10_000_000), e]);
+        history.annotations[1] = Some("PR 9: sharper <tasks>".to_string());
         let html = history.to_html(30.0, 200_000);
+        assert!(
+            html.contains("PR 9: sharper &lt;tasks&gt;"),
+            "annotation must appear escaped as hover text"
+        );
         assert!(html.starts_with("<!doctype html>"));
         assert!(html.contains("<svg"));
         assert!(html.contains("weird&lt;&amp;&gt;&quot;phase"));

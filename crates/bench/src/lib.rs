@@ -49,6 +49,8 @@ pub mod historycmd;
 pub mod json;
 pub mod microbench;
 pub mod perfcmd;
+pub mod progress;
+pub mod runscmd;
 pub mod sweeps;
 pub mod tracecmd;
 

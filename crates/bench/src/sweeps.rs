@@ -31,8 +31,9 @@ use ms_trace::TraceGenerator;
 use ms_workloads::{by_name, fp_suite, integer_suite};
 
 use crate::error::{closest, BenchError};
-use crate::harness::run_parallel;
+use crate::harness::run_parallel_observed;
 use crate::json::JsonObj;
+use crate::progress::SweepObserver;
 use crate::{pct_change, Heuristic, DEFAULT_SEED, DEFAULT_TRACE_INSTS};
 
 /// Version of the per-cell metrics JSON schema (bump on any field
@@ -314,20 +315,39 @@ pub struct SweepReport {
     pub text: String,
     /// Number of cells simulated.
     pub cells: usize,
+    /// Cell ids in grid order — what the run ledger records one `cell`
+    /// event (and one artifact path) per.
+    pub cell_ids: Vec<String>,
+}
+
+/// Cell ids in grid order, for [`SweepReport::cell_ids`].
+fn cell_ids(results: &[(String, CellJob, CellOutput)]) -> Vec<String> {
+    results.iter().map(|(id, _, _)| id.clone()).collect()
 }
 
 /// Runs a sweep with `jobs` worker threads, writing artifacts under
 /// `out_root` (one directory per sweep).
-pub fn run_sweep(spec: SweepSpec, jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
+///
+/// `obs` receives live scheduler telemetry (cells queued / started /
+/// finished, context-cache warm hits, per-worker busy tallies) and the
+/// per-result heartbeat; pass [`SweepObserver::silent`] when telemetry
+/// is not wanted. Artifacts and the report are byte-identical either
+/// way.
+pub fn run_sweep(
+    spec: SweepSpec,
+    jobs: usize,
+    out_root: &Path,
+    obs: &SweepObserver,
+) -> Result<SweepReport, BenchError> {
     match spec {
-        SweepSpec::Figure5 => figure5(jobs, out_root),
-        SweepSpec::Table1 => table1(jobs, out_root),
-        SweepSpec::Targets => targets(jobs, out_root),
-        SweepSpec::Thresholds => thresholds(jobs, out_root),
-        SweepSpec::Pus => pus(jobs, out_root),
-        SweepSpec::Forwarding => forwarding(jobs, out_root),
-        SweepSpec::Predication => predication(jobs, out_root),
-        SweepSpec::Hardware => hardware(jobs, out_root),
+        SweepSpec::Figure5 => figure5(jobs, out_root, obs),
+        SweepSpec::Table1 => table1(jobs, out_root, obs),
+        SweepSpec::Targets => targets(jobs, out_root, obs),
+        SweepSpec::Thresholds => thresholds(jobs, out_root, obs),
+        SweepSpec::Pus => pus(jobs, out_root, obs),
+        SweepSpec::Forwarding => forwarding(jobs, out_root, obs),
+        SweepSpec::Predication => predication(jobs, out_root, obs),
+        SweepSpec::Hardware => hardware(jobs, out_root, obs),
     }
 }
 
@@ -357,7 +377,9 @@ fn run_cells(
     jobs: usize,
     grid: Vec<(String, CellJob)>,
     out_root: &Path,
+    obs: &SweepObserver,
 ) -> Result<Vec<(String, CellJob, CellOutput)>, BenchError> {
+    obs.sink.add_queued(grid.len() as u64);
     // One context key per distinct pre-selection program, in grid order.
     let mut keys: Vec<(&'static str, Option<usize>)> = Vec::new();
     for (_, job) in &grid {
@@ -392,18 +414,32 @@ fn run_cells(
     };
     let work: Vec<SweepWork> =
         (0..keys.len()).map(SweepWork::Warm).chain((0..grid.len()).map(SweepWork::Cell)).collect();
-    let outputs = run_parallel(jobs, work, |w, _| match *w {
-        SweepWork::Warm(i) => {
-            ctx_of(i);
-            None
-        }
-        SweepWork::Cell(i) => {
-            let (_, job) = &grid[i];
-            let key = (job.bench, job.if_convert_arms);
-            let ki = keys.iter().position(|&k| k == key).expect("cell key is in the pool");
-            Some(job.run_in(ctx_of(ki)))
-        }
-    });
+    let outputs = run_parallel_observed(
+        jobs,
+        work,
+        |w, _| match *w {
+            SweepWork::Warm(i) => {
+                ctx_of(i);
+                None
+            }
+            SweepWork::Cell(i) => {
+                obs.sink.cell_started();
+                let (_, job) = &grid[i];
+                let key = (job.bench, job.if_convert_arms);
+                let ki = keys.iter().position(|&k| k == key).expect("cell key is in the pool");
+                // The pipeline's payoff, counted: did stage 1 (or an
+                // earlier cell) already warm this program's context?
+                if pool[ki].get().is_some() {
+                    obs.sink.warm_hit();
+                }
+                let out = job.run_in(ctx_of(ki));
+                obs.sink.cell_finished();
+                Some(out)
+            }
+        },
+        obs.sink,
+        obs.on_tick,
+    );
     let dir = out_root.join(sweep);
     fs::create_dir_all(&dir)?;
     let mut results = Vec::with_capacity(grid.len());
@@ -441,7 +477,7 @@ fn responds_to_task_size(name: &str) -> bool {
 
 // ---------------------------------------------------------------- sweeps
 
-fn figure5(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
+fn figure5(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let mut grid = Vec::new();
     for in_order in [false, true] {
@@ -472,7 +508,7 @@ fn figure5(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
         }
     }
     let cells = grid.len();
-    let results = run_cells("figure5", jobs, grid, out_root)?;
+    let results = run_cells("figure5", jobs, grid, out_root, obs)?;
 
     let mut text = String::new();
     writeln!(text, "Figure 5 — impact of the compiler heuristics on the SPEC95-shaped suite")
@@ -536,12 +572,12 @@ fn figure5(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
             }
         }
     }
-    let report = SweepReport { name: "figure5", text, cells };
+    let report = SweepReport { name: "figure5", text, cells, cell_ids: cell_ids(&results) };
     write_report(out_root, &report)?;
     Ok(report)
 }
 
-fn table1(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
+fn table1(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let mut grid = Vec::new();
     for w in ms_workloads::suite() {
@@ -552,7 +588,7 @@ fn table1(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
         }
     }
     let cells = grid.len();
-    let results = run_cells("table1", jobs, grid, out_root)?;
+    let results = run_cells("table1", jobs, grid, out_root, obs)?;
 
     let mut text = String::new();
     writeln!(
@@ -613,12 +649,12 @@ fn table1(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
     writeln!(text, " heuristic tasks several times larger; window spans 45-140 int, 250-800 fp;")
         .unwrap();
     writeln!(text, " br%-normalised misprediction well below task%)").unwrap();
-    let report = SweepReport { name: "table1", text, cells };
+    let report = SweepReport { name: "table1", text, cells, cell_ids: cell_ids(&results) };
     write_report(out_root, &report)?;
     Ok(report)
 }
 
-fn targets(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
+fn targets(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["go", "m88ksim", "perl", "hydro2d", "applu"];
     let ns = [2usize, 4, 6, 8];
@@ -631,7 +667,7 @@ fn targets(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
         }
     }
     let cells = grid.len();
-    let results = run_cells("targets", jobs, grid, out_root)?;
+    let results = run_cells("targets", jobs, grid, out_root, obs)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: control-flow heuristic target limit N (4 PUs, out-of-order)")
@@ -648,12 +684,16 @@ fn targets(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
         .unwrap();
     writeln!(text, " targets the predictor cannot represent, so accuracy — and IPC — degrade)")
         .unwrap();
-    let report = SweepReport { name: "targets", text, cells };
+    let report = SweepReport { name: "targets", text, cells, cell_ids: cell_ids(&results) };
     write_report(out_root, &report)?;
     Ok(report)
 }
 
-fn thresholds(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
+fn thresholds(
+    jobs: usize,
+    out_root: &Path,
+    obs: &SweepObserver,
+) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["compress", "fpppp"];
     let threshes = [10.0f64, 30.0, 60.0, 120.0];
@@ -671,7 +711,7 @@ fn thresholds(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
         }
     }
     let cells = grid.len();
-    let results = run_cells("thresholds", jobs, grid, out_root)?;
+    let results = run_cells("thresholds", jobs, grid, out_root, obs)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: CALL_THRESH / LOOP_THRESH sweep (dd tasks + task size, 8 PUs)")
@@ -695,12 +735,12 @@ fn thresholds(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
     writeln!(text, "\n(cells are IPC / mean dynamic task size; the paper picked 30 so that the")
         .unwrap();
     writeln!(text, " ~2-cycle task overheads stay near 6% of task execution time)").unwrap();
-    let report = SweepReport { name: "thresholds", text, cells };
+    let report = SweepReport { name: "thresholds", text, cells, cell_ids: cell_ids(&results) };
     write_report(out_root, &report)?;
     Ok(report)
 }
 
-fn pus(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
+fn pus(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["m88ksim", "perl", "tomcatv", "applu", "wave5"];
     let counts = [1usize, 2, 4, 8, 16];
@@ -714,7 +754,7 @@ fn pus(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
         }
     }
     let cells = grid.len();
-    let results = run_cells("pus", jobs, grid, out_root)?;
+    let results = run_cells("pus", jobs, grid, out_root, obs)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: PU count sweep (data dependence tasks, out-of-order)").unwrap();
@@ -732,12 +772,16 @@ fn pus(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
         }
         writeln!(text, "{row}   {:.2}x", ipc_at(8) / ipc_at(1).max(1e-9)).unwrap();
     }
-    let report = SweepReport { name: "pus", text, cells };
+    let report = SweepReport { name: "pus", text, cells, cell_ids: cell_ids(&results) };
     write_report(out_root, &report)?;
     Ok(report)
 }
 
-fn forwarding(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
+fn forwarding(
+    jobs: usize,
+    out_root: &Path,
+    obs: &SweepObserver,
+) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["m88ksim", "perl", "tomcatv", "applu", "wave5", "go"];
     let mut grid = Vec::new();
@@ -752,7 +796,7 @@ fn forwarding(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
         ));
     }
     let cells = grid.len();
-    let results = run_cells("forwarding", jobs, grid, out_root)?;
+    let results = run_cells("forwarding", jobs, grid, out_root, obs)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: dead register analysis for ring forwards (dd tasks, 8 PUs)").unwrap();
@@ -779,12 +823,16 @@ fn forwarding(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
     }
     writeln!(text, "\n(dead register analysis must never forward MORE values than naive").unwrap();
     writeln!(text, " forwarding; the IPC gain comes from freed ring bandwidth)").unwrap();
-    let report = SweepReport { name: "forwarding", text, cells };
+    let report = SweepReport { name: "forwarding", text, cells, cell_ids: cell_ids(&results) };
     write_report(out_root, &report)?;
     Ok(report)
 }
 
-fn predication(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
+fn predication(
+    jobs: usize,
+    out_root: &Path,
+    obs: &SweepObserver,
+) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["go", "gcc", "li", "perl", "vortex", "hydro2d"];
     let variants: [(&str, Option<usize>); 3] =
@@ -799,7 +847,7 @@ fn predication(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> 
         }
     }
     let cells = grid.len();
-    let results = run_cells("predication", jobs, grid, out_root)?;
+    let results = run_cells("predication", jobs, grid, out_root, obs)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: if-conversion before task selection (cf tasks, 4 PUs)").unwrap();
@@ -829,12 +877,12 @@ fn predication(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> 
         .unwrap();
     writeln!(text, " and unpredictable, and costs instructions where they were predictable)")
         .unwrap();
-    let report = SweepReport { name: "predication", text, cells };
+    let report = SweepReport { name: "predication", text, cells, cell_ids: cell_ids(&results) };
     write_report(out_root, &report)?;
     Ok(report)
 }
 
-fn hardware(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
+fn hardware(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let bw_benches = ["m88ksim", "go", "applu", "wave5"];
     let bws = [1u32, 2, 4, 8];
@@ -881,7 +929,7 @@ fn hardware(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
         }
     }
     let cells = grid.len();
-    let results = run_cells("hardware", jobs, grid, out_root)?;
+    let results = run_cells("hardware", jobs, grid, out_root, obs)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: ring bandwidth (values/cycle/link, paper: 2), 8 PUs, IPC").unwrap();
@@ -927,7 +975,7 @@ fn hardware(jobs: usize, out_root: &Path) -> Result<SweepReport, BenchError> {
         .unwrap();
     writeln!(text, " table conflicting loads squash repeatedly, as Moshovos et al. showed)")
         .unwrap();
-    let report = SweepReport { name: "hardware", text, cells };
+    let report = SweepReport { name: "hardware", text, cells, cell_ids: cell_ids(&results) };
     write_report(out_root, &report)?;
     Ok(report)
 }

@@ -5,6 +5,7 @@
 //! a whole sweep's artifacts must not depend on `--jobs`.
 
 use ms_analysis::ProgramContext;
+use ms_bench::progress::SweepObserver;
 use ms_bench::sweeps::{cell_json, run_sweep, CellJob, SweepSpec};
 use ms_bench::Heuristic;
 
@@ -58,8 +59,9 @@ fn if_converted_cells_use_their_own_context() {
 fn sweep_artifacts_are_bit_identical_across_jobs() {
     let root1 = tempdir("ctx-equiv-j1");
     let root4 = tempdir("ctx-equiv-j4");
-    run_sweep(SweepSpec::Targets, 1, &root1).expect("serial sweep runs");
-    run_sweep(SweepSpec::Targets, 4, &root4).expect("parallel sweep runs");
+    run_sweep(SweepSpec::Targets, 1, &root1, &SweepObserver::silent()).expect("serial sweep runs");
+    run_sweep(SweepSpec::Targets, 4, &root4, &SweepObserver::silent())
+        .expect("parallel sweep runs");
 
     let files1 = artifact_files(&root1);
     let files4 = artifact_files(&root4);

@@ -60,7 +60,15 @@ fn tmp_dir(tag: &str) -> PathBuf {
 }
 
 fn run_bin(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_run")).args(args).output().expect("spawn run binary")
+    // Route the invocation's run record into the scratch area: without
+    // this the ledger would land in target/experiments/runs relative to
+    // the test's cwd, polluting the crate directory.
+    let runs = std::env::temp_dir().join(format!("ms-history-runs-{}", std::process::id()));
+    Command::new(env!("CARGO_BIN_EXE_run"))
+        .env("MS_RUNS_DIR", &runs)
+        .args(args)
+        .output()
+        .expect("spawn run binary")
 }
 
 fn path_str(p: &Path) -> &str {
@@ -171,6 +179,7 @@ fn trend_table_is_golden() {
             entry("bbb0002", 1_754_611_200, 9_000_000, 7_000_000),
             entry("ccc0003", 1_755_216_000, 13_000_000, 10_500_000),
         ],
+        annotations: vec![None, None, None],
     };
     let got = history.trend_table(30.0, 200_000);
 

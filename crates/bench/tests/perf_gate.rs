@@ -62,7 +62,15 @@ fn speed_up_tenfold(v: &mut Value) {
 }
 
 fn run_bin(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_run")).args(args).output().expect("spawn run binary")
+    // Route the invocation's run record into the scratch area: without
+    // this the ledger would land in target/experiments/runs relative to
+    // the test's cwd, polluting the crate directory.
+    let runs = std::env::temp_dir().join(format!("ms-perf-gate-runs-{}", std::process::id()));
+    Command::new(env!("CARGO_BIN_EXE_run"))
+        .env("MS_RUNS_DIR", &runs)
+        .args(args)
+        .output()
+        .expect("spawn run binary")
 }
 
 fn tmp_dir(tag: &str) -> PathBuf {

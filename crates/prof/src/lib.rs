@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod jsonv;
+pub mod ledger;
 mod profiler;
 mod report;
 

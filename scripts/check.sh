@@ -14,9 +14,10 @@
 # 5. public-API snapshot: every `pub` declaration must match
 #    tests/api_snapshot.txt (MS_BLESS=1 to re-bless deliberately),
 # 6. docs gate: the metric tables in EXPERIMENTS.md / docs/METRICS.md /
-#    docs/PROFILING.md / docs/PERF-HISTORY.md must only name fields that
-#    still exist in the source; every relative markdown link must
-#    resolve; every docs/*.md must be routed from docs/INDEX.md,
+#    docs/PROFILING.md / docs/PERF-HISTORY.md / docs/OBSERVABILITY.md
+#    must only name fields that still exist in the source; every
+#    relative markdown link must resolve; every docs/*.md must be
+#    routed from docs/INDEX.md,
 # 7. perf gate: `run -- perf --baseline best` measures the canonical
 #    cells and fails on any phase regressing beyond the threshold
 #    against the best-ever committed BENCH_*.json that matches this
@@ -36,7 +37,11 @@
 #    drift vs best-ever (MS_PERF_ACCEPT_REGRESSION=1 reports instead),
 # 9. conformance fuzz smoke: 25 random programs x every registered
 #    selection policy must match the sequential reference model
-#    (docs/CONFORMANCE.md).
+#    (docs/CONFORMANCE.md),
+# 10. run-ledger smoke: a small sweep must leave a run record that
+#    passes `run -- runs-validate` and shows up in `run -- runs`;
+#    target/experiments/runs/ is pruned to the newest 50 records
+#    (docs/OBSERVABILITY.md).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -62,10 +67,12 @@ echo "==> docs gate (metric tables vs. source)"
 # metric docs must appear somewhere in the crates' source: a renamed or
 # removed counter/field must take its documentation row with it.
 docs_fail=0
-for doc in EXPERIMENTS.md docs/METRICS.md docs/TRACING.md docs/PROFILING.md docs/PERF-HISTORY.md; do
+for doc in EXPERIMENTS.md docs/METRICS.md docs/TRACING.md docs/PROFILING.md \
+           docs/PERF-HISTORY.md docs/OBSERVABILITY.md; do
     [ -f "$doc" ] || { echo "missing $doc"; docs_fail=1; continue; }
 done
-for doc in EXPERIMENTS.md docs/METRICS.md docs/PROFILING.md docs/PERF-HISTORY.md; do
+for doc in EXPERIMENTS.md docs/METRICS.md docs/PROFILING.md docs/PERF-HISTORY.md \
+           docs/OBSERVABILITY.md; do
     fields=$(grep -o '^| `[a-z][a-z0-9_]*`' "$doc" | sed 's/^| `//; s/`$//' | sort -u)
     for f in $fields; do
         if ! grep -rq "$f" crates/*/src; then
@@ -154,5 +161,31 @@ echo "==> conformance fuzz smoke (run -- fuzz --seeds 25)"
 # Differential check: engine vs the sequential reference model on random
 # programs under every selection policy; failures shrink to .msir repros.
 cargo run -p ms-bench --release --bin run -q -- fuzz --seeds 25 --out target/fuzz-smoke
+
+echo "==> run-ledger smoke (run -- runs, docs/OBSERVABILITY.md)"
+# The perf/perf-history/fuzz steps above each left a run record; add the
+# cheapest sweep so the sweep scheduler's telemetry path is exercised
+# too, then assert the ledger round-trips: every record validates and
+# the listing surfaces the sweep we just ran.
+cargo run -p ms-bench --release --bin run -q -- forwarding --jobs 2 --out target/ledger-smoke
+cargo run -p ms-bench --release --bin run -q -- runs-validate
+# Filter by command: record ids have one-second resolution, and several
+# smoke steps can finish inside the same second.
+runs_listing=$(cargo run -p ms-bench --release --bin run -q -- runs --cmd forwarding --last 1)
+echo "$runs_listing" | grep -q "forwarding" \
+    || { echo "runs --cmd forwarding does not show the sweep just run"; exit 1; }
+cargo run -p ms-bench --release --bin run -q -- runs --cmd perf --last 3
+# Keep the ledger bounded: newest 50 records, oldest pruned (the
+# UTC-stamp filename prefix makes lexicographic order chronological).
+runs_dir=target/experiments/runs
+if [ -d "$runs_dir" ]; then
+    total=$(ls "$runs_dir"/*.jsonl 2>/dev/null | wc -l)
+    if [ "$total" -gt 50 ]; then
+        ls "$runs_dir"/*.jsonl | sort | head -n "$((total - 50))" | while IFS= read -r old; do
+            rm -f "$old"
+        done
+        echo "    (pruned $((total - 50)) old run record(s), keeping the newest 50)"
+    fi
+fi
 
 echo "All checks passed."
