@@ -1,0 +1,535 @@
+//! The typed sweep-execution API: one request/result vocabulary shared
+//! by the one-shot CLI path and the service daemon's wire protocol.
+//!
+//! Historically the driver's JSON shapes grew ad hoc — per-cell
+//! artifacts in [`crate::sweeps`], run records in `ms_prof::ledger`,
+//! and any future wire protocol would have invented a third dialect.
+//! This module is the single source of truth for *requests* and
+//! *results in flight*:
+//!
+//! * [`SweepRequest`] — what to run (sweep names + worker count). The
+//!   one-shot `run -- <sweep>` path and the daemon's `submit` verb both
+//!   construct one and resolve it through [`SweepRequest::resolve`].
+//! * [`CellResult`] — one finished cell: its artifact JSON (exactly the
+//!   bytes the one-shot path writes to disk) plus whether the
+//!   content-addressed cache served it.
+//! * [`JobStatus`] / [`JobState`] — a submitted job's lifecycle.
+//! * [`Request`] / [`JobEvent`] — the newline-delimited JSON wire
+//!   protocol: one [`Request`] line client→server, a stream of
+//!   [`JobEvent`] lines back (see `docs/SERVICE.md`).
+//!
+//! Every wire line carries `"api_version"`; decoding rejects versions
+//! this build does not speak. Encoding is hand-rolled on
+//! [`crate::json::JsonObj`] (insertion-ordered, byte-stable), decoding
+//! on `ms_prof::jsonv` — the repository's in-tree JSON, no serde.
+
+use ms_prof::jsonv::{self, Value};
+
+use crate::error::BenchError;
+use crate::json::{escape, JsonObj};
+use crate::sweeps::SweepSpec;
+
+/// Version of the request/event wire schema (bump on any field
+/// change; documented in `docs/SERVICE.md`).
+pub const API_SCHEMA_VERSION: u32 = 1;
+
+/// What to run: a validated-on-resolve list of sweep names and an
+/// optional worker-count override. Both execution paths — `run --
+/// <sweep>` in-process and `run -- submit` over the socket — build one
+/// of these and hand it to the same executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRequest {
+    /// Sweep names, in execution order (see
+    /// [`crate::sweeps::SWEEP_NAMES`]).
+    pub sweeps: Vec<String>,
+    /// Worker threads; `None` lets the executor pick its default.
+    pub jobs: Option<usize>,
+}
+
+impl SweepRequest {
+    /// Resolves every requested name to its [`SweepSpec`], with
+    /// nearest-match suggestions on unknown names.
+    pub fn resolve(&self) -> Result<Vec<SweepSpec>, BenchError> {
+        if self.sweeps.is_empty() {
+            return Err(BenchError::Usage("a sweep request needs at least one sweep".into()));
+        }
+        self.sweeps.iter().map(|name| SweepSpec::parse(name)).collect()
+    }
+
+    fn fields(&self, o: &mut JsonObj) {
+        o.raw("sweeps", &str_array(&self.sweeps));
+        if let Some(j) = self.jobs {
+            o.num_u64("jobs", j as u64);
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<SweepRequest, String> {
+        let sweeps = v
+            .get("sweeps")
+            .and_then(Value::as_arr)
+            .ok_or("submit: missing `sweeps` array")?
+            .iter()
+            .map(|s| {
+                s.as_str().map(str::to_string).ok_or("submit: non-string sweep name".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let jobs = v.get("jobs").map(|j| {
+            j.as_u64().map(|j| j as usize).ok_or("submit: non-integer `jobs`".to_string())
+        });
+        Ok(SweepRequest { sweeps, jobs: jobs.transpose()? })
+    }
+}
+
+/// One client→server line of the wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Enqueue a job; the server streams that job's [`JobEvent`]s back
+    /// on the same connection until [`JobEvent::Done`].
+    Submit(SweepRequest),
+    /// List every job the daemon knows, answered by [`JobEvent::Jobs`].
+    Jobs,
+    /// One job's current [`JobStatus`], answered by [`JobEvent::Jobs`]
+    /// with a single entry.
+    Status {
+        /// The job id ([`JobStatus::id`]).
+        job: String,
+    },
+    /// Liveness probe, answered by [`JobEvent::Pong`].
+    Ping,
+    /// Drain the queue and exit, answered by [`JobEvent::Ok`].
+    Shutdown,
+}
+
+impl Request {
+    /// The request as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.num_u64("api_version", API_SCHEMA_VERSION as u64);
+        match self {
+            Request::Submit(req) => {
+                o.str("type", "submit");
+                req.fields(&mut o);
+            }
+            Request::Jobs => {
+                o.str("type", "jobs");
+            }
+            Request::Status { job } => {
+                o.str("type", "status").str("job", job);
+            }
+            Request::Ping => {
+                o.str("type", "ping");
+            }
+            Request::Shutdown => {
+                o.str("type", "shutdown");
+            }
+        }
+        o.finish()
+    }
+
+    /// Parses one request line, checking the api version.
+    pub fn from_json(line: &str) -> Result<Request, String> {
+        let v = jsonv::parse(line)?;
+        check_version(&v)?;
+        match v.get("type").and_then(Value::as_str) {
+            Some("submit") => Ok(Request::Submit(SweepRequest::from_value(&v)?)),
+            Some("jobs") => Ok(Request::Jobs),
+            Some("status") => Ok(Request::Status {
+                job: v
+                    .get("job")
+                    .and_then(Value::as_str)
+                    .ok_or("status: missing `job`")?
+                    .to_string(),
+            }),
+            Some("ping") => Ok(Request::Ping),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some(other) => Err(format!("unknown request type `{other}`")),
+            None => Err("missing `type`".to_string()),
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for the dispatcher.
+    Queued,
+    /// Executing on the worker pool.
+    Running,
+    /// Every sweep finished; artifacts and run record written.
+    Done,
+    /// A sweep failed; the run record closed with a failure outcome.
+    Failed,
+}
+
+impl JobState {
+    /// The wire label (`queued` / `running` / `done` / `failed`).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Result<JobState, String> {
+        match s {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "done" => Ok(JobState::Done),
+            "failed" => Ok(JobState::Failed),
+            other => Err(format!("unknown job state `{other}`")),
+        }
+    }
+}
+
+/// A submitted job's lifecycle snapshot, as the `jobs` / `status`
+/// verbs report it and as [`JobEvent::Done`] finalises it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Server-assigned id (`job-1`, `job-2`, …).
+    pub id: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// The requested sweep names.
+    pub sweeps: Vec<String>,
+    /// Cells finished so far (cache hits included).
+    pub cells_done: u64,
+    /// Cells served whole from the content-addressed cell cache.
+    pub cache_hits: u64,
+    /// Cells that missed the cache and were simulated.
+    pub cache_misses: u64,
+    /// Directory the job's artifacts land under.
+    pub artifacts_root: String,
+}
+
+impl JobStatus {
+    /// The status as a JSON object (no `api_version`; events embed it).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("id", &self.id)
+            .str("state", self.state.label())
+            .raw("sweeps", &str_array(&self.sweeps))
+            .num_u64("cells_done", self.cells_done)
+            .num_u64("cache_hits", self.cache_hits)
+            .num_u64("cache_misses", self.cache_misses)
+            .str("artifacts_root", &self.artifacts_root);
+        o.finish()
+    }
+
+    fn from_value(v: &Value) -> Result<JobStatus, String> {
+        let field = |k: &str| v.get(k).and_then(Value::as_u64).ok_or(format!("job: missing `{k}`"));
+        Ok(JobStatus {
+            id: v.get("id").and_then(Value::as_str).ok_or("job: missing `id`")?.to_string(),
+            state: JobState::parse(
+                v.get("state").and_then(Value::as_str).ok_or("job: missing `state`")?,
+            )?,
+            sweeps: v
+                .get("sweeps")
+                .and_then(Value::as_arr)
+                .ok_or("job: missing `sweeps`")?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string).ok_or("job: non-string sweep".to_string()))
+                .collect::<Result<Vec<_>, _>>()?,
+            cells_done: field("cells_done")?,
+            cache_hits: field("cache_hits")?,
+            cache_misses: field("cache_misses")?,
+            artifacts_root: v
+                .get("artifacts_root")
+                .and_then(Value::as_str)
+                .ok_or("job: missing `artifacts_root`")?
+                .to_string(),
+        })
+    }
+}
+
+/// One finished cell, as both execution paths see it: the artifact is
+/// *exactly* the schema-versioned JSON the one-shot CLI writes to
+/// `<out>/<sweep>/<cell>.json` (single line, no trailing newline), so
+/// a wire consumer and a disk consumer parse one shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellResult {
+    /// The sweep the cell belongs to.
+    pub sweep: String,
+    /// The cell id within the sweep.
+    pub cell: String,
+    /// Whether the content-addressed cache served the cell (no
+    /// simulation ran).
+    pub cached: bool,
+    /// The cell's artifact JSON ([`crate::sweeps::cell_json`] output).
+    pub artifact: String,
+}
+
+/// One server→client line of the wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobEvent {
+    /// The job is on the queue.
+    Accepted {
+        /// The assigned job id.
+        job: String,
+        /// Jobs ahead of it (0 = next to run).
+        queue_depth: u64,
+    },
+    /// One sweep of the job began executing.
+    SweepStarted {
+        /// The owning job id.
+        job: String,
+        /// The sweep name.
+        sweep: String,
+    },
+    /// One cell finished (streamed in grid order per sweep).
+    Cell {
+        /// The owning job id.
+        job: String,
+        /// The finished cell.
+        result: CellResult,
+    },
+    /// One sweep of the job finished.
+    SweepDone {
+        /// The owning job id.
+        job: String,
+        /// The sweep name.
+        sweep: String,
+        /// Cells the sweep ran.
+        cells: u64,
+        /// Cells served from the cell cache.
+        cache_hits: u64,
+        /// Cells simulated.
+        cache_misses: u64,
+    },
+    /// The job finished (terminal event of a `submit` stream).
+    Done {
+        /// The final status (`Done` or `Failed`).
+        status: JobStatus,
+    },
+    /// Answer to `jobs` / `status`.
+    Jobs {
+        /// Every requested job, submission order.
+        jobs: Vec<JobStatus>,
+    },
+    /// A request-level failure (bad request, unknown job, …). Terminal
+    /// for the connection's current request.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Answer to `ping`.
+    Pong,
+    /// Acknowledgement (currently only for `shutdown`).
+    Ok,
+}
+
+impl JobEvent {
+    /// The event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.num_u64("api_version", API_SCHEMA_VERSION as u64);
+        match self {
+            JobEvent::Accepted { job, queue_depth } => {
+                o.str("event", "accepted").str("job", job).num_u64("queue_depth", *queue_depth);
+            }
+            JobEvent::SweepStarted { job, sweep } => {
+                o.str("event", "sweep_started").str("job", job).str("sweep", sweep);
+            }
+            JobEvent::Cell { job, result } => {
+                o.str("event", "cell")
+                    .str("job", job)
+                    .str("sweep", &result.sweep)
+                    .str("cell", &result.cell)
+                    .bool("cached", result.cached)
+                    .raw("artifact", &result.artifact);
+            }
+            JobEvent::SweepDone { job, sweep, cells, cache_hits, cache_misses } => {
+                o.str("event", "sweep_done")
+                    .str("job", job)
+                    .str("sweep", sweep)
+                    .num_u64("cells", *cells)
+                    .num_u64("cache_hits", *cache_hits)
+                    .num_u64("cache_misses", *cache_misses);
+            }
+            JobEvent::Done { status } => {
+                o.str("event", "done").raw("job", &status.to_json());
+            }
+            JobEvent::Jobs { jobs } => {
+                let list: Vec<String> = jobs.iter().map(JobStatus::to_json).collect();
+                o.str("event", "jobs").raw("jobs", &format!("[{}]", list.join(",")));
+            }
+            JobEvent::Error { message } => {
+                o.str("event", "error").str("message", message);
+            }
+            JobEvent::Pong => {
+                o.str("event", "pong");
+            }
+            JobEvent::Ok => {
+                o.str("event", "ok");
+            }
+        }
+        o.finish()
+    }
+
+    /// Parses one event line, checking the api version.
+    pub fn from_json(line: &str) -> Result<JobEvent, String> {
+        let v = jsonv::parse(line)?;
+        check_version(&v)?;
+        let job = || -> Result<String, String> {
+            Ok(v.get("job").and_then(Value::as_str).ok_or("event: missing `job`")?.to_string())
+        };
+        match v.get("event").and_then(Value::as_str) {
+            Some("accepted") => Ok(JobEvent::Accepted {
+                job: job()?,
+                queue_depth: v
+                    .get("queue_depth")
+                    .and_then(Value::as_u64)
+                    .ok_or("accepted: missing `queue_depth`")?,
+            }),
+            Some("sweep_started") => {
+                Ok(JobEvent::SweepStarted { job: job()?, sweep: req_str(&v, "sweep")? })
+            }
+            Some("cell") => Ok(JobEvent::Cell {
+                job: job()?,
+                result: CellResult {
+                    sweep: req_str(&v, "sweep")?,
+                    cell: req_str(&v, "cell")?,
+                    cached: matches!(v.get("cached"), Some(Value::Bool(true))),
+                    artifact: v.get("artifact").ok_or("cell: missing `artifact`")?.to_json(),
+                },
+            }),
+            Some("sweep_done") => Ok(JobEvent::SweepDone {
+                job: job()?,
+                sweep: req_str(&v, "sweep")?,
+                cells: req_u64(&v, "cells")?,
+                cache_hits: req_u64(&v, "cache_hits")?,
+                cache_misses: req_u64(&v, "cache_misses")?,
+            }),
+            Some("done") => Ok(JobEvent::Done {
+                status: JobStatus::from_value(v.get("job").ok_or("done: missing `job`")?)?,
+            }),
+            Some("jobs") => Ok(JobEvent::Jobs {
+                jobs: v
+                    .get("jobs")
+                    .and_then(Value::as_arr)
+                    .ok_or("jobs: missing `jobs` array")?
+                    .iter()
+                    .map(JobStatus::from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            Some("error") => Ok(JobEvent::Error { message: req_str(&v, "message")? }),
+            Some("pong") => Ok(JobEvent::Pong),
+            Some("ok") => Ok(JobEvent::Ok),
+            Some(other) => Err(format!("unknown event `{other}`")),
+            None => Err("missing `event`".to_string()),
+        }
+    }
+}
+
+fn check_version(v: &Value) -> Result<(), String> {
+    match v.get("api_version").and_then(Value::as_u64) {
+        Some(ver) if ver == API_SCHEMA_VERSION as u64 => Ok(()),
+        Some(ver) => Err(format!("api_version {ver} (this build speaks v{API_SCHEMA_VERSION})")),
+        None => Err("missing `api_version`".to_string()),
+    }
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key).and_then(Value::as_str).map(str::to_string).ok_or(format!("missing `{key}`"))
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or(format!("missing `{key}`"))
+}
+
+fn str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    format!("[{}]", cells.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status() -> JobStatus {
+        JobStatus {
+            id: "job-3".to_string(),
+            state: JobState::Done,
+            sweeps: vec!["forwarding".to_string(), "targets".to_string()],
+            cells_done: 32,
+            cache_hits: 12,
+            cache_misses: 20,
+            artifacts_root: "target/experiments/serve/job-3".to_string(),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Submit(SweepRequest { sweeps: vec!["forwarding".to_string()], jobs: Some(4) }),
+            Request::Submit(SweepRequest { sweeps: vec!["pus".to_string()], jobs: None }),
+            Request::Jobs,
+            Request::Status { job: "job-1".to_string() },
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.to_json();
+            assert!(line.contains(&format!("\"api_version\":{API_SCHEMA_VERSION}")), "{line}");
+            assert_eq!(Request::from_json(&line).expect("round trip"), req);
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let events = [
+            JobEvent::Accepted { job: "job-1".to_string(), queue_depth: 2 },
+            JobEvent::SweepStarted { job: "job-1".to_string(), sweep: "forwarding".to_string() },
+            JobEvent::Cell {
+                job: "job-1".to_string(),
+                result: CellResult {
+                    sweep: "forwarding".to_string(),
+                    cell: "go-dead".to_string(),
+                    cached: true,
+                    artifact: "{\"schema_version\":1,\"cell\":\"go-dead\"}".to_string(),
+                },
+            },
+            JobEvent::SweepDone {
+                job: "job-1".to_string(),
+                sweep: "forwarding".to_string(),
+                cells: 12,
+                cache_hits: 12,
+                cache_misses: 0,
+            },
+            JobEvent::Done { status: status() },
+            JobEvent::Jobs { jobs: vec![status()] },
+            JobEvent::Error { message: "unknown sweep `figur5`".to_string() },
+            JobEvent::Pong,
+            JobEvent::Ok,
+        ];
+        for ev in events {
+            let line = ev.to_json();
+            assert_eq!(JobEvent::from_json(&line).expect("round trip"), ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn version_mismatches_are_rejected() {
+        let line = Request::Ping
+            .to_json()
+            .replace(&format!("\"api_version\":{API_SCHEMA_VERSION}"), "\"api_version\":99");
+        assert!(Request::from_json(&line).unwrap_err().contains("api_version 99"));
+        assert!(JobEvent::from_json("{\"event\":\"pong\"}")
+            .unwrap_err()
+            .contains("missing `api_version`"));
+    }
+
+    #[test]
+    fn requests_resolve_through_the_sweep_registry() {
+        let req =
+            SweepRequest { sweeps: vec!["forwarding".to_string(), "pus".to_string()], jobs: None };
+        let specs = req.resolve().expect("known names resolve");
+        assert_eq!(specs, vec![SweepSpec::Forwarding, SweepSpec::Pus]);
+
+        let bad = SweepRequest { sweeps: vec!["figur5".to_string()], jobs: None };
+        let err = bad.resolve().unwrap_err().to_string();
+        assert!(err.contains("figure5"), "nearest-match suggestion survives the api: {err}");
+        assert!(SweepRequest { sweeps: vec![], jobs: None }.resolve().is_err());
+    }
+}

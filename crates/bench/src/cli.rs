@@ -1,15 +1,19 @@
-//! The one flag parser every `run` subcommand shares, plus `run --
-//! help`.
+//! The one declarative CLI every `run` subcommand shares.
 //!
 //! Historically the sweep, trace and single-run paths each interpreted
-//! their flags inline; this module owns the complete flag vocabulary
-//! (`--out` / `--jobs` included) so every subcommand accepts the same
-//! spellings, and renders the help text that names each subcommand with
-//! the schema version of the artifact it writes.
+//! their flags inline; later a shared parser owned the vocabulary but
+//! still spelled every flag twice (once in the `match`, once in the
+//! hand-written help). This module finishes the unification: the
+//! complete flag vocabulary is one table of [`FlagSpec`]s (spelling,
+//! metavar, help group, default, apply function) and the subcommand
+//! registry is one table of [`SubcommandSpec`]s — the parser, `run --
+//! help`, and the nearest-match suggestions are all generated from
+//! them, so a flag or subcommand can never exist without appearing in
+//! the help (pinned by `tests/cli_golden.rs`).
 
 use std::path::PathBuf;
 
-use crate::error::BenchError;
+use crate::error::{closest, BenchError};
 use crate::perfcmd::{DEFAULT_MAX_REGRESS_PCT, DEFAULT_NOISE_FLOOR_NS, DEFAULT_PERF_REPS};
 use crate::sweeps::SWEEP_NAMES;
 use crate::Heuristic;
@@ -83,6 +87,13 @@ pub struct Flags {
     pub last: usize,
     /// `--cmd NAME`: filter `runs` to one subcommand's records.
     pub cmd_filter: Option<String>,
+    /// `--socket PATH`: where the service daemon listens / where the
+    /// client subcommands connect (default `<out>/serve.sock`).
+    pub socket: Option<PathBuf>,
+    /// `--cache-dir DIR`: the content-addressed cell cache. `serve`
+    /// defaults to `<out>/cellcache`; one-shot sweeps run uncached
+    /// unless this is given.
+    pub cache_dir: Option<PathBuf>,
 }
 
 /// Default fuzz cases per `run -- fuzz` sweep.
@@ -116,217 +127,689 @@ impl Default for Flags {
             quiet: false,
             last: 20,
             cmd_filter: None,
+            socket: None,
+            cache_dir: None,
         }
     }
 }
 
+// ----------------------------------------------------------- flag table
+
+/// Which `run -- help` section a flag renders under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagGroup {
+    /// Accepted by every subcommand.
+    Shared,
+    /// Ad-hoc single runs (`run -- <benchmark>`).
+    SingleRun,
+    /// `perf` / `perf-history` and their regression gates.
+    Perf,
+    /// The differential conformance fuzz loop.
+    Fuzz,
+    /// The heuristic-vs-oracle gap table.
+    Gap,
+    /// The run-ledger queries.
+    Runs,
+    /// The sweep service daemon and its clients.
+    Serve,
+}
+
+impl FlagGroup {
+    fn title(self) -> &'static str {
+        match self {
+            FlagGroup::Shared => "shared flags",
+            FlagGroup::SingleRun => "single-run flags",
+            FlagGroup::Perf => "perf / perf-history flags",
+            FlagGroup::Fuzz => "fuzz flags",
+            FlagGroup::Gap => "gap flags",
+            FlagGroup::Runs => "runs flags",
+            FlagGroup::Serve => "serve / submit / jobs / shutdown flags",
+        }
+    }
+
+    const ORDER: [FlagGroup; 7] = [
+        FlagGroup::Shared,
+        FlagGroup::SingleRun,
+        FlagGroup::Perf,
+        FlagGroup::Fuzz,
+        FlagGroup::Gap,
+        FlagGroup::Runs,
+        FlagGroup::Serve,
+    ];
+}
+
+/// How a flag consumes arguments and lands in [`Flags`].
+enum Apply {
+    /// A bare switch.
+    Switch(fn(&mut Flags)),
+    /// Consumes the following argument as the flag's value.
+    Value(fn(&mut Flags, String) -> Result<(), BenchError>),
+}
+
+/// One flag the parser accepts — spelling, value metavar (`None` for a
+/// bare switch), help group and line, optional rendered default, and
+/// the function that applies it. The parser and `help_text` both read
+/// [`FLAGS`], so the vocabulary cannot drift from its documentation.
+pub struct FlagSpec {
+    /// The flag's spelling, `--` included.
+    pub name: &'static str,
+    /// Value metavar (`DIR`, `N`, …); `None` for a bare switch.
+    pub metavar: Option<&'static str>,
+    /// The help section the flag renders under.
+    pub group: FlagGroup,
+    /// One help line.
+    pub help: &'static str,
+    /// Rendered as ` (default …)` in the help, computed because some
+    /// defaults are runtime values (core count) or library constants.
+    pub default: Option<fn() -> String>,
+    apply: Apply,
+}
+
+fn p<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, BenchError>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse().map_err(|e| BenchError::Usage(format!("{name}: {e}")))
+}
+
+fn at_least_one(name: &str, v: u64) -> Result<(), BenchError> {
+    if v == 0 {
+        return Err(BenchError::Usage(format!("{name} must be at least 1")));
+    }
+    Ok(())
+}
+
+/// The complete flag vocabulary, in help order within each group.
+pub static FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--out",
+        metavar: Some("DIR"),
+        group: FlagGroup::Shared,
+        help: "artifact root directory",
+        default: Some(|| "target/experiments".to_string()),
+        apply: Apply::Value(|f, v| {
+            f.out = PathBuf::from(v);
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--jobs",
+        metavar: Some("N"),
+        group: FlagGroup::Shared,
+        help: "worker threads for sweeps and fuzzing",
+        default: Some(|| "available cores".to_string()),
+        apply: Apply::Value(|f, v| {
+            f.jobs = p("--jobs", &v)?;
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--quiet",
+        metavar: None,
+        group: FlagGroup::Shared,
+        help: "no live progress line (MS_NO_PROGRESS=1 equivalent)",
+        default: None,
+        apply: Apply::Switch(|f| f.quiet = true),
+    },
+    FlagSpec {
+        name: "--strategy",
+        metavar: Some("NAME"),
+        group: FlagGroup::SingleRun,
+        help: "selection policy: bb|cf|dd|ts|cost|oracle (see `run -- policies`)",
+        default: Some(|| "cf".to_string()),
+        apply: Apply::Value(|f, v| {
+            f.strategy = match v.as_str() {
+                "bb" => Heuristic::BasicBlock,
+                "cf" => Heuristic::ControlFlow,
+                "dd" => Heuristic::DataDependence,
+                "ts" => Heuristic::TaskSize,
+                "cost" => Heuristic::Cost,
+                "oracle" => Heuristic::Oracle,
+                other => {
+                    let names: Vec<&'static str> =
+                        Heuristic::extended().iter().map(|h| h.label()).collect();
+                    let hint = closest(other, &names)
+                        .map(|s| format!(" (did you mean `{s}`?)"))
+                        .unwrap_or_default();
+                    return Err(BenchError::Usage(format!(
+                        "unknown strategy `{other}`{hint}; see `run -- policies`"
+                    )));
+                }
+            };
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--pus",
+        metavar: Some("N"),
+        group: FlagGroup::SingleRun,
+        help: "processing units",
+        default: Some(|| "4".to_string()),
+        apply: Apply::Value(|f, v| {
+            f.pus = p("--pus", &v)?;
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--in-order",
+        metavar: None,
+        group: FlagGroup::SingleRun,
+        help: "in-order PU pipelines (default out-of-order)",
+        default: None,
+        apply: Apply::Switch(|f| f.in_order = true),
+    },
+    FlagSpec {
+        name: "--insts",
+        metavar: Some("N"),
+        group: FlagGroup::SingleRun,
+        help: "dynamic instruction budget",
+        default: Some(|| "per-subcommand".to_string()),
+        apply: Apply::Value(|f, v| {
+            f.insts = Some(p("--insts", &v)?);
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--seed",
+        metavar: Some("N"),
+        group: FlagGroup::SingleRun,
+        help: "trace seed (fuzz: base seed)",
+        default: Some(|| format!("{:#x}", crate::DEFAULT_SEED)),
+        apply: Apply::Value(|f, v| {
+            f.seed = p("--seed", &v)?;
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--targets",
+        metavar: Some("N"),
+        group: FlagGroup::SingleRun,
+        help: "heuristic target limit",
+        default: Some(|| "4".to_string()),
+        apply: Apply::Value(|f, v| {
+            f.targets = p("--targets", &v)?;
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--no-dead-reg",
+        metavar: None,
+        group: FlagGroup::SingleRun,
+        help: "naive ring forwarding (disable dead register analysis)",
+        default: None,
+        apply: Apply::Switch(|f| f.dead_reg = false),
+    },
+    FlagSpec {
+        name: "--json",
+        metavar: None,
+        group: FlagGroup::SingleRun,
+        help: "one-line JSON SimStats instead of the table",
+        default: None,
+        apply: Apply::Switch(|f| f.json = true),
+    },
+    FlagSpec {
+        name: "--file",
+        metavar: Some("PATH"),
+        group: FlagGroup::SingleRun,
+        help: "run a textual-IR (.msir) program instead of a named benchmark",
+        default: None,
+        apply: Apply::Value(|f, v| {
+            f.file = Some(v);
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--dump-ir",
+        metavar: None,
+        group: FlagGroup::SingleRun,
+        help: "print the post-selection IR and exit",
+        default: None,
+        apply: Apply::Switch(|f| f.dump_ir = true),
+    },
+    FlagSpec {
+        name: "--reps",
+        metavar: Some("N"),
+        group: FlagGroup::Perf,
+        help: "timed repetitions per cell",
+        default: Some(|| DEFAULT_PERF_REPS.to_string()),
+        apply: Apply::Value(|f, v| {
+            f.reps = p("--reps", &v)?;
+            at_least_one("--reps", f.reps as u64)
+        }),
+    },
+    FlagSpec {
+        name: "--baseline",
+        metavar: Some("FILE"),
+        group: FlagGroup::Perf,
+        help: "gate against a BENCH_*.json (`best` auto-selects the best-ever)",
+        default: None,
+        apply: Apply::Value(|f, v| {
+            f.baseline = Some(PathBuf::from(v));
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--max-regress",
+        metavar: Some("PCT"),
+        group: FlagGroup::Perf,
+        help: "per-phase regression threshold",
+        default: Some(|| DEFAULT_MAX_REGRESS_PCT.to_string()),
+        apply: Apply::Value(|f, v| {
+            f.max_regress = p("--max-regress", &v)?;
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--noise-floor-ns",
+        metavar: Some("N"),
+        group: FlagGroup::Perf,
+        help: "baseline phases faster than this are not gated",
+        default: Some(|| DEFAULT_NOISE_FLOOR_NS.to_string()),
+        apply: Apply::Value(|f, v| {
+            f.noise_floor_ns = p("--noise-floor-ns", &v)?;
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--bench-out",
+        metavar: Some("FILE"),
+        group: FlagGroup::Perf,
+        help: "where perf writes the BENCH_*.json",
+        default: Some(|| "BENCH_<gitshort>.json".to_string()),
+        apply: Apply::Value(|f, v| {
+            f.bench_out = Some(PathBuf::from(v));
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--no-gate",
+        metavar: None,
+        group: FlagGroup::Perf,
+        help: "report regressions/drift without failing the process",
+        default: None,
+        apply: Apply::Switch(|f| f.no_gate = true),
+    },
+    FlagSpec {
+        name: "--seeds",
+        metavar: Some("N"),
+        group: FlagGroup::Fuzz,
+        help: "fuzz cases per sweep",
+        default: Some(|| DEFAULT_FUZZ_SEEDS.to_string()),
+        apply: Apply::Value(|f, v| {
+            f.seeds = p("--seeds", &v)?;
+            at_least_one("--seeds", f.seeds)
+        }),
+    },
+    FlagSpec {
+        name: "--max-blocks",
+        metavar: Some("N"),
+        group: FlagGroup::Fuzz,
+        help: "generated-program size cap",
+        default: Some(|| ms_conform::FuzzParams::default().max_blocks.to_string()),
+        apply: Apply::Value(|f, v| {
+            f.max_blocks = p("--max-blocks", &v)?;
+            at_least_one("--max-blocks", f.max_blocks as u64)
+        }),
+    },
+    FlagSpec {
+        name: "--inject",
+        metavar: None,
+        group: FlagGroup::Fuzz,
+        help: "fault-injection self-test (the loop must fail)",
+        default: None,
+        apply: Apply::Switch(|f| f.inject = true),
+    },
+    FlagSpec {
+        name: "--oracle-max-blocks",
+        metavar: Some("N"),
+        group: FlagGroup::Gap,
+        help: "largest function the exact oracle partitions",
+        default: Some(|| ms_tasksel::DEFAULT_ORACLE_MAX_BLOCKS.to_string()),
+        apply: Apply::Value(|f, v| {
+            f.oracle_max_blocks = p("--oracle-max-blocks", &v)?;
+            at_least_one("--oracle-max-blocks", f.oracle_max_blocks as u64)
+        }),
+    },
+    FlagSpec {
+        name: "--last",
+        metavar: Some("N"),
+        group: FlagGroup::Runs,
+        help: "how many records to list",
+        default: Some(|| "20".to_string()),
+        apply: Apply::Value(|f, v| {
+            f.last = p("--last", &v)?;
+            at_least_one("--last", f.last as u64)
+        }),
+    },
+    FlagSpec {
+        name: "--cmd",
+        metavar: Some("NAME"),
+        group: FlagGroup::Runs,
+        help: "filter to one subcommand's records",
+        default: None,
+        apply: Apply::Value(|f, v| {
+            f.cmd_filter = Some(v);
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--socket",
+        metavar: Some("PATH"),
+        group: FlagGroup::Serve,
+        help: "daemon listen / client connect socket",
+        default: Some(|| "<out>/serve.sock".to_string()),
+        apply: Apply::Value(|f, v| {
+            f.socket = Some(PathBuf::from(v));
+            Ok(())
+        }),
+    },
+    FlagSpec {
+        name: "--cache-dir",
+        metavar: Some("DIR"),
+        group: FlagGroup::Serve,
+        help: "content-addressed cell cache (also enables it for one-shot sweeps)",
+        default: Some(|| "serve: <out>/cellcache; one-shot: off".to_string()),
+        apply: Apply::Value(|f, v| {
+            f.cache_dir = Some(PathBuf::from(v));
+            Ok(())
+        }),
+    },
+];
+
+// ----------------------------------------------------- subcommand table
+
+/// Which artifact-schema tag a subcommand's help line carries.
+#[derive(Debug, Clone, Copy)]
+pub enum SchemaRef {
+    /// Per-cell sweep metrics (`crate::sweeps::SCHEMA_VERSION`).
+    Metrics,
+    /// Event traces (`ms_sim::TRACE_SCHEMA_VERSION`).
+    Trace,
+    /// Perf documents (`crate::perfcmd::PERF_SCHEMA_VERSION`).
+    Perf,
+    /// Perf-history documents (`crate::historycmd::HISTORY_SCHEMA_VERSION`).
+    History,
+    /// Run-ledger records (`ms_prof::ledger::LEDGER_SCHEMA_VERSION`).
+    Ledger,
+    /// Service wire protocol (`crate::api::API_SCHEMA_VERSION`).
+    Api,
+}
+
+impl SchemaRef {
+    fn label(self) -> String {
+        match self {
+            SchemaRef::Metrics => format!("metrics schema v{}", crate::sweeps::SCHEMA_VERSION),
+            SchemaRef::Trace => format!("trace schema v{}", ms_sim::TRACE_SCHEMA_VERSION),
+            SchemaRef::Perf => format!("perf schema v{}", crate::perfcmd::PERF_SCHEMA_VERSION),
+            SchemaRef::History => {
+                format!("history schema v{}", crate::historycmd::HISTORY_SCHEMA_VERSION)
+            }
+            SchemaRef::Ledger => {
+                format!("ledger schema v{}", ms_prof::ledger::LEDGER_SCHEMA_VERSION)
+            }
+            SchemaRef::Api => format!("api schema v{}", crate::api::API_SCHEMA_VERSION),
+        }
+    }
+}
+
+/// One entry of the subcommand registry: invocation syntax, help lines,
+/// and the schema version of what it writes or speaks. `run -- help`
+/// and the driver's unknown-name suggestions are generated from
+/// [`SUBCOMMANDS`].
+pub struct SubcommandSpec {
+    /// The first positional word (`<benchmark>` for the fallback).
+    pub name: &'static str,
+    /// Operand syntax after the name, or `""`.
+    pub operands: &'static str,
+    /// Help description lines (the first carries the schema tag).
+    pub about: &'static [&'static str],
+    /// Schema tag rendered after the description, if any.
+    pub schema: Option<SchemaRef>,
+}
+
+/// Every subcommand, in help order. The eight sweep names are listed
+/// as one entry (expanded from [`SWEEP_NAMES`] when rendering).
+pub static SUBCOMMANDS: &[SubcommandSpec] = &[
+    SubcommandSpec {
+        name: "<benchmark>",
+        operands: "| all",
+        about: &["one simulation; prints SimStats (--json for one-line JSON)"],
+        schema: None,
+    },
+    SubcommandSpec {
+        name: "sweeps",
+        operands: "",
+        about: &["all eight experiment grids, in order"],
+        schema: Some(SchemaRef::Metrics),
+    },
+    SubcommandSpec {
+        name: "<sweep>",
+        operands: "",
+        about: &["one grid -> <out>/<sweep>/*.json; the sweeps are"],
+        schema: Some(SchemaRef::Metrics),
+    },
+    SubcommandSpec {
+        name: "trace",
+        operands: "<benchmark>",
+        about: &[
+            "one traced run -> <out>/trace/<bench>-<strategy>.jsonl",
+            "+ .chrome.json, plus attribution tables (docs/TRACING.md)",
+        ],
+        schema: Some(SchemaRef::Trace),
+    },
+    SubcommandSpec {
+        name: "perf",
+        operands: "",
+        about: &[
+            "profile the canonical cells -> BENCH_<gitshort>.json",
+            "+ <out>/perf/pipeline.chrome.json (docs/PROFILING.md)",
+        ],
+        schema: Some(SchemaRef::Perf),
+    },
+    SubcommandSpec {
+        name: "perf-validate",
+        operands: "<file>",
+        about: &[
+            "check a BENCH_*.json or history.json against its schema",
+            "(dispatches on `format`), exit non-zero on a mismatch",
+        ],
+        schema: None,
+    },
+    SubcommandSpec {
+        name: "perf-history",
+        operands: "[DIR]",
+        about: &[
+            "aggregate the BENCH_*.json baselines in DIR (default .) into",
+            "a trend table + <out>/perf/history.html + history.json; exit",
+            "non-zero on cumulative drift vs best-ever (docs/PERF-HISTORY.md)",
+        ],
+        schema: Some(SchemaRef::History),
+    },
+    SubcommandSpec {
+        name: "fuzz",
+        operands: "",
+        about: &[
+            "differential conformance fuzzing: random programs x all",
+            "heuristics vs the sequential reference; minimal repros ->",
+            "<out>/fuzz/seed<seed>-<strategy>.msir (docs/CONFORMANCE.md)",
+        ],
+        schema: None,
+    },
+    SubcommandSpec {
+        name: "gap",
+        operands: "<benchmark> | all",
+        about: &[
+            "heuristic-vs-optimal table: every policy against the exact",
+            "oracle on the benchmark's small functions (docs/POLICIES.md)",
+        ],
+        schema: None,
+    },
+    SubcommandSpec {
+        name: "policies",
+        operands: "",
+        about: &["the selection-policy registry, one line per policy"],
+        schema: None,
+    },
+    SubcommandSpec {
+        name: "serve",
+        operands: "",
+        about: &[
+            "sweep service daemon on a local socket: queued jobs share one",
+            "worker pool and one content-addressed cell cache, results",
+            "stream back per cell (docs/SERVICE.md)",
+        ],
+        schema: Some(SchemaRef::Api),
+    },
+    SubcommandSpec {
+        name: "submit",
+        operands: "<sweep>... | all",
+        about: &["submit a sweep job to the daemon and stream its results"],
+        schema: Some(SchemaRef::Api),
+    },
+    SubcommandSpec {
+        name: "jobs",
+        operands: "[id]",
+        about: &["the daemon's job table (or one job's status)"],
+        schema: None,
+    },
+    SubcommandSpec {
+        name: "shutdown",
+        operands: "",
+        about: &["drain the daemon's queue and stop it"],
+        schema: None,
+    },
+    SubcommandSpec {
+        name: "runs",
+        operands: "[show <id>]",
+        about: &[
+            "list recorded runs, newest first (sweep/perf/perf-history/",
+            "trace/fuzz/gap/serve invocations leave JSONL records under",
+            "target/experiments/runs/); `show` replays one record",
+        ],
+        schema: Some(SchemaRef::Ledger),
+    },
+    SubcommandSpec {
+        name: "runs-validate",
+        operands: "[FILE]",
+        about: &[
+            "check run records against the ledger schema, exit non-zero",
+            "on any invalid record (docs/OBSERVABILITY.md)",
+        ],
+        schema: None,
+    },
+    SubcommandSpec {
+        name: "list",
+        operands: "",
+        about: &["enumerate sweeps (with schema versions) and benchmarks"],
+        schema: None,
+    },
+    SubcommandSpec { name: "help", operands: "", about: &["this text"], schema: None },
+];
+
+/// The dispatchable first words, for nearest-match suggestions: every
+/// concrete subcommand plus the sweep names (the `<benchmark>` and
+/// `<sweep>` placeholder rows resolve through their own registries).
+pub fn subcommand_names() -> Vec<&'static str> {
+    SUBCOMMANDS.iter().map(|s| s.name).filter(|n| !n.starts_with('<')).chain(["all"]).collect()
+}
+
+// ---------------------------------------------------------------- parse
+
 /// Parses an argument stream into positional words (subcommand and its
-/// operands, in order) and the shared [`Flags`].
+/// operands, in order) and the shared [`Flags`]. Driven entirely by
+/// [`FLAGS`]; unknown flags get a nearest-match suggestion from the
+/// same table.
 pub fn parse(args: impl Iterator<Item = String>) -> Result<(Vec<String>, Flags), BenchError> {
     let mut flags = Flags::default();
     let mut positionals = Vec::new();
     let mut it = args;
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| BenchError::Usage(format!("missing value for {name}")))
-        };
-        match arg.as_str() {
-            "--strategy" => {
-                flags.strategy = match value("--strategy")?.as_str() {
-                    "bb" => Heuristic::BasicBlock,
-                    "cf" => Heuristic::ControlFlow,
-                    "dd" => Heuristic::DataDependence,
-                    "ts" => Heuristic::TaskSize,
-                    "cost" => Heuristic::Cost,
-                    "oracle" => Heuristic::Oracle,
-                    other => {
-                        let names: Vec<&'static str> =
-                            Heuristic::extended().iter().map(|h| h.label()).collect();
-                        let hint = crate::error::closest(other, &names)
-                            .map(|s| format!(" (did you mean `{s}`?)"))
-                            .unwrap_or_default();
-                        return Err(BenchError::Usage(format!(
-                            "unknown strategy `{other}`{hint}; see `run -- policies`"
-                        )));
-                    }
+        if arg == "-h" || arg == "--help" {
+            positionals.insert(0, "help".to_string());
+            continue;
+        }
+        if let Some(spec) = FLAGS.iter().find(|s| s.name == arg) {
+            match spec.apply {
+                Apply::Switch(apply) => apply(&mut flags),
+                Apply::Value(apply) => {
+                    let v = it.next().ok_or_else(|| {
+                        BenchError::Usage(format!("missing value for {}", spec.name))
+                    })?;
+                    apply(&mut flags, v)?;
                 }
             }
-            "--pus" => {
-                flags.pus =
-                    value("--pus")?.parse().map_err(|e| BenchError::Usage(format!("--pus: {e}")))?
-            }
-            "--in-order" => flags.in_order = true,
-            "--insts" => {
-                flags.insts = Some(
-                    value("--insts")?
-                        .parse()
-                        .map_err(|e| BenchError::Usage(format!("--insts: {e}")))?,
-                )
-            }
-            "--seed" => {
-                flags.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| BenchError::Usage(format!("--seed: {e}")))?
-            }
-            "--targets" => {
-                flags.targets = value("--targets")?
-                    .parse()
-                    .map_err(|e| BenchError::Usage(format!("--targets: {e}")))?
-            }
-            "--no-dead-reg" => flags.dead_reg = false,
-            "--json" => flags.json = true,
-            "--file" => flags.file = Some(value("--file")?),
-            "--dump-ir" => flags.dump_ir = true,
-            "--jobs" => {
-                flags.jobs = value("--jobs")?
-                    .parse()
-                    .map_err(|e| BenchError::Usage(format!("--jobs: {e}")))?
-            }
-            "--out" => flags.out = PathBuf::from(value("--out")?),
-            "--reps" => {
-                flags.reps = value("--reps")?
-                    .parse()
-                    .map_err(|e| BenchError::Usage(format!("--reps: {e}")))?;
-                if flags.reps == 0 {
-                    return Err(BenchError::Usage("--reps must be at least 1".into()));
-                }
-            }
-            "--baseline" => flags.baseline = Some(PathBuf::from(value("--baseline")?)),
-            "--max-regress" => {
-                flags.max_regress = value("--max-regress")?
-                    .parse()
-                    .map_err(|e| BenchError::Usage(format!("--max-regress: {e}")))?
-            }
-            "--noise-floor-ns" => {
-                flags.noise_floor_ns = value("--noise-floor-ns")?
-                    .parse()
-                    .map_err(|e| BenchError::Usage(format!("--noise-floor-ns: {e}")))?
-            }
-            "--bench-out" => flags.bench_out = Some(PathBuf::from(value("--bench-out")?)),
-            "--seeds" => {
-                flags.seeds = value("--seeds")?
-                    .parse()
-                    .map_err(|e| BenchError::Usage(format!("--seeds: {e}")))?;
-                if flags.seeds == 0 {
-                    return Err(BenchError::Usage("--seeds must be at least 1".into()));
-                }
-            }
-            "--max-blocks" => {
-                flags.max_blocks = value("--max-blocks")?
-                    .parse()
-                    .map_err(|e| BenchError::Usage(format!("--max-blocks: {e}")))?;
-                if flags.max_blocks == 0 {
-                    return Err(BenchError::Usage("--max-blocks must be at least 1".into()));
-                }
-            }
-            "--inject" => flags.inject = true,
-            "--no-gate" => flags.no_gate = true,
-            "--quiet" => flags.quiet = true,
-            "--last" => {
-                flags.last = value("--last")?
-                    .parse()
-                    .map_err(|e| BenchError::Usage(format!("--last: {e}")))?;
-                if flags.last == 0 {
-                    return Err(BenchError::Usage("--last must be at least 1".into()));
-                }
-            }
-            "--cmd" => flags.cmd_filter = Some(value("--cmd")?),
-            "--oracle-max-blocks" => {
-                flags.oracle_max_blocks = value("--oracle-max-blocks")?
-                    .parse()
-                    .map_err(|e| BenchError::Usage(format!("--oracle-max-blocks: {e}")))?;
-                if flags.oracle_max_blocks == 0 {
-                    return Err(BenchError::Usage("--oracle-max-blocks must be at least 1".into()));
-                }
-            }
-            "-h" | "--help" => positionals.insert(0, "help".to_string()),
-            other if !other.starts_with("--") => positionals.push(other.to_string()),
-            other => {
-                return Err(BenchError::Usage(format!(
-                    "unknown argument `{other}` (see `run -- help`)"
-                )))
-            }
+        } else if arg.starts_with("--") {
+            let names: Vec<&'static str> = FLAGS.iter().map(|s| s.name).collect();
+            let hint = closest(&arg, &names)
+                .map(|s| format!(" (did you mean `{s}`?)"))
+                .unwrap_or_default();
+            return Err(BenchError::Usage(format!(
+                "unknown argument `{arg}`{hint} (see `run -- help`)"
+            )));
+        } else {
+            positionals.push(arg);
         }
     }
     Ok((positionals, flags))
 }
 
-/// The `run -- help` text: every subcommand, the artifact it writes,
-/// and that artifact's schema version.
+// ----------------------------------------------------------------- help
+
+/// The `run -- help` text, generated from [`SUBCOMMANDS`] and [`FLAGS`]:
+/// every subcommand with the schema version of the artifact it writes
+/// (or protocol it speaks), then every flag grouped by subcommand
+/// family with its default.
 pub fn help_text() -> String {
-    format!(
-        "run — the Multiscalar experiment driver (see EXPERIMENTS.md)
-
-subcommands
-  <benchmark> | all      one simulation; prints SimStats (--json for one-line JSON)
-  sweeps                 all eight experiment grids, in order
-  {sweeps}
-                         one grid -> <out>/<sweep>/*.json      [metrics schema v{metrics}]
-  trace <benchmark>      one traced run -> <out>/trace/<bench>-<strategy>.jsonl
-                         + .chrome.json, plus attribution tables [trace schema v{trace}]
-  perf                   profile the canonical cells -> BENCH_<gitshort>.json
-                         + <out>/perf/pipeline.chrome.json      [perf schema v{perf}]
-  perf-validate <file>   check a BENCH_*.json or history.json against its schema
-                         (dispatches on the `format` field), exit non-zero on a
-                         mismatch
-  perf-history [DIR]     aggregate the BENCH_*.json baselines in DIR (default .)
-                         into a trend table + <out>/perf/history.html +
-                         history.json; exit non-zero on cumulative drift vs the
-                         best-ever baseline (docs/PERF-HISTORY.md)
-                                                             [history schema v{history}]
-  fuzz                   differential conformance fuzzing: random programs x all
-                         heuristics vs the sequential reference model; minimal repros
-                         -> <out>/fuzz/seed<seed>-<strategy>.msir, exit non-zero on
-                         any failure (see docs/CONFORMANCE.md)
-  gap <benchmark> | all  heuristic-vs-optimal table: every policy against the exact
-                         oracle on the benchmark's small functions (docs/POLICIES.md)
-  policies               the selection-policy registry, one line per policy
-  runs                   list recorded runs, newest first (every sweep/perf/
-                         perf-history/trace/fuzz/gap invocation leaves a JSONL
-                         run record under target/experiments/runs/)
-                                                              [ledger schema v{ledger}]
-  runs show <id>         replay one run record: header, events, footer
-  runs-validate [FILE]   check run records against the ledger schema, exit
-                         non-zero on any invalid record (docs/OBSERVABILITY.md)
-  list                   enumerate sweeps (with schema versions) and benchmarks
-  help                   this text
-
-shared flags      --out DIR (default target/experiments)   --jobs N (default: cores)
-                  --quiet (no live progress line; MS_NO_PROGRESS=1 equivalent)
-single-run flags  --strategy bb|cf|dd|ts|cost|oracle  --pus N  --in-order  --insts N
-                  --seed N  --targets N  --no-dead-reg  --json  --file path.msir
-                  --dump-ir
-perf flags        --reps N (default {reps})  --insts N  --bench-out FILE
-                  --baseline FILE|best  --max-regress PCT (default {regress})
-                  --noise-floor-ns N (default {floor})  --no-gate
-perf-history flags --max-regress PCT  --noise-floor-ns N  --no-gate (report
-                  cumulative drift without failing)
-fuzz flags        --seeds N (default {seeds})  --max-blocks N (default {blocks})
-                  --insts N  --seed N (base seed)  --inject (fault-injection self-test)
-gap flags         --oracle-max-blocks N (default {oracle})  --insts N  --seed N
-                  --targets N  --pus N
-runs flags        --last N (default 20)  --cmd NAME (filter to one subcommand)
-
-The perf-regression gate: `run -- perf --baseline BENCH_old.json` (or `--baseline
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("run — the Multiscalar experiment driver (see EXPERIMENTS.md)\n");
+    out.push_str("\nsubcommands\n");
+    for spec in SUBCOMMANDS {
+        let invocation = if spec.operands.is_empty() {
+            spec.name.to_string()
+        } else {
+            format!("{} {}", spec.name, spec.operands)
+        };
+        for (i, line) in spec.about.iter().enumerate() {
+            let tag = match (i == spec.about.len() - 1, spec.schema) {
+                (true, Some(s)) => format!("  [{}]", s.label()),
+                _ => String::new(),
+            };
+            if i == 0 {
+                let _ = writeln!(out, "  {invocation:<22} {line}{tag}");
+            } else {
+                let _ = writeln!(out, "  {:<22} {line}{tag}", "");
+            }
+        }
+        if spec.name == "<sweep>" {
+            let _ = writeln!(out, "  {:<22} {}", "", SWEEP_NAMES.join(" | "));
+        }
+    }
+    for group in FlagGroup::ORDER {
+        let _ = writeln!(out, "\n{}", group.title());
+        for spec in FLAGS.iter().filter(|s| s.group == group) {
+            let invocation = match spec.metavar {
+                Some(m) => format!("{} {m}", spec.name),
+                None => spec.name.to_string(),
+            };
+            let default = spec.default.map(|d| format!(" (default {})", d())).unwrap_or_default();
+            let _ = writeln!(out, "  {invocation:<22} {}{default}", spec.help);
+        }
+    }
+    out.push_str(
+        "\nThe perf-regression gate: `run -- perf --baseline BENCH_old.json` (or `--baseline
 best` to auto-select the best-ever comparable committed baseline) exits non-zero
 if any phase slower than the noise floor regressed by more than --max-regress
 percent; `run -- perf-history` additionally gates drift accumulated across the
-whole trajectory. docs/PROFILING.md documents the BENCH_*.json convention and
-docs/PERF-HISTORY.md the trend engine.
+whole trajectory (docs/PROFILING.md, docs/PERF-HISTORY.md).
+
+The sweep service: `run -- serve` then `run -- submit figure5 table1` from any
+number of clients; identical cells are served from the content-addressed cell
+cache, artifacts are byte-identical to the one-shot path, and every job leaves
+a run-ledger record (docs/SERVICE.md).
 ",
-        sweeps = SWEEP_NAMES.join(" | "),
-        metrics = crate::sweeps::SCHEMA_VERSION,
-        trace = ms_sim::TRACE_SCHEMA_VERSION,
-        perf = crate::perfcmd::PERF_SCHEMA_VERSION,
-        history = crate::historycmd::HISTORY_SCHEMA_VERSION,
-        ledger = ms_prof::ledger::LEDGER_SCHEMA_VERSION,
-        reps = DEFAULT_PERF_REPS,
-        regress = DEFAULT_MAX_REGRESS_PCT,
-        floor = DEFAULT_NOISE_FLOOR_NS,
-        seeds = DEFAULT_FUZZ_SEEDS,
-        blocks = ms_conform::FuzzParams::default().max_blocks,
-        oracle = ms_tasksel::DEFAULT_ORACLE_MAX_BLOCKS,
-    )
+    );
+    out
 }
 
 /// The `run -- policies` text: every registered selection policy with
@@ -388,7 +871,7 @@ mod tests {
 
     #[test]
     fn every_subcommand_shares_out_and_jobs() {
-        for cmd in ["sweeps", "figure5", "trace", "perf", "compress"] {
+        for cmd in ["sweeps", "figure5", "trace", "perf", "compress", "serve", "submit"] {
             let (pos, flags) = parse_ok(&[cmd, "--out", "/tmp/x", "--jobs", "3"]);
             assert_eq!(pos[0], cmd);
             assert_eq!(flags.out, PathBuf::from("/tmp/x"));
@@ -427,6 +910,26 @@ mod tests {
     }
 
     #[test]
+    fn unknown_flags_get_nearest_match_suggestions() {
+        let err = parse(["serve".to_string(), "--sokcet".to_string()].into_iter()).unwrap_err();
+        assert!(err.to_string().contains("did you mean `--socket`?"), "{err}");
+        let err = parse(["--jbos".to_string()].into_iter()).unwrap_err();
+        assert!(err.to_string().contains("did you mean `--jobs`?"), "{err}");
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let (pos, flags) =
+            parse_ok(&["submit", "figure5", "--socket", "/tmp/s.sock", "--cache-dir", "/tmp/cc"]);
+        assert_eq!(pos, ["submit", "figure5"]);
+        assert_eq!(flags.socket, Some(PathBuf::from("/tmp/s.sock")));
+        assert_eq!(flags.cache_dir, Some(PathBuf::from("/tmp/cc")));
+        let (_, flags) = parse_ok(&["serve"]);
+        assert_eq!(flags.socket, None);
+        assert_eq!(flags.cache_dir, None);
+    }
+
+    #[test]
     fn strategy_suggestions_and_new_names() {
         let (_, flags) = parse_ok(&["compress", "--strategy", "oracle"]);
         assert_eq!(flags.strategy, Heuristic::Oracle);
@@ -451,20 +954,7 @@ mod tests {
     #[test]
     fn help_lists_every_subcommand_and_schema_version() {
         let text = help_text();
-        for cmd in [
-            "sweeps",
-            "trace",
-            "perf",
-            "perf-validate",
-            "perf-history",
-            "list",
-            "help",
-            "all",
-            "gap",
-            "policies",
-            "runs",
-            "runs-validate",
-        ] {
+        for cmd in subcommand_names() {
             assert!(text.contains(cmd), "help must mention `{cmd}`");
         }
         for sweep in SWEEP_NAMES {
@@ -478,6 +968,27 @@ mod tests {
         assert!(
             text.contains(&format!("ledger schema v{}", ms_prof::ledger::LEDGER_SCHEMA_VERSION))
         );
+        assert!(text.contains(&format!("api schema v{}", crate::api::API_SCHEMA_VERSION)));
+    }
+
+    #[test]
+    fn help_lists_every_flag_in_its_group() {
+        let text = help_text();
+        for spec in FLAGS {
+            assert!(text.contains(spec.name), "help must mention `{}`", spec.name);
+        }
+        for group in FlagGroup::ORDER {
+            assert!(text.contains(group.title()), "help must have a `{}` section", group.title());
+        }
+    }
+
+    #[test]
+    fn subcommand_names_cover_the_dispatcher() {
+        let names = subcommand_names();
+        for cmd in ["sweeps", "serve", "submit", "jobs", "shutdown", "runs", "all", "help"] {
+            assert!(names.contains(&cmd), "`{cmd}` missing from subcommand_names()");
+        }
+        assert!(!names.iter().any(|n| n.starts_with('<')), "placeholders are filtered");
     }
 
     #[test]

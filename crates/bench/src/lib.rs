@@ -27,8 +27,15 @@
 //! The `run -- gap` subcommand ([`gapcmd`]) compares every selection
 //! policy against the exact-partition oracle on one benchmark, and
 //! `run -- policies` lists the policy registry (see
-//! `docs/POLICIES.md`). Every subcommand shares one flag parser
-//! ([`cli`]) and one timing policy ([`microbench`]).
+//! `docs/POLICIES.md`). The `run -- serve` subcommand ([`servecmd`])
+//! turns the driver into a long-running local-socket daemon: clients
+//! (`run -- submit` / `jobs` / `shutdown`) speak the typed,
+//! schema-versioned request/event protocol of [`api`], jobs share one
+//! worker pool and one content-addressed cell cache ([`cache`]) so
+//! repeated and overlapping grids cost near-zero, and every job leaves
+//! a run-ledger record (see `docs/SERVICE.md`). Every subcommand
+//! shares one flag parser ([`cli`]) and one timing policy
+//! ([`microbench`]).
 //!
 //! This crate is the *reporting* stage of the data flow — everything
 //! upstream (IR → selection → trace → simulation) stays in the library
@@ -40,6 +47,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod cache;
 pub mod cli;
 pub mod error;
 pub mod fuzzcmd;
@@ -51,6 +60,7 @@ pub mod microbench;
 pub mod perfcmd;
 pub mod progress;
 pub mod runscmd;
+pub mod servecmd;
 pub mod sweeps;
 pub mod tracecmd;
 

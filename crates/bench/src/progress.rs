@@ -108,8 +108,13 @@ fn render(label: &str, snap: &ProgressSnapshot, elapsed: Duration) -> String {
             OCCUPANCY[(occ * (OCCUPANCY.len() - 1) as f64).round() as usize]
         })
         .collect();
+    let cache = if snap.cache_hits + snap.cache_misses > 0 {
+        format!(" · cache {}/{}", snap.cache_hits, snap.cache_hits + snap.cache_misses)
+    } else {
+        String::new()
+    };
     format!(
-        "{label} {}/{} cells · {rate:.1}/s · eta {eta} · warm {} · [{bar}]",
+        "{label} {}/{} cells · {rate:.1}/s · eta {eta} · warm {}{cache} · [{bar}]",
         snap.finished, snap.queued, snap.warm_hits
     )
 }
@@ -123,8 +128,9 @@ fn fmt_secs(s: f64) -> String {
 }
 
 /// The observability hooks the sweep scheduler threads through its
-/// stages: the counter sink plus the caller-thread heartbeat that
-/// drives the progress line.
+/// stages: the counter sink, the caller-thread heartbeat that drives
+/// the progress line, plus the cell-cache handle and the per-cell
+/// streaming callback the service daemon wires in.
 pub struct SweepObserver<'a> {
     /// Destination for queued/started/finished/warm-hit counters and
     /// per-worker busy tallies.
@@ -132,14 +138,22 @@ pub struct SweepObserver<'a> {
     /// Invoked on the coordinating thread each time a work item
     /// completes; the progress line repaints here.
     pub on_tick: &'a dyn Fn(),
+    /// Content-addressed cell cache; `None` runs every cell (the
+    /// one-shot default without `--cache-dir`).
+    pub cache: Option<&'a crate::cache::CellCache>,
+    /// Invoked on the coordinating thread for each finished cell, in
+    /// grid order, right after its artifact is written — the daemon
+    /// streams these to the submitting client.
+    pub on_cell: &'a dyn Fn(&crate::api::CellResult),
 }
 
 impl SweepObserver<'_> {
-    /// The no-op observer: a disabled sink and an empty heartbeat.
-    /// What library callers that don't care about telemetry pass.
+    /// The no-op observer: a disabled sink, an empty heartbeat, no
+    /// cache, no cell stream. What library callers that don't care
+    /// about telemetry pass.
     pub fn silent() -> SweepObserver<'static> {
         static SILENT: ProgressSink = ProgressSink::disabled();
-        SweepObserver { sink: &SILENT, on_tick: &|| {} }
+        SweepObserver { sink: &SILENT, on_tick: &|| {}, cache: None, on_cell: &|_| {} }
     }
 }
 
@@ -161,10 +175,16 @@ mod tests {
             finished: 6,
             warm_hits: 5,
             workers: vec![(2_000_000_000, 3), (1_000_000_000, 2), (0, 0), (2_000_000_000, 1)],
+            ..Default::default()
         };
         let line = render("forwarding", &snap, Duration::from_secs(2));
         assert!(line.starts_with("forwarding 6/12 cells · 3.0/s · eta 2s · warm 5 · ["));
         assert!(line.contains("[█▄ █]"), "occupancy bar renders per-worker glyphs: {line}");
+
+        // With cell-cache traffic the line gains a hits/lookups field.
+        let snap = ProgressSnapshot { cache_hits: 9, cache_misses: 3, ..snap };
+        let line = render("forwarding", &snap, Duration::from_secs(2));
+        assert!(line.contains("warm 5 · cache 9/12 · ["), "{line}");
     }
 
     #[test]

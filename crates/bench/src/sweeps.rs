@@ -206,6 +206,37 @@ impl CellJob {
         ProgramContext::new(self.build_program())
     }
 
+    /// The cell's pre-selection program in the IR text format — the
+    /// canonical form the content-addressed cell cache hashes (see
+    /// [`crate::cache`]). Equal programs have equal text; any workload
+    /// or if-conversion change shows up here.
+    pub fn program_text(&self) -> String {
+        ms_ir::write_program(&self.build_program())
+    }
+
+    /// The machine configuration the cell simulates — the single point
+    /// where cell parameters become a [`SimConfig`], shared by the
+    /// simulation itself ([`CellJob::run_in`]) and the cache key.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::with_pus(self.pus);
+        if self.in_order {
+            cfg = cfg.in_order();
+        }
+        if !self.dead_reg {
+            cfg = cfg.without_dead_reg_analysis();
+        }
+        if let Some(bw) = self.ring_bandwidth {
+            cfg.ring_bandwidth = bw;
+        }
+        if let Some(entries) = self.arb_entries_per_pu {
+            cfg.arb_entries_per_pu = entries;
+        }
+        if let Some(entries) = self.sync_table_entries {
+            cfg.sync_table_entries = entries;
+        }
+        cfg
+    }
+
     /// Runs the cell standalone: build → (if-convert) → select → trace →
     /// simulate. Equivalent to `run_in(&self.context())`.
     pub fn run(&self) -> CellOutput {
@@ -232,22 +263,7 @@ impl CellJob {
             sel.context().profile(),
             self.targets,
         );
-        let mut cfg = SimConfig::with_pus(self.pus);
-        if self.in_order {
-            cfg = cfg.in_order();
-        }
-        if !self.dead_reg {
-            cfg = cfg.without_dead_reg_analysis();
-        }
-        if let Some(bw) = self.ring_bandwidth {
-            cfg.ring_bandwidth = bw;
-        }
-        if let Some(entries) = self.arb_entries_per_pu {
-            cfg.arb_entries_per_pu = entries;
-        }
-        if let Some(entries) = self.sync_table_entries {
-            cfg.sync_table_entries = entries;
-        }
+        let cfg = self.sim_config();
         let trace = TraceGenerator::new(&sel.program, self.seed).generate(self.insts);
         let sim = Simulator::new(cfg, &sel.program, &sel.partition).run(&trace);
         CellOutput { sim, partition }
@@ -363,14 +379,23 @@ enum SweepWork {
 /// Runs a grid of named cells in parallel and writes the artifacts (one
 /// JSON file per cell) serially, in grid order.
 ///
+/// When the observer carries a [`crate::cache::CellCache`], every cell
+/// is first probed by content key on the coordinating thread: hits skip
+/// simulation entirely (counted as started+finished so progress and
+/// ledger totals stay truthful), and only the misses are scheduled —
+/// then stored back, so an identical resubmission runs zero cells.
+/// Cached and computed outputs are field-identical, so artifacts stay
+/// byte-identical either way (pinned by `tests/service.rs`).
+///
 /// Cells with equal `(bench, if_convert_arms)` share one lazily-warmed
 /// [`ProgramContext`], so each program's CFG analyses are computed once
 /// per sweep. Scheduling is a two-stage pipeline over one work list:
-/// the warm-up items go first, then the cells, and workers drain the
-/// list in order — contexts are still being built while cells over the
-/// first finished ones already simulate. A cell never waits on stage 1:
-/// if its context has not been warmed yet it computes the analyses
-/// itself through the same once-only slots.
+/// the warm-up items (only for programs with at least one cache miss)
+/// go first, then the miss cells, and workers drain the list in order —
+/// contexts are still being built while cells over the first finished
+/// ones already simulate. A cell never waits on stage 1: if its context
+/// has not been warmed yet it computes the analyses itself through the
+/// same once-only slots.
 #[allow(clippy::type_complexity)]
 fn run_cells(
     sweep: &'static str,
@@ -380,9 +405,39 @@ fn run_cells(
     obs: &SweepObserver,
 ) -> Result<Vec<(String, CellJob, CellOutput)>, BenchError> {
     obs.sink.add_queued(grid.len() as u64);
-    // One context key per distinct pre-selection program, in grid order.
-    let mut keys: Vec<(&'static str, Option<usize>)> = Vec::new();
+    // Stage 0 — probe the content-addressed cache (coordinator only;
+    // keying builds each distinct program once, memoized in the cache).
+    let mut cached: Vec<Option<CellOutput>> = Vec::with_capacity(grid.len());
+    let mut cell_keys: Vec<Option<String>> = Vec::with_capacity(grid.len());
     for (_, job) in &grid {
+        let (key, hit) = match obs.cache {
+            Some(cache) => {
+                let key = cache.key_for(job);
+                let hit = cache.lookup(&key);
+                (Some(key), hit)
+            }
+            None => (None, None),
+        };
+        match &hit {
+            Some(_) => {
+                obs.sink.cell_started();
+                obs.sink.cache_hit();
+                obs.sink.cell_finished();
+                (obs.on_tick)();
+            }
+            None if obs.cache.is_some() => obs.sink.cache_miss(),
+            None => {}
+        }
+        cell_keys.push(key);
+        cached.push(hit);
+    }
+    let was_hit: Vec<bool> = cached.iter().map(Option::is_some).collect();
+    let misses: Vec<usize> = (0..grid.len()).filter(|&i| cached[i].is_none()).collect();
+    // One context key per distinct pre-selection program that still has
+    // work, in grid order.
+    let mut keys: Vec<(&'static str, Option<usize>)> = Vec::new();
+    for &i in &misses {
+        let job = &grid[i].1;
         let key = (job.bench, job.if_convert_arms);
         if !keys.contains(&key) {
             keys.push(key);
@@ -394,7 +449,7 @@ fn run_cells(
     let deep: Vec<bool> = keys
         .iter()
         .map(|&key| {
-            grid.iter().any(|(_, j)| {
+            misses.iter().map(|&i| &grid[i].1).any(|j| {
                 (j.bench, j.if_convert_arms) == key
                     && j.ts_thresh.is_none()
                     && matches!(j.heuristic, Heuristic::DataDependence)
@@ -412,8 +467,10 @@ fn run_cells(
             ctx
         })
     };
-    let work: Vec<SweepWork> =
-        (0..keys.len()).map(SweepWork::Warm).chain((0..grid.len()).map(SweepWork::Cell)).collect();
+    let work: Vec<SweepWork> = (0..keys.len())
+        .map(SweepWork::Warm)
+        .chain(misses.iter().copied().map(SweepWork::Cell))
+        .collect();
     let outputs = run_parallel_observed(
         jobs,
         work,
@@ -440,13 +497,30 @@ fn run_cells(
         obs.sink,
         obs.on_tick,
     );
+    // Merge computed outputs back into grid order and fill the cache.
+    let mut computed = outputs.into_iter().skip(keys.len());
+    for (i, slot) in cached.iter_mut().enumerate() {
+        if slot.is_none() {
+            let out = computed.next().flatten().expect("cell work items carry an output");
+            if let (Some(cache), Some(key)) = (obs.cache, &cell_keys[i]) {
+                cache.store(key, &out)?;
+            }
+            *slot = Some(out);
+        }
+    }
     let dir = out_root.join(sweep);
     fs::create_dir_all(&dir)?;
     let mut results = Vec::with_capacity(grid.len());
-    for ((id, job), out) in grid.into_iter().zip(outputs.into_iter().skip(keys.len())) {
-        let out = out.expect("cell work items carry an output");
+    for (((id, job), out), hit) in grid.into_iter().zip(cached).zip(was_hit) {
+        let out = out.expect("every grid slot is filled by probe or compute");
         let json = cell_json(sweep, &id, &job, &out);
-        fs::write(dir.join(format!("{id}.json")), json + "\n")?;
+        fs::write(dir.join(format!("{id}.json")), format!("{json}\n"))?;
+        (obs.on_cell)(&crate::api::CellResult {
+            sweep: sweep.to_string(),
+            cell: id.clone(),
+            cached: hit,
+            artifact: json,
+        });
         results.push((id, job, out));
     }
     Ok(results)

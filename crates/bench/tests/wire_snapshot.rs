@@ -1,0 +1,127 @@
+//! Pins the wire bytes of the typed request/event API (`ms_bench::api`)
+//! as a golden snapshot: one line per protocol shape, exactly as it
+//! crosses the daemon socket. Any field rename, reorder, or encoding
+//! change shows up as a reviewed diff — and demands an
+//! `API_SCHEMA_VERSION` bump (see `docs/SERVICE.md`).
+//!
+//! When a deliberate protocol change alters the lines, regenerate with:
+//!
+//! ```text
+//! MS_BLESS=1 cargo test -p ms-bench --test wire_snapshot
+//! ```
+
+use std::path::PathBuf;
+
+use ms_bench::api::{
+    CellResult, JobEvent, JobState, JobStatus, Request, SweepRequest, API_SCHEMA_VERSION,
+};
+
+fn golden(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn assert_golden(name: &str, got: &str) {
+    let path = golden(name);
+    if std::env::var_os("MS_BLESS").is_some() {
+        std::fs::write(&path, got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).expect("golden file exists (MS_BLESS=1 to create)");
+    assert_eq!(
+        got, want,
+        "`{name}` changed; a wire-shape change needs an API_SCHEMA_VERSION bump, a \
+         docs/SERVICE.md update, and an MS_BLESS=1 re-bless"
+    );
+}
+
+fn sample_status() -> JobStatus {
+    JobStatus {
+        id: "job-2".to_string(),
+        state: JobState::Done,
+        sweeps: vec!["thresholds".to_string(), "forwarding".to_string()],
+        cells_done: 22,
+        cache_hits: 10,
+        cache_misses: 12,
+        artifacts_root: "target/experiments/serve/job-2".to_string(),
+    }
+}
+
+/// Every request and event variant, one wire line each, in protocol
+/// order: requests first, then the event stream a submit sees, then
+/// the query/control answers.
+fn snapshot() -> String {
+    let requests = [
+        Request::Submit(SweepRequest {
+            sweeps: vec!["thresholds".to_string(), "forwarding".to_string()],
+            jobs: Some(4),
+        }),
+        Request::Submit(SweepRequest { sweeps: vec!["pus".to_string()], jobs: None }),
+        Request::Jobs,
+        Request::Status { job: "job-2".to_string() },
+        Request::Ping,
+        Request::Shutdown,
+    ];
+    let events = [
+        JobEvent::Accepted { job: "job-2".to_string(), queue_depth: 1 },
+        JobEvent::SweepStarted { job: "job-2".to_string(), sweep: "thresholds".to_string() },
+        JobEvent::Cell {
+            job: "job-2".to_string(),
+            result: CellResult {
+                sweep: "thresholds".to_string(),
+                cell: "compress-ts-off".to_string(),
+                cached: true,
+                artifact: "{\"schema_version\":1,\"cell\":\"compress-ts-off\"}".to_string(),
+            },
+        },
+        JobEvent::SweepDone {
+            job: "job-2".to_string(),
+            sweep: "thresholds".to_string(),
+            cells: 10,
+            cache_hits: 10,
+            cache_misses: 0,
+        },
+        JobEvent::Done { status: sample_status() },
+        JobEvent::Jobs { jobs: vec![sample_status()] },
+        JobEvent::Error { message: "unknown sweep `figur5`".to_string() },
+        JobEvent::Pong,
+        JobEvent::Ok,
+    ];
+    let mut out = String::new();
+    for req in &requests {
+        out.push_str(&req.to_json());
+        out.push('\n');
+    }
+    for ev in &events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn wire_lines_are_stable() {
+    assert_golden("wire_snapshot.txt", &snapshot());
+}
+
+#[test]
+fn every_snapshot_line_carries_the_schema_version_and_round_trips() {
+    // Structural backstop independent of the golden bytes: each line
+    // must embed the version tag and decode back to an equal value.
+    for line in snapshot().lines() {
+        assert!(
+            line.contains(&format!("\"api_version\":{API_SCHEMA_VERSION}")),
+            "unversioned wire line: {line}"
+        );
+        let as_req = Request::from_json(line);
+        let as_ev = JobEvent::from_json(line);
+        assert!(
+            as_req.is_ok() || as_ev.is_ok(),
+            "snapshot line decodes as neither request nor event: {line}"
+        );
+        if let Ok(req) = as_req {
+            assert_eq!(req.to_json(), line, "request re-encode drifts");
+        } else if let Ok(ev) = as_ev {
+            assert_eq!(ev.to_json(), line, "event re-encode drifts");
+        }
+    }
+}

@@ -42,7 +42,16 @@ use crate::jsonv::{self, Value};
 
 /// Version of the run-ledger JSONL schema (bump on any field change;
 /// documented field-by-field in `docs/OBSERVABILITY.md`).
-pub const LEDGER_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `cache_hits` / `cache_misses` counters to the footer's
+/// progress snapshot (the sweep service's content-addressed cell
+/// cache). Readers accept v1 records too — old records validate, minus
+/// the fields their era did not have.
+pub const LEDGER_SCHEMA_VERSION: u32 = 2;
+
+/// The oldest schema version [`parse_record`] / [`validate_record`]
+/// still accept.
+pub const LEDGER_MIN_SCHEMA_VERSION: u32 = 1;
 
 /// The `format` tag every ledger header carries, distinguishing run
 /// records from the repository's other JSON artifacts.
@@ -78,6 +87,12 @@ pub struct ProgressSnapshot {
     pub finished: u64,
     /// Cells that found their shared analysis context already warmed.
     pub warm_hits: u64,
+    /// Cells served verbatim from the content-addressed cell cache
+    /// (no simulation ran).
+    pub cache_hits: u64,
+    /// Cells that missed the cell cache and were simulated (zero when
+    /// no cache was configured).
+    pub cache_misses: u64,
     /// Per-worker `(busy_ns, items)` tallies, indexed by worker slot.
     pub workers: Vec<(u64, u64)>,
 }
@@ -103,6 +118,8 @@ pub struct ProgressSink {
     started: AtomicU64,
     finished: AtomicU64,
     warm_hits: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
     workers: Vec<WorkerTally>,
 }
 
@@ -115,6 +132,8 @@ impl ProgressSink {
             started: AtomicU64::new(0),
             finished: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             workers: std::iter::repeat_with(WorkerTally::default).take(workers).collect(),
         }
     }
@@ -128,6 +147,8 @@ impl ProgressSink {
             started: AtomicU64::new(0),
             finished: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             workers: Vec::new(),
         }
     }
@@ -166,6 +187,21 @@ impl ProgressSink {
         }
     }
 
+    /// Notes one cell served whole from the content-addressed cell
+    /// cache (artifact reproduced, no simulation).
+    pub fn cache_hit(&self) {
+        if self.enabled {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Notes one cell that missed the cell cache and had to simulate.
+    pub fn cache_miss(&self) {
+        if self.enabled {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Charges `busy_ns` of work-item wall time (and `items` completed
     /// items) to worker slot `worker`. Out-of-range slots are ignored.
     pub fn worker_busy(&self, worker: usize, busy_ns: u64, items: u64) {
@@ -185,6 +221,8 @@ impl ProgressSink {
             started: self.started.load(Ordering::Relaxed),
             finished: self.finished.load(Ordering::Relaxed),
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
             workers: self
                 .workers
                 .iter()
@@ -342,6 +380,8 @@ impl RunLedger {
                     ("started", Value::Num(progress.started as f64)),
                     ("finished", Value::Num(progress.finished as f64)),
                     ("warm_hits", Value::Num(progress.warm_hits as f64)),
+                    ("cache_hits", Value::Num(progress.cache_hits as f64)),
+                    ("cache_misses", Value::Num(progress.cache_misses as f64)),
                     ("workers", workers),
                 ]),
             ),
@@ -373,6 +413,9 @@ fn is_cell_event(line: &str) -> bool {
 /// `outcome == None`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
+    /// The schema version the record was written under (within
+    /// [`LEDGER_MIN_SCHEMA_VERSION`]..=[`LEDGER_SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// The record id (`<ts>-<git>-<cmd>`).
     pub id: String,
     /// Unix start time, seconds.
@@ -414,8 +457,11 @@ fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
 fn parse_header(line: &str) -> Result<RunRecord, String> {
     let h = jsonv::parse(line).map_err(|e| format!("header: {e}"))?;
     let version = req_u64(&h, "schema_version").map_err(|e| format!("header: {e}"))?;
-    if version != LEDGER_SCHEMA_VERSION as u64 {
-        return Err(format!("schema_version {version} (this tool reads v{LEDGER_SCHEMA_VERSION})"));
+    if version < LEDGER_MIN_SCHEMA_VERSION as u64 || version > LEDGER_SCHEMA_VERSION as u64 {
+        return Err(format!(
+            "schema_version {version} (this tool reads \
+             v{LEDGER_MIN_SCHEMA_VERSION}..v{LEDGER_SCHEMA_VERSION})"
+        ));
     }
     let format = req_str(&h, "format").map_err(|e| format!("header: {e}"))?;
     if format != LEDGER_FORMAT {
@@ -447,6 +493,7 @@ fn parse_header(line: &str) -> Result<RunRecord, String> {
         _ => return Err("header: missing `params` object".to_string()),
     };
     Ok(RunRecord {
+        schema_version: version as u32,
         id: req_str(&h, "id").map_err(|e| format!("header: {e}"))?,
         ts: req_u64(&h, "ts").map_err(|e| format!("header: {e}"))?,
         git: req_str(&h, "git").map_err(|e| format!("header: {e}"))?,
@@ -546,6 +593,13 @@ pub fn validate_record(text: &str) -> Result<RunRecord, String> {
     let progress = footer.get("progress").ok_or("footer: missing `progress`")?;
     for key in ["queued", "started", "finished", "warm_hits"] {
         req_u64(progress, key).map_err(|e| format!("footer progress: {e}"))?;
+    }
+    if rec.schema_version >= 2 {
+        // The cell-cache counters arrived with schema v2; a v1 record
+        // legitimately lacks them.
+        for key in ["cache_hits", "cache_misses"] {
+            req_u64(progress, key).map_err(|e| format!("footer progress: {e}"))?;
+        }
     }
     let workers =
         progress.get("workers").and_then(Value::as_arr).ok_or("footer: missing `workers` array")?;
@@ -676,6 +730,9 @@ mod tests {
         on.cell_started();
         on.cell_finished();
         on.warm_hit();
+        on.cache_hit();
+        on.cache_hit();
+        on.cache_miss();
         on.worker_busy(1, 250, 1);
         on.worker_busy(9, 999, 1); // out of range: ignored
         let snap = on.snapshot();
@@ -683,6 +740,32 @@ mod tests {
         assert_eq!(snap.started, 1);
         assert_eq!(snap.finished, 1);
         assert_eq!(snap.warm_hits, 1);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.workers, vec![(0, 0), (250, 1)]);
+    }
+
+    #[test]
+    fn v1_records_without_cache_counters_still_validate() {
+        let v1 = "{\"schema_version\":1,\"format\":\"ms-run-ledger\",\"record\":\"header\",\
+                  \"id\":\"20250801T000000Z-abc1234-forwarding\",\"ts\":1754006400,\
+                  \"git\":\"abc1234\",\"cmd\":\"forwarding\",\"argv\":[\"forwarding\"],\
+                  \"params\":{},\"machine\":{\"os\":\"linux\",\"arch\":\"x86_64\",\"cpus\":8}}\n\
+                  {\"record\":\"footer\",\"outcome\":\"ok\",\"exit_code\":0,\"duration_ns\":5,\
+                  \"events\":0,\"cells\":0,\"artifacts\":[],\"progress\":{\"queued\":0,\
+                  \"started\":0,\"finished\":0,\"warm_hits\":0,\"workers\":[]}}\n";
+        let rec = validate_record(v1).expect("v1 record validates without cache counters");
+        assert_eq!(rec.schema_version, 1);
+
+        // The same footer under a v2 header must carry the counters.
+        let v2 = v1.replace("\"schema_version\":1", "\"schema_version\":2");
+        assert!(validate_record(&v2).unwrap_err().contains("cache_hits"));
+        let v2_full =
+            v2.replace("\"warm_hits\":0,", "\"warm_hits\":0,\"cache_hits\":0,\"cache_misses\":0,");
+        assert_eq!(validate_record(&v2_full).expect("full v2 validates").schema_version, 2);
+
+        // Versions outside the readable range are rejected outright.
+        let v9 = v1.replace("\"schema_version\":1", "\"schema_version\":9");
+        assert!(parse_record(&v9).unwrap_err().contains("schema_version 9"));
     }
 }

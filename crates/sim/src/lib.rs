@@ -59,6 +59,12 @@ pub use cache::{Cache, Hierarchy};
 pub use check::{CheckSink, CommitRec, DispatchRec, MemSquashRec};
 pub use config::{CacheParams, FuCounts, SimConfig};
 pub use engine::{Simulator, TaskTiming};
+
+/// Version of the timing model itself. Bump whenever a change alters
+/// the statistics a given (program, config, trace) produces — content
+/// caches keyed on program and configuration also key on this, so a
+/// model change can never serve stale cached results.
+pub const ENGINE_VERSION: u32 = 1;
 pub use event::{NullSink, SimEvent, SquashCause, Tee, TraceSink, TRACE_SCHEMA_VERSION};
 pub use predictor::{Gshare, ReturnStack, TaskPredictor};
 pub use sink::{CauseCounts, JsonlSink, SquashRecord, TaskSpan, TimelineSink, TraceAggregator};
