@@ -63,9 +63,10 @@ pub fn run_fuzz(
     }
     if failures.is_empty() {
         text.push_str(&format!(
-            "fuzz: {seeds} seed(s) x {} policies conform (base seed {base_seed:#x}, \
-             max {} blocks, {} insts/run)\n",
+            "fuzz: {seeds} seed(s) x {} policies conform on engine `{}` \
+             (base seed {base_seed:#x}, max {} blocks, {} insts/run)\n",
             ms_conform::strategies().len(),
+            params.engine.label(),
             params.max_blocks,
             params.insts
         ));
@@ -85,7 +86,7 @@ mod tests {
 
     #[test]
     fn clean_sweep_reports_success_and_no_artifacts() {
-        let params = FuzzParams { max_blocks: 8, insts: 1_000, inject: false };
+        let params = FuzzParams { max_blocks: 8, insts: 1_000, ..FuzzParams::default() };
         let report = run_fuzz(3, 0x5eed, &params, 2, Path::new("target/experiments"));
         assert!(report.failures.is_empty(), "{}", report.text);
         assert!(report.artifacts.is_empty());
@@ -94,7 +95,8 @@ mod tests {
 
     #[test]
     fn injected_bug_produces_repro_artifacts() {
-        let params = FuzzParams { max_blocks: 8, insts: 1_000, inject: true };
+        let params =
+            FuzzParams { max_blocks: 8, insts: 1_000, inject: true, ..FuzzParams::default() };
         let report = run_fuzz(8, 0, &params, 2, Path::new("/tmp/exp"));
         assert!(!report.failures.is_empty());
         assert_eq!(report.artifacts.len(), report.failures.len());
@@ -106,7 +108,12 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_sweeps_agree() {
-        let params = FuzzParams { max_blocks: 8, insts: 1_000, inject: true };
+        let params = FuzzParams {
+            max_blocks: 8,
+            insts: 1_000,
+            inject: true,
+            engine: ms_conform::CheckEngine::Both,
+        };
         let serial = run_fuzz(6, 1, &params, 1, Path::new("x"));
         let parallel = run_fuzz(6, 1, &params, 4, Path::new("x"));
         let key = |r: &FuzzReport| -> Vec<(u64, &'static str, usize)> {

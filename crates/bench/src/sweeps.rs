@@ -25,7 +25,7 @@ use std::sync::OnceLock;
 
 use ms_analysis::ProgramContext;
 use ms_ir::Program;
-use ms_sim::{SimConfig, SimStats, Simulator};
+use ms_sim::{BatchEngine, ProgramImage, SimConfig, SimStats, Simulator};
 use ms_tasksel::{if_convert, PartitionStats, SelectorBuilder, Strategy, TaskSizeParams};
 use ms_trace::TraceGenerator;
 use ms_workloads::{by_name, fp_suite, integer_suite};
@@ -129,6 +129,32 @@ impl SweepSpec {
                 suggestion: closest(name, &SWEEP_NAMES),
             }
         })
+    }
+}
+
+/// Which execution engine a sweep drives its cells through. Artifacts
+/// are byte-identical either way — the batch engine's statistics are
+/// bit-identical to the scalar `Simulator`'s (pinned by
+/// `tests/engine_identity.rs` and `run -- fuzz --engine both`) — so the
+/// choice is purely a throughput knob and the content-addressed cell
+/// cache needs no engine component in its keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// [`BatchEngine`]: cells sharing a (program, partition, trace)
+    /// triple are decoded once and advanced together (the default).
+    #[default]
+    Batch,
+    /// One scalar [`Simulator`] per cell (the historical path).
+    Scalar,
+}
+
+impl Engine {
+    /// The engine's CLI spelling (`--engine batch|scalar`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Batch => "batch",
+            Engine::Scalar => "scalar",
+        }
     }
 }
 
@@ -269,6 +295,71 @@ impl CellJob {
         CellOutput { sim, partition }
     }
 
+    /// Runs the cell through the chosen [`Engine`]; output is identical
+    /// to [`CellJob::run`] either way.
+    pub fn run_engine(&self, engine: Engine) -> CellOutput {
+        match engine {
+            Engine::Scalar => self.run(),
+            Engine::Batch => {
+                let ctx = self.context();
+                CellJob::run_batch(&[self], &ctx).pop().expect("one cell in, one out")
+            }
+        }
+    }
+
+    /// The fields that determine a cell's selection, partition
+    /// statistics and trace — everything but the machine configuration.
+    /// Cells with equal batch keys can share one decoded
+    /// [`ProgramImage`] in a [`BatchEngine`] pass.
+    fn batch_key(
+        &self,
+    ) -> (&'static str, Option<usize>, Heuristic, usize, Option<u64>, usize, u64) {
+        (
+            self.bench,
+            self.if_convert_arms,
+            self.heuristic,
+            self.targets,
+            self.ts_thresh.map(f64::to_bits),
+            self.insts,
+            self.seed,
+        )
+    }
+
+    /// Runs a group of cells sharing one [`CellJob::batch_key`] through
+    /// the [`BatchEngine`]: select, partition statistics, trace and
+    /// decode once, then one engine cell per machine configuration.
+    /// Outputs are in input order and bit-identical to
+    /// [`CellJob::run_in`] on each cell.
+    fn run_batch(cells: &[&CellJob], ctx: &ProgramContext) -> Vec<CellOutput> {
+        let lead = cells[0];
+        debug_assert!(
+            cells.iter().all(|c| c.batch_key() == lead.batch_key()),
+            "batch groups share selection, partition and trace"
+        );
+        let selector = match lead.ts_thresh {
+            Some(t) => SelectorBuilder::new(Strategy::DataDependence)
+                .max_targets(lead.targets)
+                .task_size(TaskSizeParams { call_thresh: t, loop_thresh: t as usize })
+                .build(),
+            None => lead.heuristic.selector(lead.targets),
+        };
+        let sel = selector.select(ctx);
+        let partition = PartitionStats::compute(
+            &sel.program,
+            &sel.partition,
+            sel.context().profile(),
+            lead.targets,
+        );
+        let trace = TraceGenerator::new(&sel.program, lead.seed).generate(lead.insts);
+        let image = ProgramImage::new(&sel.program, &sel.partition, &trace);
+        let configs: Vec<SimConfig> = cells.iter().map(|c| c.sim_config()).collect();
+        BatchEngine::new(&image)
+            .run(&configs)
+            .into_iter()
+            .map(|sim| CellOutput { sim, partition: partition.clone() })
+            .collect()
+    }
+
     /// The cell's parameters as a JSON object (stable key order).
     fn params_json(&self) -> String {
         let mut o = JsonObj::new();
@@ -354,26 +445,30 @@ pub fn run_sweep(
     jobs: usize,
     out_root: &Path,
     obs: &SweepObserver,
+    engine: Engine,
 ) -> Result<SweepReport, BenchError> {
     match spec {
-        SweepSpec::Figure5 => figure5(jobs, out_root, obs),
-        SweepSpec::Table1 => table1(jobs, out_root, obs),
-        SweepSpec::Targets => targets(jobs, out_root, obs),
-        SweepSpec::Thresholds => thresholds(jobs, out_root, obs),
-        SweepSpec::Pus => pus(jobs, out_root, obs),
-        SweepSpec::Forwarding => forwarding(jobs, out_root, obs),
-        SweepSpec::Predication => predication(jobs, out_root, obs),
-        SweepSpec::Hardware => hardware(jobs, out_root, obs),
+        SweepSpec::Figure5 => figure5(jobs, out_root, obs, engine),
+        SweepSpec::Table1 => table1(jobs, out_root, obs, engine),
+        SweepSpec::Targets => targets(jobs, out_root, obs, engine),
+        SweepSpec::Thresholds => thresholds(jobs, out_root, obs, engine),
+        SweepSpec::Pus => pus(jobs, out_root, obs, engine),
+        SweepSpec::Forwarding => forwarding(jobs, out_root, obs, engine),
+        SweepSpec::Predication => predication(jobs, out_root, obs, engine),
+        SweepSpec::Hardware => hardware(jobs, out_root, obs, engine),
     }
 }
 
 /// One unit of sweep work: warming a shared analysis context, or
-/// running a grid cell against it.
+/// running a group of grid cells against it.
 enum SweepWork {
     /// Stage 1 — build + analyse one distinct pre-selection program.
     Warm(usize),
-    /// Stage 2 — simulate one grid cell (index into the grid).
-    Cell(usize),
+    /// Stage 2 — simulate a group of grid cells (indices into the
+    /// grid) sharing one [`CellJob::batch_key`]. The scalar engine
+    /// runs singleton groups; the batch engine runs one decoded image
+    /// per group.
+    Group(Vec<usize>),
 }
 
 /// Runs a grid of named cells in parallel and writes the artifacts (one
@@ -403,6 +498,7 @@ fn run_cells(
     grid: Vec<(String, CellJob)>,
     out_root: &Path,
     obs: &SweepObserver,
+    engine: Engine,
 ) -> Result<Vec<(String, CellJob, CellOutput)>, BenchError> {
     obs.sink.add_queued(grid.len() as u64);
     // Stage 0 — probe the content-addressed cache (coordinator only;
@@ -467,45 +563,75 @@ fn run_cells(
             ctx
         })
     };
+    // Group the misses: under the batch engine, cells sharing one
+    // batch key (same selection, partition and trace; only the machine
+    // configuration differs) become one work item over one decoded
+    // image. The scalar engine runs singleton groups — the historical
+    // one-cell-one-simulator path.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    match engine {
+        Engine::Scalar => groups.extend(misses.iter().map(|&i| vec![i])),
+        Engine::Batch => {
+            for &i in &misses {
+                let key = grid[i].1.batch_key();
+                match groups.iter_mut().find(|g| grid[g[0]].1.batch_key() == key) {
+                    Some(g) => g.push(i),
+                    None => groups.push(vec![i]),
+                }
+            }
+        }
+    }
     let work: Vec<SweepWork> = (0..keys.len())
         .map(SweepWork::Warm)
-        .chain(misses.iter().copied().map(SweepWork::Cell))
+        .chain(groups.iter().cloned().map(SweepWork::Group))
         .collect();
     let outputs = run_parallel_observed(
         jobs,
         work,
-        |w, _| match *w {
+        |w, _| match w {
             SweepWork::Warm(i) => {
-                ctx_of(i);
+                ctx_of(*i);
                 None
             }
-            SweepWork::Cell(i) => {
-                obs.sink.cell_started();
-                let (_, job) = &grid[i];
-                let key = (job.bench, job.if_convert_arms);
+            SweepWork::Group(cells) => {
+                let jobs: Vec<&CellJob> = cells.iter().map(|&i| &grid[i].1).collect();
+                let key = (jobs[0].bench, jobs[0].if_convert_arms);
                 let ki = keys.iter().position(|&k| k == key).expect("cell key is in the pool");
                 // The pipeline's payoff, counted: did stage 1 (or an
-                // earlier cell) already warm this program's context?
-                if pool[ki].get().is_some() {
-                    obs.sink.warm_hit();
+                // earlier group) already warm this program's context?
+                let warmed = pool[ki].get().is_some();
+                for _ in cells {
+                    obs.sink.cell_started();
+                    if warmed {
+                        obs.sink.warm_hit();
+                    }
                 }
-                let out = job.run_in(ctx_of(ki));
-                obs.sink.cell_finished();
-                Some(out)
+                let ctx = ctx_of(ki);
+                let outs = match engine {
+                    Engine::Scalar => jobs.iter().map(|j| j.run_in(ctx)).collect(),
+                    Engine::Batch => CellJob::run_batch(&jobs, ctx),
+                };
+                for _ in cells {
+                    obs.sink.cell_finished();
+                }
+                Some(outs)
             }
         },
         obs.sink,
         obs.on_tick,
     );
     // Merge computed outputs back into grid order and fill the cache.
-    let mut computed = outputs.into_iter().skip(keys.len());
-    for (i, slot) in cached.iter_mut().enumerate() {
-        if slot.is_none() {
-            let out = computed.next().flatten().expect("cell work items carry an output");
+    // Work items after the warm-ups are the groups, in formation
+    // order — zipping each group's index list against its output
+    // vector restores every cell's slot.
+    for (g, out) in groups.iter().zip(outputs.into_iter().skip(keys.len())) {
+        let outs = out.expect("group work items carry outputs");
+        debug_assert_eq!(g.len(), outs.len());
+        for (&i, out) in g.iter().zip(outs) {
             if let (Some(cache), Some(key)) = (obs.cache, &cell_keys[i]) {
                 cache.store(key, &out)?;
             }
-            *slot = Some(out);
+            cached[i] = Some(out);
         }
     }
     let dir = out_root.join(sweep);
@@ -551,7 +677,12 @@ fn responds_to_task_size(name: &str) -> bool {
 
 // ---------------------------------------------------------------- sweeps
 
-fn figure5(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepReport, BenchError> {
+fn figure5(
+    jobs: usize,
+    out_root: &Path,
+    obs: &SweepObserver,
+    engine: Engine,
+) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let mut grid = Vec::new();
     for in_order in [false, true] {
@@ -582,7 +713,7 @@ fn figure5(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepRep
         }
     }
     let cells = grid.len();
-    let results = run_cells("figure5", jobs, grid, out_root, obs)?;
+    let results = run_cells("figure5", jobs, grid, out_root, obs, engine)?;
 
     let mut text = String::new();
     writeln!(text, "Figure 5 — impact of the compiler heuristics on the SPEC95-shaped suite")
@@ -651,7 +782,12 @@ fn figure5(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepRep
     Ok(report)
 }
 
-fn table1(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepReport, BenchError> {
+fn table1(
+    jobs: usize,
+    out_root: &Path,
+    obs: &SweepObserver,
+    engine: Engine,
+) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let mut grid = Vec::new();
     for w in ms_workloads::suite() {
@@ -662,7 +798,7 @@ fn table1(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepRepo
         }
     }
     let cells = grid.len();
-    let results = run_cells("table1", jobs, grid, out_root, obs)?;
+    let results = run_cells("table1", jobs, grid, out_root, obs, engine)?;
 
     let mut text = String::new();
     writeln!(
@@ -728,7 +864,12 @@ fn table1(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepRepo
     Ok(report)
 }
 
-fn targets(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepReport, BenchError> {
+fn targets(
+    jobs: usize,
+    out_root: &Path,
+    obs: &SweepObserver,
+    engine: Engine,
+) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["go", "m88ksim", "perl", "hydro2d", "applu"];
     let ns = [2usize, 4, 6, 8];
@@ -741,7 +882,7 @@ fn targets(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepRep
         }
     }
     let cells = grid.len();
-    let results = run_cells("targets", jobs, grid, out_root, obs)?;
+    let results = run_cells("targets", jobs, grid, out_root, obs, engine)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: control-flow heuristic target limit N (4 PUs, out-of-order)")
@@ -767,6 +908,7 @@ fn thresholds(
     jobs: usize,
     out_root: &Path,
     obs: &SweepObserver,
+    engine: Engine,
 ) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["compress", "fpppp"];
@@ -785,7 +927,7 @@ fn thresholds(
         }
     }
     let cells = grid.len();
-    let results = run_cells("thresholds", jobs, grid, out_root, obs)?;
+    let results = run_cells("thresholds", jobs, grid, out_root, obs, engine)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: CALL_THRESH / LOOP_THRESH sweep (dd tasks + task size, 8 PUs)")
@@ -814,7 +956,12 @@ fn thresholds(
     Ok(report)
 }
 
-fn pus(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepReport, BenchError> {
+fn pus(
+    jobs: usize,
+    out_root: &Path,
+    obs: &SweepObserver,
+    engine: Engine,
+) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["m88ksim", "perl", "tomcatv", "applu", "wave5"];
     let counts = [1usize, 2, 4, 8, 16];
@@ -828,7 +975,7 @@ fn pus(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepReport,
         }
     }
     let cells = grid.len();
-    let results = run_cells("pus", jobs, grid, out_root, obs)?;
+    let results = run_cells("pus", jobs, grid, out_root, obs, engine)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: PU count sweep (data dependence tasks, out-of-order)").unwrap();
@@ -855,6 +1002,7 @@ fn forwarding(
     jobs: usize,
     out_root: &Path,
     obs: &SweepObserver,
+    engine: Engine,
 ) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["m88ksim", "perl", "tomcatv", "applu", "wave5", "go"];
@@ -870,7 +1018,7 @@ fn forwarding(
         ));
     }
     let cells = grid.len();
-    let results = run_cells("forwarding", jobs, grid, out_root, obs)?;
+    let results = run_cells("forwarding", jobs, grid, out_root, obs, engine)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: dead register analysis for ring forwards (dd tasks, 8 PUs)").unwrap();
@@ -906,6 +1054,7 @@ fn predication(
     jobs: usize,
     out_root: &Path,
     obs: &SweepObserver,
+    engine: Engine,
 ) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let benches = ["go", "gcc", "li", "perl", "vortex", "hydro2d"];
@@ -921,7 +1070,7 @@ fn predication(
         }
     }
     let cells = grid.len();
-    let results = run_cells("predication", jobs, grid, out_root, obs)?;
+    let results = run_cells("predication", jobs, grid, out_root, obs, engine)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: if-conversion before task selection (cf tasks, 4 PUs)").unwrap();
@@ -956,7 +1105,12 @@ fn predication(
     Ok(report)
 }
 
-fn hardware(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepReport, BenchError> {
+fn hardware(
+    jobs: usize,
+    out_root: &Path,
+    obs: &SweepObserver,
+    engine: Engine,
+) -> Result<SweepReport, BenchError> {
     use std::fmt::Write as _;
     let bw_benches = ["m88ksim", "go", "applu", "wave5"];
     let bws = [1u32, 2, 4, 8];
@@ -1003,7 +1157,7 @@ fn hardware(jobs: usize, out_root: &Path, obs: &SweepObserver) -> Result<SweepRe
         }
     }
     let cells = grid.len();
-    let results = run_cells("hardware", jobs, grid, out_root, obs)?;
+    let results = run_cells("hardware", jobs, grid, out_root, obs, engine)?;
 
     let mut text = String::new();
     writeln!(text, "Ablation: ring bandwidth (values/cycle/link, paper: 2), 8 PUs, IPC").unwrap();

@@ -6,7 +6,7 @@
 
 use ms_analysis::ProgramContext;
 use ms_bench::progress::SweepObserver;
-use ms_bench::sweeps::{cell_json, run_sweep, CellJob, SweepSpec};
+use ms_bench::sweeps::{cell_json, run_sweep, CellJob, Engine, SweepSpec};
 use ms_bench::Heuristic;
 
 /// Every (benchmark, heuristic, threshold) shape the grids use, run both
@@ -59,8 +59,9 @@ fn if_converted_cells_use_their_own_context() {
 fn sweep_artifacts_are_bit_identical_across_jobs() {
     let root1 = tempdir("ctx-equiv-j1");
     let root4 = tempdir("ctx-equiv-j4");
-    run_sweep(SweepSpec::Targets, 1, &root1, &SweepObserver::silent()).expect("serial sweep runs");
-    run_sweep(SweepSpec::Targets, 4, &root4, &SweepObserver::silent())
+    run_sweep(SweepSpec::Targets, 1, &root1, &SweepObserver::silent(), Engine::default())
+        .expect("serial sweep runs");
+    run_sweep(SweepSpec::Targets, 4, &root4, &SweepObserver::silent(), Engine::default())
         .expect("parallel sweep runs");
 
     let files1 = artifact_files(&root1);

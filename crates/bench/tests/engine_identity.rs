@@ -1,0 +1,100 @@
+//! Engine-identity contract at the sweep level: `--engine batch` and
+//! `--engine scalar` must emit byte-identical artifacts, for any
+//! `--jobs` level. The batch engine is allowed to change *when* cells
+//! run (grouped, lockstep, shared decode) but never *what* they
+//! produce — `run -- perf`'s trajectory and every committed golden
+//! stays engine-agnostic because of this test.
+
+use ms_bench::progress::SweepObserver;
+use ms_bench::sweeps::{cell_json, run_sweep, CellJob, Engine, SweepSpec};
+use ms_bench::Heuristic;
+
+/// One full canonical sweep grid, four ways: {batch, scalar} x
+/// {--jobs 1, --jobs 8}. Every artifact byte-identical across all four.
+#[test]
+fn sweep_artifacts_are_engine_and_jobs_invariant() {
+    let runs = [
+        (Engine::Batch, 1, tempdir("eng-ident-b1")),
+        (Engine::Batch, 8, tempdir("eng-ident-b8")),
+        (Engine::Scalar, 1, tempdir("eng-ident-s1")),
+        (Engine::Scalar, 8, tempdir("eng-ident-s8")),
+    ];
+    for (engine, jobs, root) in &runs {
+        run_sweep(SweepSpec::Targets, *jobs, root, &SweepObserver::silent(), *engine)
+            .unwrap_or_else(|e| panic!("{} sweep at --jobs {jobs} failed: {e}", engine.label()));
+    }
+    let (_, _, reference) = &runs[0];
+    let files = artifact_files(reference);
+    assert!(!files.is_empty(), "sweep produced no artifacts");
+    for (engine, jobs, root) in &runs[1..] {
+        assert_eq!(
+            artifact_files(root),
+            files,
+            "artifact file set differs ({} --jobs {jobs})",
+            engine.label()
+        );
+        for rel in &files {
+            let a = std::fs::read(reference.join(rel)).unwrap();
+            let b = std::fs::read(root.join(rel)).unwrap();
+            assert_eq!(
+                a,
+                b,
+                "{rel}: artifact differs between batch --jobs 1 and {} --jobs {jobs}",
+                engine.label()
+            );
+        }
+    }
+    for (_, _, root) in runs {
+        std::fs::remove_dir_all(root).ok();
+    }
+}
+
+/// The canonical perf cells themselves — the jobs `run -- perf` times —
+/// produce identical artifacts through either engine, including the
+/// threshold (dynamic data-dependence) and if-converted variants.
+#[test]
+fn canonical_cells_are_engine_invariant() {
+    let jobs = [
+        CellJob { insts: 4_000, ..CellJob::new("compress", Heuristic::ControlFlow) },
+        CellJob { insts: 4_000, ..CellJob::new("go", Heuristic::DataDependence) },
+        CellJob {
+            insts: 4_000,
+            ts_thresh: Some(12.0),
+            ..CellJob::new("li", Heuristic::DataDependence)
+        },
+        CellJob {
+            insts: 4_000,
+            if_convert_arms: Some(8),
+            ..CellJob::new("tomcatv", Heuristic::ControlFlow)
+        },
+    ];
+    for (i, job) in jobs.iter().enumerate() {
+        let s = cell_json("ident", &format!("cell-{i}"), job, &job.run_engine(Engine::Scalar));
+        let b = cell_json("ident", &format!("cell-{i}"), job, &job.run_engine(Engine::Batch));
+        assert_eq!(s, b, "cell {i}: batch and scalar artifacts diverge");
+    }
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ms-bench-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn artifact_files(root: &std::path::Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                out.push(path.strip_prefix(root).unwrap().to_string_lossy().into_owned());
+            }
+        }
+    }
+    out.sort();
+    out
+}

@@ -6,12 +6,36 @@
 //! fully pipelined and banked one bank per PU).
 
 use crate::config::CacheParams;
+use crate::fxmap::FxMap;
+
+/// Way storage: `(tag, last-use stamp)` pairs, `assoc` per set. Stamp 0
+/// marks an empty way (the stamp counter starts at 1), and empty ways
+/// fill first because 0 is always the LRU minimum.
+///
+/// Small caches use one dense flat allocation (set `s` owns
+/// `ways[s * assoc .. (s + 1) * assoc]`; an access touches exactly one
+/// cache line of model state). Large caches — a multi-megabyte L2 is
+/// ~1 MB of way state — allocate per-set lazily: a short simulation
+/// touches a few thousand L2 sets out of tens of thousands, and engines
+/// are rebuilt per cell, so zero-filling the dense array dominated
+/// construction cost.
+#[derive(Debug, Clone)]
+enum Ways {
+    Dense(Vec<(u64, u64)>),
+    Sparse {
+        /// set → first-way offset into `pool`.
+        index: FxMap<u64, u32>,
+        pool: Vec<(u64, u64)>,
+    },
+}
+
+/// Dense/sparse crossover, in ways (128 KB of dense state at 16 B/way).
+const SPARSE_WAYS_THRESHOLD: u64 = 8192;
 
 /// A set-associative LRU cache (tags only).
 #[derive(Debug, Clone)]
 pub struct Cache {
-    /// `sets[s]` holds (tag, last-use stamp) pairs, at most `assoc`.
-    sets: Vec<Vec<(u64, u64)>>,
+    ways: Ways,
     assoc: usize,
     line_shift: u32,
     set_mask: u64,
@@ -33,8 +57,13 @@ impl Cache {
         let num_lines = p.size / p.line;
         let num_sets = (num_lines / p.assoc as u64).max(1);
         assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        let num_ways = num_sets * u64::from(p.assoc);
         Cache {
-            sets: vec![Vec::new(); num_sets as usize],
+            ways: if num_ways > SPARSE_WAYS_THRESHOLD {
+                Ways::Sparse { index: FxMap::default(), pool: Vec::new() }
+            } else {
+                Ways::Dense(vec![(0, 0); num_ways as usize])
+            },
             assoc: p.assoc as usize,
             line_shift: p.line.trailing_zeros(),
             set_mask: num_sets - 1,
@@ -46,28 +75,38 @@ impl Cache {
     }
 
     /// Accesses `addr`; returns `true` on hit and fills the line on miss.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.stamp += 1;
         let line = addr >> self.line_shift;
-        let set = (line & self.set_mask) as usize;
+        let set = line & self.set_mask;
         let tag = line >> self.set_mask.count_ones();
-        let ways = &mut self.sets[set];
-        if let Some(w) = ways.iter_mut().find(|(t, _)| *t == tag) {
+        let assoc = self.assoc;
+        let ways: &mut [(u64, u64)] = match &mut self.ways {
+            Ways::Dense(v) => &mut v[set as usize * assoc..][..assoc],
+            Ways::Sparse { index, pool } => {
+                let off = *index.entry(set).or_insert_with(|| {
+                    let off = pool.len() as u32;
+                    pool.resize(pool.len() + assoc, (0, 0));
+                    off
+                });
+                &mut pool[off as usize..][..assoc]
+            }
+        };
+        if let Some(w) = ways.iter_mut().find(|&&mut (t, s)| s != 0 && t == tag) {
             w.1 = self.stamp;
             self.hits += 1;
             return true;
         }
         self.misses += 1;
-        if ways.len() == self.assoc {
-            let lru = ways
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, s))| *s)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            ways.remove(lru);
-        }
-        ways.push((tag, self.stamp));
+        // Replace the LRU way; empty ways (stamp 0) fill first.
+        let lru = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(_, s))| s)
+            .map(|(i, _)| i)
+            .expect("assoc >= 1");
+        ways[lru] = (tag, self.stamp);
         false
     }
 
@@ -98,6 +137,7 @@ impl Hierarchy {
     }
 
     /// Total access latency for `addr`.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> u32 {
         if self.l1.access(addr) {
             return self.l1.hit_latency();

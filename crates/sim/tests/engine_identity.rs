@@ -1,0 +1,140 @@
+//! Cycle-identity regression tests: the batch engine is a *scheduler*,
+//! not a second timing model. For every configuration, a cell advanced
+//! by [`BatchEngine`] must produce the same [`SimStats`] — and the same
+//! event stream, byte for byte through [`JsonlSink`] — as a scalar
+//! [`Simulator`] run, including when the cell shares its batch with
+//! differently-configured neighbours (no state may leak across cells in
+//! the lockstep interleave).
+
+use ms_analysis::ProgramContext;
+use ms_ir::{
+    BranchBehavior, FunctionBuilder, Inst, Opcode, Program, ProgramBuilder, Reg, Terminator,
+};
+use ms_sim::{BatchEngine, JsonlSink, ProgramImage, SimConfig, SimStats, Simulator};
+use ms_tasksel::{Selection, SelectorBuilder, Strategy};
+use ms_trace::{Trace, TraceGenerator};
+
+const INSTS: usize = 20_000;
+const SEED: u64 = 0x5eed;
+
+fn select(workload: &str) -> Selection {
+    let program = ms_workloads::by_name(workload).unwrap().build();
+    SelectorBuilder::new(Strategy::ControlFlow)
+        .max_targets(4)
+        .build()
+        .select(&ProgramContext::new(program))
+}
+
+fn scalar(sel: &Selection, trace: &Trace, cfg: &SimConfig) -> (SimStats, String) {
+    let mut sink = JsonlSink::new();
+    let stats =
+        Simulator::new(cfg.clone(), &sel.program, &sel.partition).run_with_sink(trace, &mut sink);
+    (stats, sink.into_string())
+}
+
+fn batch(sel: &Selection, trace: &Trace, cfgs: &[SimConfig]) -> Vec<(SimStats, String)> {
+    let image = ProgramImage::new(&sel.program, &sel.partition, trace);
+    let mut sinks: Vec<JsonlSink> = cfgs.iter().map(|_| JsonlSink::new()).collect();
+    let stats = BatchEngine::new(&image).run_with_sinks(cfgs, &mut sinks);
+    stats.into_iter().zip(sinks.into_iter().map(JsonlSink::into_string)).collect()
+}
+
+/// The configuration axes the sweeps actually vary: PU count, forward
+/// latency, ARB capacity, prediction.
+fn config_grid() -> Vec<SimConfig> {
+    let mut cfgs = vec![SimConfig::single_pu(), SimConfig::four_pu()];
+    let mut wide = SimConfig::four_pu();
+    wide.num_pus = 8;
+    cfgs.push(wide);
+    let mut slow_ring = SimConfig::four_pu();
+    slow_ring.ring_hop_latency += 3;
+    cfgs.push(slow_ring);
+    cfgs
+}
+
+/// Every workload x config: one-cell batch == scalar run, statistics
+/// and event stream both.
+#[test]
+fn single_cell_batch_matches_scalar_engine() {
+    for workload in ["compress", "go", "fpppp", "li"] {
+        let sel = select(workload);
+        let trace = TraceGenerator::new(&sel.program, SEED).generate(INSTS);
+        for cfg in config_grid() {
+            let (s_stats, s_events) = scalar(&sel, &trace, &cfg);
+            let b = batch(&sel, &trace, std::slice::from_ref(&cfg));
+            assert_eq!(b[0].0, s_stats, "{workload}: stats diverge ({cfg:?})");
+            assert_eq!(b[0].1, s_events, "{workload}: event streams diverge ({cfg:?})");
+        }
+    }
+}
+
+/// A heterogeneous batch — every grid config as one cell — must give
+/// each cell exactly its own scalar outcome; the lockstep interleave
+/// may not leak predictor, cache, or ring state between cells.
+#[test]
+fn heterogeneous_batch_cells_match_their_scalar_runs() {
+    for workload in ["compress", "go"] {
+        let sel = select(workload);
+        let trace = TraceGenerator::new(&sel.program, SEED).generate(INSTS);
+        let cfgs = config_grid();
+        let cells = batch(&sel, &trace, &cfgs);
+        assert_eq!(cells.len(), cfgs.len());
+        for (cfg, (b_stats, b_events)) in cfgs.iter().zip(&cells) {
+            let (s_stats, s_events) = scalar(&sel, &trace, cfg);
+            assert_eq!(*b_stats, s_stats, "{workload}: batched cell diverges ({cfg:?})");
+            assert_eq!(*b_events, s_events, "{workload}: batched events diverge ({cfg:?})");
+        }
+        // Identical configs inside one batch stay identical cells.
+        let twins = batch(&sel, &trace, &[SimConfig::four_pu(), SimConfig::four_pu()]);
+        assert_eq!(twins[0], twins[1], "{workload}: twin cells diverged inside one batch");
+    }
+}
+
+/// The golden-timing construction (`entry -> counted loop -> exit`)
+/// runs cycle-identically through both engines — the hand-reasoned
+/// cycle counts in `golden_timing.rs` hold for the batch path too.
+#[test]
+fn golden_timing_loops_are_cycle_identical() {
+    let body: Vec<Inst> = vec![
+        Opcode::IMul.inst().dst(Reg::int(2)).src(Reg::int(2)).src(Reg::int(2)),
+        Opcode::IAdd.inst().dst(Reg::int(3)).src(Reg::int(2)),
+    ];
+    for trips in [4u32, 20] {
+        let program = loop_program(&body, trips);
+        let sel = SelectorBuilder::new(Strategy::BasicBlock)
+            .build()
+            .select(&ProgramContext::new(program));
+        let trace = TraceGenerator::new(&sel.program, 1).generate_once(100_000);
+        for cfg in [SimConfig::single_pu(), SimConfig::four_pu()] {
+            let (s_stats, s_events) = scalar(&sel, &trace, &cfg);
+            let b = batch(&sel, &trace, std::slice::from_ref(&cfg));
+            assert_eq!(b[0].0, s_stats, "trips {trips}: stats diverge ({cfg:?})");
+            assert_eq!(b[0].1, s_events, "trips {trips}: events diverge ({cfg:?})");
+        }
+    }
+}
+
+fn loop_program(body_insts: &[Inst], trips: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let m = pb.declare_function("main");
+    let mut fb = FunctionBuilder::new("main");
+    let entry = fb.add_block();
+    let body = fb.add_block();
+    let exit = fb.add_block();
+    for i in body_insts {
+        fb.push_inst(body, i.clone());
+    }
+    fb.set_terminator(entry, Terminator::Jump { target: body });
+    fb.set_terminator(
+        body,
+        Terminator::Branch {
+            taken: body,
+            fall: exit,
+            cond: vec![Reg::int(1)],
+            behavior: BranchBehavior::exact_loop(trips),
+        },
+    );
+    fb.set_terminator(exit, Terminator::Halt);
+    pb.define_function(m, fb.finish(entry).unwrap());
+    pb.finish(m).unwrap()
+}

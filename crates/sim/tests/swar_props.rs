@@ -1,0 +1,269 @@
+//! Property tests for the SWAR kernels in `ms_sim::swar`.
+//!
+//! Every lane-packed kernel has a scalar bit-loop twin here — the
+//! obviously-correct formulation the SWAR version must match lane for
+//! lane on seeded random inputs ([`SplitMix64`] streams, so failures
+//! replay deterministically). The [`TagSet`] test additionally shrinks
+//! a failing operation sequence to a minimal reproducer before
+//! panicking, so the assertion message is a ready-made regression test.
+
+use ms_ir::SplitMix64;
+use ms_sim::swar::{broadcast, eq_byte_lanes, line_tag, set_bits, zero_byte_lanes, TagSet};
+
+const CASES: usize = 4_000;
+
+/// Scalar twin of [`broadcast`]: write the byte into each lane.
+fn broadcast_ref(b: u8) -> u64 {
+    let mut out = 0u64;
+    for lane in 0..8 {
+        out |= u64::from(b) << (8 * lane);
+    }
+    out
+}
+
+/// Scalar twin of [`zero_byte_lanes`]: test each byte for zero.
+fn zero_byte_lanes_ref(x: u64) -> u64 {
+    let mut out = 0u64;
+    for lane in 0..8 {
+        if (x >> (8 * lane)) & 0xff == 0 {
+            out |= 0x80 << (8 * lane);
+        }
+    }
+    out
+}
+
+/// Scalar twin of [`eq_byte_lanes`]: compare each byte to the tag.
+fn eq_byte_lanes_ref(word: u64, tag: u8) -> u64 {
+    let mut out = 0u64;
+    for lane in 0..8 {
+        if (word >> (8 * lane)) & 0xff == u64::from(tag) {
+            out |= 0x80 << (8 * lane);
+        }
+    }
+    out
+}
+
+/// Scalar twin of [`set_bits`]: test all 64 positions in order.
+fn set_bits_ref(mask: u64) -> Vec<usize> {
+    (0..64).filter(|&b| mask & (1u64 << b) != 0).collect()
+}
+
+/// Draws a `u64` whose byte lanes are biased toward the interesting
+/// values (0x00 boundaries, saturated lanes, and repeated tags) that a
+/// uniform draw would almost never produce.
+fn lane_biased(rng: &mut SplitMix64) -> u64 {
+    let mut word = 0u64;
+    for lane in 0..8 {
+        let byte: u8 = match rng.next_u64() % 5 {
+            0 => 0x00,
+            1 => 0xff,
+            2 => 0x80,
+            3 => 0x01,
+            _ => (rng.next_u64() & 0xff) as u8,
+        };
+        word |= u64::from(byte) << (8 * lane);
+    }
+    word
+}
+
+#[test]
+fn broadcast_matches_scalar_reference() {
+    for b in 0..=u8::MAX {
+        assert_eq!(broadcast(b), broadcast_ref(b), "byte {b:#04x}");
+    }
+}
+
+#[test]
+fn zero_byte_lanes_matches_scalar_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0x5a_0001);
+    for case in 0..CASES {
+        let x = lane_biased(&mut rng);
+        assert_eq!(zero_byte_lanes(x), zero_byte_lanes_ref(x), "case {case}: input {x:#018x}");
+    }
+}
+
+#[test]
+fn zero_byte_lanes_is_exhaustive_on_two_lanes() {
+    // Every two-lane value, so cross-lane carry bugs (the classic
+    // presence-test false positive) cannot hide in a sampling gap.
+    for low in 0..=u16::MAX {
+        let x = u64::from(low);
+        assert_eq!(
+            zero_byte_lanes(x) & 0xffff_ffff,
+            zero_byte_lanes_ref(x) & 0xffff_ffff,
+            "input {x:#06x}"
+        );
+    }
+}
+
+#[test]
+fn eq_byte_lanes_matches_scalar_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0x5a_0002);
+    for case in 0..CASES {
+        let word = lane_biased(&mut rng);
+        let tag = (rng.next_u64() & 0xff) as u8;
+        assert_eq!(
+            eq_byte_lanes(word, tag),
+            eq_byte_lanes_ref(word, tag),
+            "case {case}: word {word:#018x} tag {tag:#04x}"
+        );
+    }
+}
+
+#[test]
+fn line_tag_is_never_zero() {
+    let mut rng = SplitMix64::seed_from_u64(0x5a_0003);
+    for _ in 0..CASES {
+        let line = rng.next_u64();
+        assert_ne!(line_tag(line), 0, "line {line:#x}");
+    }
+    assert_ne!(line_tag(0), 0);
+    assert_ne!(line_tag(u64::MAX), 0);
+}
+
+#[test]
+fn line_tag_is_a_pure_fold() {
+    // The tag must depend only on the line value (it is recomputed on
+    // every probe), and folding all four half-words in means distinct
+    // high bits still perturb the tag.
+    let mut rng = SplitMix64::seed_from_u64(0x5a_0004);
+    let mut distinct = std::collections::HashSet::new();
+    for _ in 0..CASES {
+        let line = rng.next_u64();
+        assert_eq!(line_tag(line), line_tag(line));
+        distinct.insert(line_tag(line));
+    }
+    // 255 possible tags (never zero); random lines should hit most.
+    assert!(distinct.len() > 100, "only {} distinct tags", distinct.len());
+}
+
+#[test]
+fn set_bits_matches_scalar_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0x5a_0005);
+    for case in 0..CASES {
+        let mask = match case % 4 {
+            0 => rng.next_u64(),
+            1 => rng.next_u64() & rng.next_u64(), // sparse
+            2 => rng.next_u64() | rng.next_u64(), // dense
+            _ => 1u64.checked_shl((rng.next_u64() % 64) as u32).unwrap(),
+        };
+        assert_eq!(
+            set_bits(mask).collect::<Vec<_>>(),
+            set_bits_ref(mask),
+            "case {case}: mask {mask:#018x}"
+        );
+    }
+    assert_eq!(set_bits(0).count(), 0);
+    assert_eq!(set_bits(u64::MAX).count(), 64);
+}
+
+/// One operation in a [`TagSet`] differential run.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64),
+    Contains(u64),
+    Clear,
+}
+
+/// Replays `ops` against both the [`TagSet`] and a plain-`Vec` model;
+/// returns the index of the first divergent op, if any.
+fn first_divergence(ops: &[Op]) -> Option<usize> {
+    let mut set = TagSet::new();
+    let mut model: Vec<u64> = Vec::new();
+    for (i, &op) in ops.iter().enumerate() {
+        let ok = match op {
+            Op::Insert(line) => {
+                let newly = !model.contains(&line);
+                if newly {
+                    model.push(line);
+                }
+                set.insert(line) == newly
+            }
+            Op::Contains(line) => set.contains(line) == model.contains(&line),
+            Op::Clear => {
+                set.clear();
+                model.clear();
+                true
+            }
+        };
+        let sized = set.len() == model.len() && set.is_empty() == model.is_empty();
+        if !ok || !sized {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Greedily drops ops while the sequence still diverges — the usual
+/// delta-debugging shrink, small enough to re-run the full replay per
+/// candidate because sequences are short.
+fn shrink(mut ops: Vec<Op>) -> Vec<Op> {
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < ops.len() {
+            let mut candidate = ops.clone();
+            candidate.remove(i);
+            if first_divergence(&candidate).is_some() {
+                ops = candidate;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return ops;
+        }
+    }
+}
+
+#[test]
+fn tagset_matches_vec_model_under_random_ops() {
+    // Lines drawn from a small pool so duplicate inserts, tag
+    // collisions (distinct lines, equal `line_tag`), and clear/reuse
+    // cycles all actually occur.
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x7a9_5e7 ^ seed);
+        let pool: Vec<u64> = (0..24)
+            .map(|_| match rng.next_u64() % 3 {
+                0 => rng.next_u64() % 16,       // dense small lines
+                1 => rng.next_u64() % 16 << 40, // collide low bytes
+                _ => rng.next_u64(),            // arbitrary
+            })
+            .collect();
+        let ops: Vec<Op> = (0..200)
+            .map(|_| {
+                let line = pool[(rng.next_u64() as usize) % pool.len()];
+                match rng.next_u64() % 8 {
+                    0 => Op::Clear,
+                    1..=4 => Op::Insert(line),
+                    _ => Op::Contains(line),
+                }
+            })
+            .collect();
+        if first_divergence(&ops).is_some() {
+            let minimal = shrink(ops);
+            panic!("TagSet diverges from Vec model (seed {seed}); minimal repro: {minimal:?}");
+        }
+    }
+}
+
+#[test]
+fn tagset_forced_tag_collisions_still_exact() {
+    // line_tag folds half-words together, so lines differing only in
+    // bits that fold away share a tag; membership must still be exact.
+    let base = 0x1234_5678_9abc_def0u64;
+    let colliders: Vec<u64> = (1..32)
+        .map(|i| base ^ (i << 8) ^ (i << 16)) // perturb folded-away bits
+        .filter(|&l| line_tag(l) == line_tag(base))
+        .collect();
+    let mut set = TagSet::new();
+    assert!(set.insert(base));
+    for &l in &colliders {
+        assert!(!set.contains(l), "false positive on tag collider {l:#x}");
+        assert!(set.insert(l));
+        assert!(set.contains(l));
+    }
+    assert!(set.contains(base));
+    assert_eq!(set.len(), 1 + colliders.len());
+}

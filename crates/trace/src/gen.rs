@@ -6,7 +6,7 @@
 //! correct-path dynamic stream a value-level interpreter would produce,
 //! without interpreting values. Fully deterministic for a given seed.
 
-use std::collections::HashMap;
+use crate::fxhash::FxMap;
 
 use ms_ir::{AddrSpec, BlockId, BlockRef, BranchBehavior, FuncId, Program, SplitMix64, Terminator};
 
@@ -70,7 +70,9 @@ impl<'p> TraceGenerator<'p> {
     fn run(&self, max_insts: usize, restart: bool) -> Trace {
         let prof = ms_prof::span("trace.generate");
         let mut walker = Walker::new(self.program, self.seed);
-        let mut steps: Vec<TraceStep> = Vec::new();
+        // Steps average several instructions each; reserving a quarter
+        // of the budget leaves at most a doubling or two of headroom.
+        let mut steps: Vec<TraceStep> = Vec::with_capacity(max_insts / 4);
         let mut insts = 0usize;
         while insts < max_insts {
             match walker.step() {
@@ -111,9 +113,9 @@ struct Walker<'p> {
     /// Remaining taken-count for active `Loop` branches, keyed by
     /// (call depth, func, block) so distinct activations have distinct
     /// counters while re-invocations at the same depth reset naturally.
-    loop_state: HashMap<(usize, FuncId, BlockId), u32>,
+    loop_state: FxMap<(usize, FuncId, BlockId), u32>,
     /// Global position per `Pattern` branch.
-    pattern_pos: HashMap<(FuncId, BlockId), usize>,
+    pattern_pos: FxMap<(FuncId, BlockId), usize>,
     /// Per-generator stream positions (for `Stride`).
     stride_pos: Vec<u64>,
 }
@@ -125,8 +127,8 @@ impl<'p> Walker<'p> {
             rng: SplitMix64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             cur: Some(BlockRef::new(program.entry(), program.function(program.entry()).entry())),
             stack: Vec::new(),
-            loop_state: HashMap::new(),
-            pattern_pos: HashMap::new(),
+            loop_state: FxMap::default(),
+            pattern_pos: FxMap::default(),
             stride_pos: vec![0; program.addr_gens().len()],
         }
     }
@@ -148,8 +150,11 @@ impl<'p> Walker<'p> {
         let blk = func.block(at.block);
         let depth = self.stack.len() as u32;
 
-        let mem_addrs: Vec<u64> =
-            blk.insts().iter().filter_map(|i| i.mem_ref()).map(|g| self.next_addr(g)).collect();
+        // Count first so the vector allocates exactly once — this runs
+        // per step, and `filter_map` hides the size from `collect`.
+        let n_mem = blk.insts().iter().filter(|i| i.mem_ref().is_some()).count();
+        let mut mem_addrs: Vec<u64> = Vec::with_capacity(n_mem);
+        mem_addrs.extend(blk.insts().iter().filter_map(|i| i.mem_ref()).map(|g| self.next_addr(g)));
 
         let (outcome, next) = match blk.terminator() {
             Terminator::Jump { target } => (CtOutcome::Jump, Some(BlockRef::new(at.func, *target))),

@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fxhash;
 mod gen;
 mod split;
 mod stats;
